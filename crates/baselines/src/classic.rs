@@ -1,0 +1,384 @@
+//! Classic ML classifiers built from scratch for the Magellan baseline
+//! (§6.1: decision tree, random forest, SVM, linear regression, and
+//! logistic regression; the best is selected on the validation set).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A trained binary classifier over dense `f64` feature vectors.
+pub trait Classifier {
+    /// Probability-like score in `[0, 1]` that the example is positive.
+    fn score(&self, features: &[f64]) -> f64;
+
+    /// Hard decision at the 0.5 operating point.
+    fn predict(&self, features: &[f64]) -> bool {
+        self.score(features) >= 0.5
+    }
+}
+
+// ---------------------------------------------------------------- trees --
+
+/// A CART-style decision tree with Gini impurity.
+pub struct DecisionTree {
+    nodes: Vec<TreeNode>,
+}
+
+enum TreeNode {
+    Leaf { pos_rate: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples: usize,
+    /// Features considered per split (`0` = all). Used by random forests.
+    pub feature_subsample: usize,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 6, min_samples: 4, feature_subsample: 0, seed: 0 }
+    }
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Fits a tree on `(features, label)` rows.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], cfg: &TreeConfig) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/label count mismatch");
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        let mut tree = Self { nodes: Vec::new() };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        tree.grow(x, y, &idx, cfg, 0, &mut rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[bool],
+        idx: &[usize],
+        cfg: &TreeConfig,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let pos = idx.iter().filter(|&&i| y[i]).count();
+        let node_id = self.nodes.len();
+        let pos_rate = pos as f64 / idx.len() as f64;
+        // Stop conditions.
+        if depth >= cfg.max_depth || idx.len() < cfg.min_samples || pos == 0 || pos == idx.len() {
+            self.nodes.push(TreeNode::Leaf { pos_rate });
+            return node_id;
+        }
+        let n_features = x[0].len();
+        let candidates: Vec<usize> = if cfg.feature_subsample == 0 {
+            (0..n_features).collect()
+        } else {
+            let mut all: Vec<usize> = (0..n_features).collect();
+            all.shuffle(rng);
+            all.truncate(cfg.feature_subsample.min(n_features));
+            all
+        };
+        // Best split by Gini gain.
+        let parent_gini = gini(pos, idx.len());
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        for &f in &candidates {
+            let mut values: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            values.dedup();
+            for w in values.windows(2) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let (mut lp, mut ln, mut rp, mut rn) = (0usize, 0usize, 0usize, 0usize);
+                for &i in idx {
+                    if x[i][f] <= threshold {
+                        if y[i] {
+                            lp += 1;
+                        } else {
+                            ln += 1;
+                        }
+                    } else if y[i] {
+                        rp += 1;
+                    } else {
+                        rn += 1;
+                    }
+                }
+                let (lt, rt) = (lp + ln, rp + rn);
+                if lt == 0 || rt == 0 {
+                    continue;
+                }
+                let weighted = (lt as f64 * gini(lp, lt) + rt as f64 * gini(rp, rt))
+                    / idx.len() as f64;
+                let gain = parent_gini - weighted;
+                if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-9 {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            self.nodes.push(TreeNode::Leaf { pos_rate });
+            return node_id;
+        };
+        let left_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][feature] <= threshold).collect();
+        let right_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][feature] > threshold).collect();
+        // Reserve the split node, then grow children.
+        self.nodes.push(TreeNode::Leaf { pos_rate });
+        let left = self.grow(x, y, &left_idx, cfg, depth + 1, rng);
+        let right = self.grow(x, y, &right_idx, cfg, depth + 1, rng);
+        self.nodes[node_id] = TreeNode::Split { feature, threshold, left, right };
+        node_id
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn score(&self, features: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                TreeNode::Leaf { pos_rate } => return *pos_rate,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A bagged ensemble of subsampled decision trees.
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits `n_trees` trees on bootstrap samples with sqrt-feature subsampling.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], n_trees: usize, seed: u64) -> Self {
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_features = x[0].len();
+        let subsample = (n_features as f64).sqrt().ceil() as usize;
+        let trees = (0..n_trees)
+            .map(|k| {
+                let idx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                let bx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+                let by: Vec<bool> = idx.iter().map(|&i| y[i]).collect();
+                DecisionTree::fit(
+                    &bx,
+                    &by,
+                    &TreeConfig {
+                        max_depth: 8,
+                        min_samples: 2,
+                        feature_subsample: subsample,
+                        seed: seed ^ (k as u64 + 1),
+                    },
+                )
+            })
+            .collect();
+        Self { trees }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn score(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.score(features)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+// --------------------------------------------------------------- linear --
+
+/// Shared SGD loop over linear models.
+fn sgd_fit(
+    x: &[Vec<f64>],
+    y: &[bool],
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+    grad: impl Fn(f64, f64) -> f64, // (margin/score, label +-1 or 0/1) -> dloss/dz
+) -> (Vec<f64>, f64) {
+    let n_features = x[0].len();
+    let mut w = vec![0.0f64; n_features];
+    let mut b = 0.0f64;
+    let mut order: Vec<usize> = (0..x.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..epochs {
+        order.shuffle(&mut rng);
+        for &i in &order {
+            let z: f64 = x[i].iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + b;
+            let g = grad(z, if y[i] { 1.0 } else { 0.0 });
+            for (wj, xj) in w.iter_mut().zip(&x[i]) {
+                *wj -= lr * (g * xj + 1e-4 * *wj);
+            }
+            b -= lr * g;
+        }
+    }
+    (w, b)
+}
+
+/// Logistic regression trained by SGD.
+pub struct LogisticRegression {
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl LogisticRegression {
+    /// Fits with log-loss SGD.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], seed: u64) -> Self {
+        let (w, b) = sgd_fit(x, y, 60, 0.1, seed, |z, label| {
+            let p = 1.0 / (1.0 + (-z).exp());
+            p - label
+        });
+        Self { w, b }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn score(&self, features: &[f64]) -> f64 {
+        let z: f64 = features.iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>() + self.b;
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+/// Linear regression on 0/1 targets (thresholded at 0.5), per Magellan's
+/// classifier sweep.
+pub struct LinearRegression {
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl LinearRegression {
+    /// Fits with squared-loss SGD.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], seed: u64) -> Self {
+        let (w, b) = sgd_fit(x, y, 60, 0.05, seed, |z, label| 2.0 * (z - label));
+        Self { w, b }
+    }
+}
+
+impl Classifier for LinearRegression {
+    fn score(&self, features: &[f64]) -> f64 {
+        let z: f64 = features.iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>() + self.b;
+        z.clamp(0.0, 1.0)
+    }
+}
+
+/// Linear SVM with hinge loss, scores squashed through a sigmoid.
+pub struct LinearSvm {
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl LinearSvm {
+    /// Fits with hinge-loss SGD on +-1 labels.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], seed: u64) -> Self {
+        let (w, b) = sgd_fit(x, y, 60, 0.05, seed, |z, label| {
+            let t = 2.0 * label - 1.0; // +-1
+            if t * z < 1.0 {
+                -t
+            } else {
+                0.0
+            }
+        });
+        Self { w, b }
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn score(&self, features: &[f64]) -> f64 {
+        let z: f64 = features.iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>() + self.b;
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable data: positive iff x0 > 0.5.
+    fn separable(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let y: Vec<bool> = x.iter().map(|r| r[0] > 0.5).collect();
+        (x, y)
+    }
+
+    fn accuracy(c: &dyn Classifier, x: &[Vec<f64>], y: &[bool]) -> f64 {
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(xi, &yi)| c.predict(xi) == yi)
+            .count();
+        correct as f64 / x.len() as f64
+    }
+
+    #[test]
+    fn decision_tree_learns_separable_data() {
+        let (x, y) = separable(200, 1);
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert!(accuracy(&tree, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn tree_respects_max_depth() {
+        let (x, y) = separable(100, 2);
+        let stump = DecisionTree::fit(&x, &y, &TreeConfig { max_depth: 1, ..Default::default() });
+        // A depth-1 tree has at most 3 nodes.
+        assert!(stump.nodes.len() <= 3);
+    }
+
+    #[test]
+    fn forest_beats_chance_and_is_deterministic() {
+        let (x, y) = separable(150, 3);
+        let f1 = RandomForest::fit(&x, &y, 11, 9);
+        let f2 = RandomForest::fit(&x, &y, 11, 9);
+        assert!(accuracy(&f1, &x, &y) > 0.9);
+        for xi in &x {
+            assert_eq!(f1.score(xi), f2.score(xi));
+        }
+    }
+
+    #[test]
+    fn logistic_regression_learns() {
+        let (x, y) = separable(200, 4);
+        let lr = LogisticRegression::fit(&x, &y, 0);
+        assert!(accuracy(&lr, &x, &y) > 0.9);
+        // Scores are probabilities.
+        assert!(x.iter().all(|xi| (0.0..=1.0).contains(&lr.score(xi))));
+    }
+
+    #[test]
+    fn linear_regression_learns() {
+        let (x, y) = separable(200, 5);
+        let lr = LinearRegression::fit(&x, &y, 0);
+        assert!(accuracy(&lr, &x, &y) > 0.85);
+    }
+
+    #[test]
+    fn svm_learns() {
+        let (x, y) = separable(200, 6);
+        let svm = LinearSvm::fit(&x, &y, 0);
+        assert!(accuracy(&svm, &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn constant_labels_yield_constant_tree() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![true, true];
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert_eq!(tree.score(&[0.5]), 1.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline ER models the paper compares against (§6.1, §6.3):
+//!
+//! * [`Magellan`] — classic similarity features + a five-classifier sweep;
+//! * [`DeepMatcher`] — GRU attribute summarization over frozen FastText-style
+//!   embeddings;
+//! * [`Ditto`] — serialized-pair fine-tuning of a pre-trained LM;
+//! * [`GnnCollective`] — GCN / GAT / HGAT over the HHG (collective, Table 7);
+//! * [`DmPlus`] — HierMatcher-style token-alignment matcher ("DM+").
+//!
+//! All neural baselines share the training protocol in [`traits`] (the same
+//! validation-selection loop HierGAT uses) so comparisons are fair.
+
+pub mod classic;
+mod deepmatcher;
+mod ditto;
+mod dmplus;
+mod gnn;
+mod magellan;
+pub mod traits;
+
+pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
+pub use ditto::{Ditto, DittoConfig};
+pub use dmplus::{DmPlus, DmPlusConfig};
+pub use gnn::{GnnCollective, GnnConfig, GnnKind};
+pub use magellan::{pair_features, Magellan, MagellanReport, SelectedClassifier, FEATURES_PER_ATTR};
+pub use traits::{
+    flatten_collective, train_collective_model, train_pair_model, BaselineReport,
+    CollectiveErModel, PairModel,
+};

@@ -1,0 +1,320 @@
+//! Shared training/evaluation loops for the neural baselines.
+
+use hiergat_data::{CollectiveDataset, CollectiveExample, EntityPair, PairDataset};
+use hiergat_metrics::{best_threshold, evaluate_at_threshold, Confusion};
+use hiergat_nn::ParamStore;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn n_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+/// Parallel pair scoring over worker threads.
+fn score_pairs_parallel<M: PairModel + Sync>(model: &M, pairs: &[EntityPair]) -> Vec<f32> {
+    let workers = n_workers();
+    let mut scores = vec![0.0f32; pairs.len()];
+    if pairs.len() < 2 * workers {
+        for (s, p) in scores.iter_mut().zip(pairs) {
+            *s = model.predict_pair(p);
+        }
+    } else {
+        let chunk = pairs.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (slot, work) in scores.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (s, p) in slot.iter_mut().zip(work) {
+                        *s = model.predict_pair(p);
+                    }
+                });
+            }
+        })
+        .expect("scoring threads");
+    }
+    scores
+}
+
+/// A trainable pairwise ER model.
+pub trait PairModel {
+    /// One optimizer step on a labeled pair; returns the loss.
+    fn train_pair(&mut self, pair: &EntityPair) -> f32;
+    /// Weighted step (positive up-weighting); defaults to the plain step.
+    fn train_pair_weighted(&mut self, pair: &EntityPair, _weight: f32) -> f32 {
+        self.train_pair(pair)
+    }
+    /// Match probability in inference mode (must be thread-safe).
+    fn predict_pair(&self, pair: &EntityPair) -> f32;
+    /// The parameter store (for snapshotting).
+    fn params(&self) -> &ParamStore;
+    /// Mutable parameter store.
+    fn params_mut(&mut self) -> &mut ParamStore;
+    /// Configured number of epochs.
+    fn epochs(&self) -> usize;
+    /// RNG seed (for the shuffle stream).
+    fn seed(&self) -> u64;
+}
+
+/// A trainable collective ER model (one query + N candidates per step).
+pub trait CollectiveErModel {
+    /// One optimizer step on a collective example; returns the loss.
+    fn train_example(&mut self, ex: &CollectiveExample) -> f32;
+    /// Weighted step (positive up-weighting); defaults to the plain step.
+    fn train_example_weighted(&mut self, ex: &CollectiveExample, _weight: f32) -> f32 {
+        self.train_example(ex)
+    }
+    /// Per-candidate match probabilities in inference mode (thread-safe).
+    fn predict_example(&self, ex: &CollectiveExample) -> Vec<f32>;
+    /// The parameter store.
+    fn params(&self) -> &ParamStore;
+    /// Mutable parameter store.
+    fn params_mut(&mut self) -> &mut ParamStore;
+    /// Configured number of epochs.
+    fn epochs(&self) -> usize;
+    /// RNG seed.
+    fn seed(&self) -> u64;
+}
+
+/// Outcome of a baseline training run.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Best validation F1 (selection criterion).
+    pub best_valid_f1: f64,
+    /// Test F1 at the validation-tuned threshold.
+    pub test_f1: f64,
+    /// Test confusion matrix.
+    pub test_confusion: Confusion,
+    /// Wall-clock seconds per epoch.
+    pub per_epoch_seconds: Vec<f64>,
+}
+
+impl BaselineReport {
+    /// Total training time.
+    pub fn total_seconds(&self) -> f64 {
+        self.per_epoch_seconds.iter().sum()
+    }
+}
+
+/// Trains a pairwise model with validation selection and threshold tuning —
+/// the same protocol `hiergat::train_pairwise` uses, for fair comparison.
+/// Positive-class weight (`n_neg / n_pos` clamped to `[1, 8]`).
+pub fn pos_weight_of(labels: impl Iterator<Item = bool>) -> f32 {
+    let mut pos = 0usize;
+    let mut neg = 0usize;
+    for l in labels {
+        if l {
+            pos += 1;
+        } else {
+            neg += 1;
+        }
+    }
+    if pos == 0 {
+        1.0
+    } else {
+        (neg as f32 / pos as f32).clamp(1.0, 8.0)
+    }
+}
+
+pub fn train_pair_model<M: PairModel + Sync>(model: &mut M, ds: &PairDataset) -> BaselineReport {
+    let epochs = model.epochs();
+    let pos_weight = pos_weight_of(ds.train.iter().map(|p| p.label));
+    let mut rng = StdRng::seed_from_u64(model.seed() ^ 0x7261);
+    let mut order: Vec<usize> = (0..ds.train.len()).collect();
+    let mut best_valid = -1.0f64;
+    let mut best_snapshot = model.params().snapshot();
+    let mut per_epoch_seconds = Vec::with_capacity(epochs);
+
+    for _ in 0..epochs {
+        let start = Instant::now();
+        order.shuffle(&mut rng);
+        for &i in &order {
+            let p = &ds.train[i];
+            let w = if p.label { pos_weight } else { 1.0 };
+            model.train_pair_weighted(p, w);
+        }
+        per_epoch_seconds.push(start.elapsed().as_secs_f64());
+        let scores = score_pairs_parallel(model, &ds.valid);
+        let labels: Vec<bool> = ds.valid.iter().map(|p| p.label).collect();
+        let (_, f1) = best_threshold(&scores, &labels);
+        if f1 > best_valid {
+            best_valid = f1;
+            best_snapshot = model.params().snapshot();
+        }
+    }
+    model.params_mut().restore(&best_snapshot);
+
+    let v_scores = score_pairs_parallel(model, &ds.valid);
+    let v_labels: Vec<bool> = ds.valid.iter().map(|p| p.label).collect();
+    let (threshold, _) = best_threshold(&v_scores, &v_labels);
+    let t_scores = score_pairs_parallel(model, &ds.test);
+    let t_labels: Vec<bool> = ds.test.iter().map(|p| p.label).collect();
+    let confusion = evaluate_at_threshold(&t_scores, &t_labels, threshold);
+    BaselineReport {
+        best_valid_f1: best_valid.max(0.0),
+        test_f1: confusion.pr_f1().f1,
+        test_confusion: confusion,
+        per_epoch_seconds,
+    }
+}
+
+/// Trains a collective model under the §6.3 protocol.
+pub fn train_collective_model<M: CollectiveErModel + Sync>(
+    model: &mut M,
+    ds: &CollectiveDataset,
+) -> BaselineReport {
+    let epochs = model.epochs();
+    let pos_weight =
+        pos_weight_of(ds.train.iter().flat_map(|ex| ex.labels.iter().copied()));
+    let mut rng = StdRng::seed_from_u64(model.seed() ^ 0x7262);
+    let mut order: Vec<usize> = (0..ds.train.len()).collect();
+    let mut best_valid = -1.0f64;
+    let mut best_snapshot = model.params().snapshot();
+    let mut per_epoch_seconds = Vec::with_capacity(epochs);
+
+    let score_split = |model: &M, split: &[CollectiveExample]| {
+        let workers = n_workers();
+        let mut per_example: Vec<Vec<f32>> = vec![Vec::new(); split.len()];
+        if split.len() < 2 * workers {
+            for (slot, ex) in per_example.iter_mut().zip(split) {
+                *slot = model.predict_example(ex);
+            }
+        } else {
+            let chunk = split.len().div_ceil(workers);
+            crossbeam::thread::scope(|scope| {
+                for (slot, work) in per_example.chunks_mut(chunk).zip(split.chunks(chunk)) {
+                    scope.spawn(move |_| {
+                        for (s, ex) in slot.iter_mut().zip(work) {
+                            *s = model.predict_example(ex);
+                        }
+                    });
+                }
+            })
+            .expect("scoring threads");
+        }
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for (ex, s) in split.iter().zip(per_example) {
+            scores.extend(s);
+            labels.extend(ex.labels.iter().copied());
+        }
+        (scores, labels)
+    };
+
+    for _ in 0..epochs {
+        let start = Instant::now();
+        order.shuffle(&mut rng);
+        for &i in &order {
+            model.train_example_weighted(&ds.train[i], pos_weight);
+        }
+        per_epoch_seconds.push(start.elapsed().as_secs_f64());
+        let (scores, labels) = score_split(model, &ds.valid);
+        let (_, f1) = best_threshold(&scores, &labels);
+        if f1 > best_valid {
+            best_valid = f1;
+            best_snapshot = model.params().snapshot();
+        }
+    }
+    model.params_mut().restore(&best_snapshot);
+
+    let (v_scores, v_labels) = score_split(model, &ds.valid);
+    let (threshold, _) = best_threshold(&v_scores, &v_labels);
+    let (t_scores, t_labels) = score_split(model, &ds.test);
+    let confusion = evaluate_at_threshold(&t_scores, &t_labels, threshold);
+    BaselineReport {
+        best_valid_f1: best_valid.max(0.0),
+        test_f1: confusion.pr_f1().f1,
+        test_confusion: confusion,
+        per_epoch_seconds,
+    }
+}
+
+/// Flattens a collective dataset into a pairwise one (how the pairwise
+/// baselines MG / DM / Ditto / HierGAT are evaluated in Table 7).
+pub fn flatten_collective(ds: &CollectiveDataset) -> PairDataset {
+    let flat = |examples: &[CollectiveExample]| -> Vec<EntityPair> {
+        examples.iter().flat_map(CollectiveExample::to_pairs).collect()
+    };
+    PairDataset {
+        name: format!("{}-flat", ds.name),
+        train: flat(&ds.train),
+        valid: flat(&ds.valid),
+        test: flat(&ds.test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiergat_data::{Entity, MagellanDataset};
+
+    #[test]
+    fn flatten_preserves_counts_and_labels() {
+        let ds = MagellanDataset::AmazonGoogle.load_collective(0.2);
+        let flat = flatten_collective(&ds);
+        assert_eq!(flat.len(), ds.total_candidates());
+        let pos_collective: usize = ds
+            .train
+            .iter()
+            .chain(&ds.valid)
+            .chain(&ds.test)
+            .map(|e| e.n_positive())
+            .sum();
+        assert_eq!(flat.n_positive(), pos_collective);
+    }
+
+    /// A trivial learnable model: score = parameterized bias, used to check
+    /// the training-loop plumbing (snapshots, thresholds).
+    struct Dummy {
+        ps: ParamStore,
+        id: hiergat_nn::ParamId,
+    }
+
+    impl Dummy {
+        fn new() -> Self {
+            let mut ps = ParamStore::new();
+            let id = ps.add("b", hiergat_tensor::Tensor::scalar(0.0));
+            Self { ps, id }
+        }
+    }
+
+    impl PairModel for Dummy {
+        fn train_pair(&mut self, pair: &EntityPair) -> f32 {
+            // Move the bias toward the label mean.
+            let target = f32::from(pair.label as u8 as f32 > 0.5);
+            let cur = self.ps.value(self.id).item();
+            *self.ps.value_mut(self.id) =
+                hiergat_tensor::Tensor::scalar(cur + 0.1 * (target - cur));
+            (target - cur).abs()
+        }
+        fn predict_pair(&self, _pair: &EntityPair) -> f32 {
+            self.ps.value(self.id).item().clamp(0.0, 1.0)
+        }
+        fn params(&self) -> &ParamStore {
+            &self.ps
+        }
+        fn params_mut(&mut self) -> &mut ParamStore {
+            &mut self.ps
+        }
+        fn epochs(&self) -> usize {
+            2
+        }
+        fn seed(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn train_loop_runs_and_reports() {
+        let e = Entity::new("e", vec![("t".into(), "x".into())]);
+        let pairs: Vec<EntityPair> = (0..20)
+            .map(|i| EntityPair::new(e.clone(), e.clone(), i % 2 == 0))
+            .collect();
+        let ds = PairDataset::split_3_1_1("d", pairs, 1);
+        let mut m = Dummy::new();
+        let report = train_pair_model(&mut m, &ds);
+        assert_eq!(report.per_epoch_seconds.len(), 2);
+        assert!(report.test_f1 >= 0.0 && report.test_f1 <= 1.0);
+        assert!(report.total_seconds() >= 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 11 — training time vs dataset size x average record length.
+//!
+//! The paper's claims: training time grows linearly in total text volume;
+//! Ditto is the fastest Transformer model (it ignores structure); HierGAT
+//! and DeepMatcher pay for per-attribute processing; HierGAT+ costs ~3.5%
+//! more than HierGAT for alignment. Absolute seconds are hardware-specific
+//! (the paper used a V100); the orderings and growth shape are what this
+//! harness reproduces.
+
+use hiergat::{train_collective, train_pairwise, HierGat, HierGatConfig};
+use hiergat_baselines::{
+    train_pair_model, DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig,
+};
+use hiergat_bench::*;
+use hiergat_data::MagellanDataset;
+use hiergat_lm::LmTier;
+
+fn main() {
+    banner("Figure 11 — per-epoch training time vs dataset size x avg length");
+    let scale = bench_scale() * 0.5;
+    let datasets = [
+        MagellanDataset::FodorsZagats,
+        MagellanDataset::AmazonGoogle,
+        MagellanDataset::AbtBuy,
+        MagellanDataset::Company,
+    ];
+    println!(
+        "  {:<16} {:>10} {:>8} {:>8} {:>8} {:>9}",
+        "dataset", "size*len", "DM s/ep", "Ditto", "HG", "HG+ oh%"
+    );
+    for kind in datasets {
+        let ds = kind.load(scale);
+        let volume = ds.len() as f64 * ds.avg_token_len();
+
+        let mut dm = DeepMatcher::new(DeepMatcherConfig { epochs: 2, ..Default::default() }, ds.arity());
+        let dm_t = mean_epoch(&train_pair_model(&mut dm, &ds).per_epoch_seconds);
+
+        let mut ditto = Ditto::new(DittoConfig {
+            lm_tier: LmTier::MiniBase,
+            epochs: 2,
+            ..Default::default()
+        });
+        let ditto_t = mean_epoch(&train_pair_model(&mut ditto, &ds).per_epoch_seconds);
+
+        let mut hg = HierGat::new(HierGatConfig::pairwise().with_epochs(2), ds.arity());
+        let hg_t = mean_epoch(&train_pairwise(&mut hg, &ds).per_epoch_seconds);
+
+        // HierGAT+ overhead on the collective version (alignment layer).
+        let cds = if kind == MagellanDataset::Company {
+            None // no raw tables in the paper either
+        } else {
+            Some(kind.load_collective(scale * 0.5))
+        };
+        let overhead = cds
+            .map(|cds| {
+                let arity = hiergat_bench::collective_arity(&cds);
+                let mut plain = HierGat::new(
+                    HierGatConfig { use_alignment: false, ..HierGatConfig::collective() }
+                        .with_epochs(2),
+                    arity,
+                );
+                let t_plain = mean_epoch(&train_collective(&mut plain, &cds).per_epoch_seconds);
+                let mut plus = HierGat::new(HierGatConfig::collective().with_epochs(2), arity);
+                let t_plus = mean_epoch(&train_collective(&mut plus, &cds).per_epoch_seconds);
+                ((t_plus / t_plain) - 1.0) * 100.0
+            })
+            .map(|o| format!("{o:+.1}"))
+            .unwrap_or_else(|| "-".to_string());
+
+        println!(
+            "  {:<16} {:>10.0} {:>8.2} {:>8.2} {:>8.2} {:>9}",
+            kind.name(),
+            volume,
+            dm_t,
+            ditto_t,
+            hg_t,
+            overhead
+        );
+    }
+    println!("\npaper claims: Ditto fastest (structure-agnostic); HierGAT linear in");
+    println!("text volume; HierGAT+ ~ +3.5% over HierGAT for alignment.");
+}
+
+fn mean_epoch(secs: &[f64]) -> f64 {
+    if secs.is_empty() {
+        0.0
+    } else {
+        secs.iter().sum::<f64>() / secs.len() as f64
+    }
+}

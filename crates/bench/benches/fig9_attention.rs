@@ -1,0 +1,42 @@
+//! Figure 9 — attention visualization for example Amazon-Google pairs.
+//!
+//! Trains HierGAT on the Amazon-Google stand-in, then renders per-token and
+//! per-attribute attention heat maps for two test pairs (one match, one
+//! non-match). The paper's claim: discriminative words and the title
+//! attribute receive visibly higher attention.
+
+use hiergat::{explain_pair, train_pairwise, HierGat, HierGatConfig};
+use hiergat_bench::*;
+use hiergat_data::MagellanDataset;
+use hiergat_lm::LmTier;
+
+fn main() {
+    banner("Figure 9 — HierGAT attention visualization (Amazon-Google)");
+    let ds = MagellanDataset::AmazonGoogle.load(bench_scale());
+    let pre = pretrain_for(&ds, LmTier::MiniBase);
+    let mut hg = HierGat::new(
+        HierGatConfig::pairwise().with_epochs(bench_epochs()),
+        ds.arity(),
+    );
+    hg.load_pretrained(&pre);
+    let report = train_pairwise(&mut hg, &ds);
+    println!("trained HierGAT, test F1 = {:.1}", report.test_f1 * 100.0);
+
+    let matched = ds.test.iter().find(|p| p.label);
+    let unmatched = ds.test.iter().find(|p| !p.label);
+    for (label, pair) in [("MATCH", matched), ("NON-MATCH", unmatched)] {
+        let Some(pair) = pair else { continue };
+        println!("\n--- {label} pair ---");
+        println!("left:  {}", pair.left.serialize_ditto());
+        println!("right: {}", pair.right.serialize_ditto());
+        let ex = explain_pair(&mut hg, pair);
+        println!("{}", ex.render());
+        if let Some(top) = ex.top_attribute() {
+            println!("most-attended attribute: {top}");
+        }
+    }
+    println!(
+        "\npaper's qualitative claim: title attribute and discriminative words \
+         (model codes) receive the highest attention."
+    );
+}

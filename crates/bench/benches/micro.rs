@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks over the substrate: tensor kernels, HHG
+//! construction, blocking throughput, and one training step per model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hiergat::{HierGat, HierGatConfig};
+use hiergat_baselines::{DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig, PairModel};
+use hiergat_blocking::TfIdfBlocker;
+use hiergat_data::MagellanDataset;
+use hiergat_graph::Hhg;
+use hiergat_lm::LmTier;
+use hiergat_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::rand_normal(64, 64, 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(64, 64, 0.0, 1.0, &mut rng);
+    c.bench_function("tensor/matmul_64x64", |bch| bch.iter(|| a.matmul(&b)));
+    let seq = Tensor::rand_normal(32, 64, 0.0, 1.0, &mut rng);
+    c.bench_function("tensor/softmax_rows_32x64", |bch| bch.iter(|| seq.softmax_rows()));
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let ds = MagellanDataset::WalmartAmazon.load(0.2);
+    let pair = ds.train[0].clone();
+    c.bench_function("graph/hhg_from_pair", |bch| {
+        bch.iter(|| Hhg::from_pair(&pair));
+    });
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let ds = MagellanDataset::AmazonGoogle.load(0.5);
+    let table: Vec<_> = ds.train.iter().map(|p| p.right.clone()).collect();
+    let blocker = TfIdfBlocker::fit(&table);
+    let query = ds.train[0].left.clone();
+    c.bench_function("blocking/tfidf_top16", |bch| {
+        bch.iter(|| blocker.top_n(&query, 16));
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let ds = MagellanDataset::AmazonGoogle.load(0.2);
+    let pair = ds.train.iter().find(|p| p.label).cloned().unwrap_or_else(|| ds.train[0].clone());
+
+    c.bench_function("model/deepmatcher_train_step", |bch| {
+        bch.iter_batched(
+            || DeepMatcher::new(DeepMatcherConfig::default(), ds.arity()),
+            |mut dm| dm.train_pair(&pair),
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function("model/ditto_train_step", |bch| {
+        bch.iter_batched(
+            || Ditto::new(DittoConfig { lm_tier: LmTier::MiniDistil, ..Default::default() }),
+            |mut d| d.train_pair(&pair),
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function("model/hiergat_train_step", |bch| {
+        bch.iter_batched(
+            || HierGat::new(HierGatConfig::fast_test(), ds.arity()),
+            |mut hg| hg.train_pair(&pair),
+            BatchSize::LargeInput,
+        );
+    });
+    let mut hg = HierGat::new(HierGatConfig::fast_test(), ds.arity());
+    c.bench_function("model/hiergat_predict", |bch| bch.iter(|| hg.predict_pair(&pair)));
+    let _ = &mut hg;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tensor, bench_graph, bench_blocking, bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table 11 — comparison-module ablation for HierGAT+:
+//! full model vs Non-Sum (no entity summarization context) vs Non-Align
+//! (no entity alignment layer).
+
+use hiergat::HierGatConfig;
+use hiergat_baselines::flatten_collective;
+use hiergat_bench::*;
+use hiergat_data::{load_di2kg, CollectiveDataset, Di2kgCategory, MagellanDataset};
+use hiergat_lm::LmTier;
+
+/// `(name, paper [HG+, Non-Sum, Non-Align])`.
+const PAPER: &[(&str, [f64; 3])] = &[
+    ("I-A", [64.7, 63.5, 62.5]),
+    ("D-A", [99.6, 99.2, 99.1]),
+    ("A-G", [83.1, 82.6, 77.1]),
+    ("W-A", [89.2, 87.9, 85.8]),
+    ("A-B", [92.9, 90.6, 86.3]),
+    ("camera", [99.6, 99.1, 99.3]),
+    ("monitor", [99.4, 99.2, 99.1]),
+];
+
+fn variants() -> [(&'static str, HierGatConfig); 3] {
+    let full = HierGatConfig::collective();
+    [
+        ("HG+", full),
+        ("Non-Sum", HierGatConfig { use_entity_summarization: false, ..full }),
+        ("Non-Align", HierGatConfig { use_alignment: false, ..full }),
+    ]
+}
+
+fn run_dataset(name: &str, ds: &CollectiveDataset, paper: &[f64; 3]) {
+    println!("{name}:");
+    let flat = flatten_collective(ds);
+    let pre = pretrain_for(&flat, LmTier::MiniBase);
+    let arity = collective_arity(ds);
+    for ((vname, cfg), &p) in variants().into_iter().zip(paper) {
+        let f1 = run_hiergat_collective(ds, cfg, arity, Some(&pre));
+        row(vname, p, f1);
+    }
+}
+
+fn main() {
+    banner("Table 11 — aggregation/comparison module ablation (HierGAT+)");
+    let scale = bench_scale() * 0.3;
+    let magellan = [
+        MagellanDataset::ItunesAmazon,
+        MagellanDataset::DblpAcm,
+        MagellanDataset::AmazonGoogle,
+        MagellanDataset::WalmartAmazon,
+        MagellanDataset::AbtBuy,
+    ];
+    for (kind, (name, paper)) in magellan.into_iter().zip(PAPER) {
+        let ds = kind.load_collective(scale);
+        run_dataset(name, &ds, paper);
+    }
+    for (cat, (name, paper)) in
+        [Di2kgCategory::Camera, Di2kgCategory::Monitor].into_iter().zip(&PAPER[5..])
+    {
+        let ds = load_di2kg(cat, scale);
+        run_dataset(name, &ds, paper);
+    }
+}

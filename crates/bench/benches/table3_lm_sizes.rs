@@ -1,0 +1,56 @@
+//! Table 3 — Ditto vs HierGAT across three language-model sizes
+//! (DistilBERT / RoBERTa / RoBERTa-Large stand-ins), clean + dirty.
+
+use hiergat::HierGatConfig;
+use hiergat_bench::*;
+use hiergat_data::MagellanDataset;
+use hiergat_lm::LmTier;
+
+/// `(dataset, per-tier (paper Ditto, paper HG))` in tier order
+/// DBERT, RoBERTa, LRoBERTa.
+const PAPER_CLEAN: &[(MagellanDataset, [(f64, f64); 3])] = &[
+    (MagellanDataset::Beer, [(82.5, 88.0), (74.2, 92.3), (90.3, 93.3)]),
+    (MagellanDataset::ItunesAmazon, [(91.5, 92.6), (92.1, 96.2), (94.3, 96.3)]),
+    (MagellanDataset::FodorsZagats, [(97.3, 100.0), (98.1, 100.0), (100.0, 100.0)]),
+    (MagellanDataset::DblpAcm, [(98.5, 98.8), (98.9, 99.1), (98.2, 99.2)]),
+    (MagellanDataset::DblpScholar, [(94.9, 95.2), (95.5, 96.0), (95.5, 96.2)]),
+    (MagellanDataset::AmazonGoogle, [(71.4, 74.6), (65.9, 76.0), (74.3, 76.8)]),
+    (MagellanDataset::WalmartAmazon, [(79.8, 82.5), (85.8, 88.2), (84.9, 88.5)]),
+    (MagellanDataset::AbtBuy, [(82.5, 84.4), (88.9, 89.8), (92.2, 93.3)]),
+    (MagellanDataset::Company, [(48.0, 50.4), (77.8, 82.3), (91.2, 92.9)]),
+];
+
+const PAPER_DIRTY: &[(MagellanDataset, [(f64, f64); 3])] = &[
+    (MagellanDataset::ItunesAmazon, [(90.1, 92.1), (92.9, 94.6), (87.2, 94.6)]),
+    (MagellanDataset::DblpAcm, [(98.6, 98.8), (98.8, 99.1), (98.7, 99.1)]),
+    (MagellanDataset::DblpScholar, [(94.8, 95.2), (95.4, 95.2), (95.5, 95.7)]),
+    (MagellanDataset::WalmartAmazon, [(77.9, 78.7), (82.6, 86.3), (85.5, 87.6)]),
+];
+
+fn run_block(rows: &[(MagellanDataset, [(f64, f64); 3])], dirty: bool) {
+    // Table 3 sweeps 13 datasets x 3 tiers x 2 models; run at reduced size.
+    let scale = bench_scale() * 0.6;
+    for &(kind, paper) in rows {
+        let ds = if dirty { kind.load_dirty(scale) } else { kind.load(scale) };
+        let tag = if dirty { "Dirty-" } else { "" };
+        println!("{tag}{}:", kind.name());
+        for (tier, (p_ditto, p_hg)) in LmTier::all().into_iter().zip(paper) {
+            let pre = pretrain_for(&ds, tier);
+            let ditto = run_ditto(&ds, tier, Some(&pre));
+            let hg = run_hiergat(
+                &ds,
+                HierGatConfig::pairwise().with_tier(tier),
+                Some(&pre),
+            );
+            row(&format!("{} Ditto", tier.name()), p_ditto, ditto);
+            row(&format!("{} HierGAT", tier.name()), p_hg, hg);
+        }
+    }
+}
+
+fn main() {
+    banner("Table 3 — F1 across three LM sizes (Ditto vs HierGAT)");
+    run_block(PAPER_CLEAN, false);
+    println!("\n-- dirty variants --");
+    run_block(PAPER_DIRTY, true);
+}

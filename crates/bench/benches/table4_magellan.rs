@@ -1,0 +1,52 @@
+//! Table 4 — F1 on the Magellan datasets (clean + dirty):
+//! Magellan, DeepMatcher, Ditto, HierGAT.
+
+use hiergat::HierGatConfig;
+use hiergat_bench::*;
+use hiergat_data::MagellanDataset;
+use hiergat_lm::LmTier;
+
+/// `(dataset, paper MG, paper DM, paper Ditto, paper HG)`.
+const PAPER_CLEAN: &[(MagellanDataset, f64, f64, f64, f64)] = &[
+    (MagellanDataset::Beer, 78.8, 72.7, 84.6, 93.3),
+    (MagellanDataset::ItunesAmazon, 91.2, 88.5, 92.3, 96.3),
+    (MagellanDataset::FodorsZagats, 100.0, 100.0, 98.1, 100.0),
+    (MagellanDataset::DblpAcm, 98.4, 98.4, 99.0, 99.1),
+    (MagellanDataset::DblpScholar, 92.3, 94.7, 95.8, 96.3),
+    (MagellanDataset::AmazonGoogle, 49.1, 69.3, 74.1, 76.4),
+    (MagellanDataset::WalmartAmazon, 71.9, 67.6, 85.8, 88.2),
+    (MagellanDataset::AbtBuy, 43.6, 62.8, 88.9, 89.8),
+    (MagellanDataset::Company, 79.8, 92.7, 87.5, 88.2),
+];
+
+const PAPER_DIRTY: &[(MagellanDataset, f64, f64, f64, f64)] = &[
+    (MagellanDataset::ItunesAmazon, 46.8, 79.4, 92.9, 94.7),
+    (MagellanDataset::DblpAcm, 91.9, 98.1, 98.9, 99.1),
+    (MagellanDataset::DblpScholar, 82.5, 93.8, 95.4, 95.8),
+    (MagellanDataset::WalmartAmazon, 37.4, 53.8, 82.6, 86.3),
+];
+
+fn run_block(rows: &[(MagellanDataset, f64, f64, f64, f64)], dirty: bool) {
+    let scale = bench_scale();
+    for &(kind, p_mg, p_dm, p_ditto, p_hg) in rows {
+        let ds = if dirty { kind.load_dirty(scale) } else { kind.load(scale) };
+        let pre = pretrain_for(&ds, LmTier::MiniBase);
+        let mg = run_magellan(&ds);
+        let dm = run_deepmatcher(&ds);
+        let ditto = run_ditto(&ds, LmTier::MiniBase, Some(&pre));
+        let hg = run_hiergat(&ds, HierGatConfig::pairwise(), Some(&pre));
+        let tag = if dirty { "Dirty-" } else { "" };
+        println!("{tag}{}:", kind.name());
+        row("Magellan", p_mg, mg);
+        row("DeepMatcher", p_dm, dm);
+        row("Ditto", p_ditto, ditto);
+        row("HierGAT", p_hg, hg);
+    }
+}
+
+fn main() {
+    banner("Table 4 — F1 on the Magellan datasets (Magellan / DM / Ditto / HierGAT)");
+    run_block(PAPER_CLEAN, false);
+    println!("\n-- dirty variants --");
+    run_block(PAPER_DIRTY, true);
+}

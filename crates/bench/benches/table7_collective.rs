@@ -1,0 +1,83 @@
+//! Table 7 — collective ER results: MG, DM+, GCN, GAT, HGAT, Ditto,
+//! HierGAT, HierGAT+ on the collective Magellan and DI2KG datasets.
+
+use hiergat::HierGatConfig;
+use hiergat_baselines::{flatten_collective, GnnCollective, GnnConfig, GnnKind};
+use hiergat_bench::*;
+use hiergat_data::{load_di2kg, CollectiveDataset, Di2kgCategory, MagellanDataset};
+use hiergat_lm::LmTier;
+
+/// `(name, paper MG, DM+, GCN, GAT, HGAT, Ditto, HG, HG+)`; `None` = the
+/// paper could not run the model (Magellan needs exactly two tables).
+#[allow(dead_code)] // names document the rows
+struct PaperRow {
+    name: &'static str,
+    mg: Option<f64>,
+    dmp: f64,
+    gcn: f64,
+    gat: f64,
+    hgat: f64,
+    ditto: f64,
+    hg: f64,
+    hg_plus: f64,
+}
+
+const PAPER: &[PaperRow] = &[
+    PaperRow { name: "I-A", mg: Some(50.0), dmp: 55.9, gcn: 36.1, gat: 36.7, hgat: 64.6, ditto: 58.6, hg: 59.3, hg_plus: 64.7 },
+    PaperRow { name: "D-A", mg: Some(94.7), dmp: 98.4, gcn: 97.4, gat: 97.5, hgat: 98.2, ditto: 98.8, hg: 98.9, hg_plus: 99.6 },
+    PaperRow { name: "A-G", mg: Some(28.5), dmp: 69.0, gcn: 64.5, gat: 63.6, hgat: 75.5, ditto: 77.6, hg: 78.0, hg_plus: 83.1 },
+    PaperRow { name: "W-A", mg: Some(58.0), dmp: 72.5, gcn: 67.7, gat: 54.8, hgat: 76.7, ditto: 85.2, hg: 85.9, hg_plus: 92.3 },
+    PaperRow { name: "A-B", mg: Some(52.2), dmp: 62.1, gcn: 57.6, gat: 55.7, hgat: 68.9, ditto: 89.3, hg: 89.5, hg_plus: 93.2 },
+    PaperRow { name: "camera", mg: None, dmp: 98.0, gcn: 82.1, gat: 88.2, hgat: 89.5, ditto: 99.0, hg: 99.1, hg_plus: 99.4 },
+    PaperRow { name: "monitor", mg: None, dmp: 99.1, gcn: 78.8, gat: 84.0, hgat: 84.6, ditto: 98.8, hg: 99.2, hg_plus: 99.6 },
+];
+
+fn run_dataset(name: &str, ds: &CollectiveDataset, paper: &PaperRow) {
+    println!("{name}:");
+    let flat = flatten_collective(ds);
+    let pre = pretrain_for(&flat, LmTier::MiniBase);
+    let arity = collective_arity(ds);
+
+    if let Some(p_mg) = paper.mg {
+        row("MG", p_mg, run_magellan(&flat));
+    }
+    row("DM+", paper.dmp, run_dmplus(&flat));
+    for (kind, p) in [
+        (GnnKind::Gcn, paper.gcn),
+        (GnnKind::Gat, paper.gat),
+        (GnnKind::Hgat, paper.hgat),
+    ] {
+        let mut model = GnnCollective::new(
+            kind,
+            GnnConfig { epochs: bench_epochs(), ..Default::default() },
+        );
+        row(kind.name(), p, run_collective_baseline(&mut model, ds));
+    }
+    row("Ditto", paper.ditto, run_ditto(&flat, LmTier::MiniBase, Some(&pre)));
+    row("HierGAT", paper.hg, run_hiergat(&flat, HierGatConfig::pairwise(), Some(&pre)));
+    row(
+        "HierGAT+",
+        paper.hg_plus,
+        run_hiergat_collective(ds, HierGatConfig::collective(), arity, Some(&pre)),
+    );
+}
+
+fn main() {
+    banner("Table 7 — collective ER (MG / DM+ / GCN / GAT / HGAT / Ditto / HG / HG+)");
+    let scale = bench_scale() * 0.6;
+    let magellan = [
+        (MagellanDataset::ItunesAmazon, 0),
+        (MagellanDataset::DblpAcm, 1),
+        (MagellanDataset::AmazonGoogle, 2),
+        (MagellanDataset::WalmartAmazon, 3),
+        (MagellanDataset::AbtBuy, 4),
+    ];
+    for (kind, pi) in magellan {
+        let ds = kind.load_collective(scale);
+        run_dataset(kind.short_name(), &ds, &PAPER[pi]);
+    }
+    for (cat, pi) in [(Di2kgCategory::Camera, 5), (Di2kgCategory::Monitor, 6)] {
+        let ds = load_di2kg(cat, scale);
+        run_dataset(cat.name(), &ds, &PAPER[pi]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 8 — collective models across three LM sizes:
+//! Ditto vs HierGAT vs HierGAT+ on the five collective Magellan datasets.
+
+use hiergat::HierGatConfig;
+use hiergat_baselines::flatten_collective;
+use hiergat_bench::*;
+use hiergat_data::MagellanDataset;
+use hiergat_lm::LmTier;
+
+/// `(dataset, per-tier (paper Ditto, HG, HG+))` in tier order.
+const PAPER: &[(MagellanDataset, [(f64, f64, f64); 3])] = &[
+    (MagellanDataset::ItunesAmazon, [(47.5, 57.1, 58.2), (7.1, 11.1, 54.2), (58.8, 61.8, 65.6)]),
+    (MagellanDataset::DblpAcm, [(98.8, 98.9, 99.2), (98.2, 98.8, 99.4), (98.9, 99.1, 99.6)]),
+    (MagellanDataset::AmazonGoogle, [(75.6, 76.4, 81.5), (77.6, 78.0, 83.0), (78.3, 80.7, 86.9)]),
+    (MagellanDataset::WalmartAmazon, [(80.8, 81.0, 88.6), (85.2, 85.6, 92.3), (85.9, 90.6, 93.9)]),
+    (MagellanDataset::AbtBuy, [(82.6, 83.5, 92.2), (88.3, 89.5, 92.9), (90.9, 91.1, 94.8)]),
+];
+
+fn main() {
+    banner("Table 8 — collective F1 across LM sizes (Ditto / HierGAT / HierGAT+)");
+    let scale = bench_scale() * 0.35;
+    for &(kind, paper) in PAPER {
+        let ds = kind.load_collective(scale);
+        let flat = flatten_collective(&ds);
+        let arity = collective_arity(&ds);
+        println!("{}:", kind.short_name());
+        for (tier, (p_ditto, p_hg, p_hgp)) in LmTier::all().into_iter().zip(paper) {
+            let pre = pretrain_for(&flat, tier);
+            let ditto = run_ditto(&flat, tier, Some(&pre));
+            let hg = run_hiergat(
+                &flat,
+                HierGatConfig::pairwise().with_tier(tier),
+                Some(&pre),
+            );
+            let hgp = run_hiergat_collective(
+                &ds,
+                HierGatConfig::collective().with_tier(tier),
+                arity,
+                Some(&pre),
+            );
+            row(&format!("{} Ditto", tier.name()), p_ditto, ditto);
+            row(&format!("{} HierGAT", tier.name()), p_hg, hg);
+            row(&format!("{} HierGAT+", tier.name()), p_hgp, hgp);
+        }
+    }
+}

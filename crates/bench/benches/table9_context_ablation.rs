@@ -1,0 +1,70 @@
+//! Table 9 — contextual-embedding ablation for HierGAT+:
+//! full Context vs Non-Entity vs Non-Attribute vs Non-Context.
+
+use hiergat::HierGatConfig;
+use hiergat_baselines::flatten_collective;
+use hiergat_bench::*;
+use hiergat_data::{load_di2kg, CollectiveDataset, Di2kgCategory, MagellanDataset};
+use hiergat_lm::LmTier;
+
+/// `(name, paper [Context, Non-Entity, Non-Attribute, Non-Context])`.
+const PAPER: &[(&str, [f64; 4])] = &[
+    ("I-A", [64.7, 63.3, 64.6, 62.6]),
+    ("D-A", [99.6, 99.4, 99.4, 99.0]),
+    ("A-G", [83.1, 82.1, 81.9, 81.4]),
+    ("W-A", [89.2, 88.9, 88.8, 87.8]),
+    ("A-B", [92.9, 91.9, 92.2, 91.3]),
+    ("camera", [99.6, 99.5, 99.6, 99.4]),
+    ("monitor", [99.4, 99.3, 99.3, 99.0]),
+];
+
+fn variants() -> [(&'static str, HierGatConfig); 4] {
+    let full = HierGatConfig::collective();
+    [
+        ("Context", full),
+        ("Non-Entity", HierGatConfig { use_entity_context: false, ..full }),
+        ("Non-Attribute", HierGatConfig { use_attr_context: false, ..full }),
+        (
+            "Non-Context",
+            HierGatConfig {
+                use_token_context: false,
+                use_attr_context: false,
+                use_entity_context: false,
+                ..full
+            },
+        ),
+    ]
+}
+
+fn run_dataset(name: &str, ds: &CollectiveDataset, paper: &[f64; 4]) {
+    println!("{name}:");
+    let flat = flatten_collective(ds);
+    let pre = pretrain_for(&flat, LmTier::MiniBase);
+    let arity = collective_arity(ds);
+    for ((vname, cfg), &p) in variants().into_iter().zip(paper) {
+        let f1 = run_hiergat_collective(ds, cfg, arity, Some(&pre));
+        row(vname, p, f1);
+    }
+}
+
+fn main() {
+    banner("Table 9 — contextual-embedding ablation (HierGAT+)");
+    let scale = bench_scale() * 0.3;
+    let magellan = [
+        MagellanDataset::ItunesAmazon,
+        MagellanDataset::DblpAcm,
+        MagellanDataset::AmazonGoogle,
+        MagellanDataset::WalmartAmazon,
+        MagellanDataset::AbtBuy,
+    ];
+    for (kind, (name, paper)) in magellan.into_iter().zip(PAPER) {
+        let ds = kind.load_collective(scale);
+        run_dataset(name, &ds, paper);
+    }
+    for (cat, (name, paper)) in
+        [Di2kgCategory::Camera, Di2kgCategory::Monitor].into_iter().zip(&PAPER[5..])
+    {
+        let ds = load_di2kg(cat, scale);
+        run_dataset(name, &ds, paper);
+    }
+}

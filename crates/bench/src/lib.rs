@@ -1,0 +1,182 @@
+//! Shared harness for the benchmark targets that regenerate every table and
+//! figure of the paper (see DESIGN.md §3 for the experiment index).
+//!
+//! Each `benches/*.rs` target is a `harness = false` binary that trains the
+//! relevant models and prints `paper=<value> measured=<value>` rows; the
+//! consolidated results live in EXPERIMENTS.md.
+
+use hiergat::{train_collective, train_pairwise, HierGat, HierGatConfig};
+use hiergat_baselines::{
+    train_collective_model, train_pair_model, CollectiveErModel, DeepMatcher, DeepMatcherConfig,
+    Ditto, DittoConfig, DmPlus, DmPlusConfig, Magellan, PairModel,
+};
+use hiergat_data::{CollectiveDataset, PairDataset};
+use hiergat_lm::{corpus_from_entities, pretrain, LmTier, PretrainConfig};
+use hiergat_nn::ParamStore;
+
+/// Global size multiplier for benchmark datasets, from the
+/// `HIERGAT_BENCH_SCALE` environment variable (default 1.0). Lower it to
+/// smoke-test the whole suite quickly.
+pub fn bench_scale() -> f64 {
+    std::env::var("HIERGAT_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Training epochs for benchmark runs, from `HIERGAT_BENCH_EPOCHS`
+/// (default 6; the paper uses 10 — see EXPERIMENTS.md).
+pub fn bench_epochs() -> usize {
+    std::env::var("HIERGAT_BENCH_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6)
+}
+
+/// Prints a table banner.
+pub fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("  (bench scale {:.2}, {} epochs)", bench_scale(), bench_epochs());
+    println!("================================================================");
+}
+
+/// Prints one `name: paper=… measured=…` row.
+pub fn row(name: &str, paper: f64, measured: f64) {
+    println!("  {name:<24} paper={paper:>6.1}  measured={measured:>6.1}");
+}
+
+/// Pre-trains a miniature LM on a pairwise dataset's training corpus.
+pub fn pretrain_for(ds: &PairDataset, tier: LmTier) -> ParamStore {
+    let entities: Vec<_> = ds
+        .train
+        .iter()
+        .flat_map(|p| [p.left.clone(), p.right.clone()])
+        .collect();
+    let corpus = corpus_from_entities(entities.iter());
+    pretrain(tier.config(), &corpus, &PretrainConfig::default()).store
+}
+
+/// Pre-trains a miniature LM on a collective dataset's training corpus.
+pub fn pretrain_for_collective(ds: &CollectiveDataset, tier: LmTier) -> ParamStore {
+    let entities: Vec<_> = ds
+        .train
+        .iter()
+        .flat_map(|ex| {
+            std::iter::once(ex.query.clone()).chain(ex.candidates.iter().cloned())
+        })
+        .collect();
+    let corpus = corpus_from_entities(entities.iter());
+    pretrain(tier.config(), &corpus, &PretrainConfig::default()).store
+}
+
+/// Trains + evaluates Magellan; returns test F1 (percent).
+pub fn run_magellan(ds: &PairDataset) -> f64 {
+    let (_, report) = Magellan::train(ds, 7);
+    report.test_f1 * 100.0
+}
+
+/// Trains + evaluates DeepMatcher; returns test F1 (percent).
+pub fn run_deepmatcher(ds: &PairDataset) -> f64 {
+    let mut dm = DeepMatcher::new(
+        DeepMatcherConfig { epochs: bench_epochs(), ..Default::default() },
+        ds.arity().max(1),
+    );
+    train_pair_model(&mut dm, ds).test_f1 * 100.0
+}
+
+/// Trains + evaluates DM+ (HierMatcher-style); returns test F1 (percent).
+pub fn run_dmplus(ds: &PairDataset) -> f64 {
+    let mut dmp = DmPlus::new(
+        DmPlusConfig { epochs: bench_epochs(), ..Default::default() },
+        ds.arity().max(1),
+    );
+    train_pair_model(&mut dmp, ds).test_f1 * 100.0
+}
+
+/// Trains + evaluates Ditto with an optional pre-trained LM; returns
+/// test F1 (percent).
+pub fn run_ditto(ds: &PairDataset, tier: LmTier, pre: Option<&ParamStore>) -> f64 {
+    let mut ditto = Ditto::new(DittoConfig {
+        lm_tier: tier,
+        epochs: bench_epochs(),
+        ..Default::default()
+    });
+    if let Some(pre) = pre {
+        ditto.load_pretrained(pre);
+    }
+    train_pair_model(&mut ditto, ds).test_f1 * 100.0
+}
+
+/// Trains + evaluates pairwise HierGAT; returns test F1 (percent).
+pub fn run_hiergat(ds: &PairDataset, cfg: HierGatConfig, pre: Option<&ParamStore>) -> f64 {
+    let mut hg = HierGat::new(cfg.with_epochs(bench_epochs()), ds.arity().max(1));
+    if let Some(pre) = pre {
+        hg.load_pretrained(pre);
+    }
+    train_pairwise(&mut hg, ds).test_f1 * 100.0
+}
+
+/// Trains + evaluates HierGAT(+) on a collective dataset; returns
+/// test F1 (percent).
+pub fn run_hiergat_collective(
+    ds: &CollectiveDataset,
+    cfg: HierGatConfig,
+    arity: usize,
+    pre: Option<&ParamStore>,
+) -> f64 {
+    let mut hg = HierGat::new(cfg.with_epochs(bench_epochs()), arity.max(1));
+    if let Some(pre) = pre {
+        hg.load_pretrained(pre);
+    }
+    train_collective(&mut hg, ds).test_f1 * 100.0
+}
+
+/// Trains + evaluates a collective baseline model; returns test F1
+/// (percent).
+pub fn run_collective_baseline<M: CollectiveErModel + Sync>(
+    model: &mut M,
+    ds: &CollectiveDataset,
+) -> f64 {
+    train_collective_model(model, ds).test_f1 * 100.0
+}
+
+/// Trains + evaluates any pairwise baseline; returns test F1 (percent).
+pub fn run_pair_baseline<M: PairModel + Sync>(model: &mut M, ds: &PairDataset) -> f64 {
+    train_pair_model(model, ds).test_f1 * 100.0
+}
+
+/// Arity of a collective dataset (from the first query).
+pub fn collective_arity(ds: &CollectiveDataset) -> usize {
+    ds.train
+        .first()
+        .or(ds.valid.first())
+        .or(ds.test.first())
+        .map_or(1, |ex| ex.query.arity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiergat_data::MagellanDataset;
+
+    #[test]
+    fn env_defaults() {
+        // Without env overrides (test env), defaults apply.
+        assert!(bench_scale() > 0.0);
+        assert!(bench_epochs() > 0);
+    }
+
+    #[test]
+    fn magellan_runner_smoke() {
+        let ds = MagellanDataset::FodorsZagats.load(0.3);
+        let f1 = run_magellan(&ds);
+        assert!((0.0..=100.0).contains(&f1));
+    }
+
+    #[test]
+    fn collective_arity_reads_query() {
+        let ds = MagellanDataset::AmazonGoogle.load_collective(0.2);
+        assert_eq!(collective_arity(&ds), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Keyword-overlap blocking.
+
+use hiergat_data::{Entity, EntityPair};
+use hiergat_text::tokenize;
+use std::collections::HashSet;
+
+/// Word-overlap filter: a pair survives blocking if the two entities share
+/// at least `min_shared` tokens (ignoring very short tokens).
+#[derive(Debug, Clone)]
+pub struct KeywordBlocker {
+    /// Minimum number of shared tokens for a pair to survive.
+    pub min_shared: usize,
+    /// Tokens shorter than this are ignored (filters "a", "of", ...).
+    pub min_token_len: usize,
+}
+
+impl Default for KeywordBlocker {
+    fn default() -> Self {
+        Self { min_shared: 1, min_token_len: 3 }
+    }
+}
+
+impl KeywordBlocker {
+    /// Creates a blocker requiring `min_shared` shared tokens.
+    pub fn new(min_shared: usize) -> Self {
+        Self { min_shared, ..Self::default() }
+    }
+
+    fn token_set(&self, e: &Entity) -> HashSet<String> {
+        tokenize(&e.full_text())
+            .into_iter()
+            .filter(|t| t.len() >= self.min_token_len)
+            .collect()
+    }
+
+    /// Number of qualifying shared tokens between two entities.
+    pub fn shared_tokens(&self, a: &Entity, b: &Entity) -> usize {
+        let sa = self.token_set(a);
+        let sb = self.token_set(b);
+        sa.intersection(&sb).count()
+    }
+
+    /// `true` if the pair survives blocking.
+    pub fn keep(&self, a: &Entity, b: &Entity) -> bool {
+        self.shared_tokens(a, b) >= self.min_shared
+    }
+
+    /// Filters a pair list, keeping survivors.
+    pub fn filter_pairs(&self, pairs: Vec<EntityPair>) -> Vec<EntityPair> {
+        pairs
+            .into_iter()
+            .filter(|p| self.keep(&p.left, &p.right))
+            .collect()
+    }
+
+    /// Blocks the full cross product of two collections, returning index
+    /// pairs that survive. Quadratic; intended for the small synthetic
+    /// tables.
+    pub fn block_cross(&self, left: &[Entity], right: &[Entity]) -> Vec<(usize, usize)> {
+        let right_sets: Vec<HashSet<String>> = right.iter().map(|e| self.token_set(e)).collect();
+        let mut out = Vec::new();
+        for (i, l) in left.iter().enumerate() {
+            let ls = self.token_set(l);
+            for (j, rs) in right_sets.iter().enumerate() {
+                if ls.intersection(rs).count() >= self.min_shared {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(id: &str, text: &str) -> Entity {
+        Entity::new(id, vec![("title".into(), text.into())])
+    }
+
+    #[test]
+    fn keeps_overlapping_pairs() {
+        let b = KeywordBlocker::new(1);
+        assert!(b.keep(&entity("a", "canon camera"), &entity("b", "canon eos")));
+        assert!(!b.keep(&entity("a", "canon camera"), &entity("b", "leather watch")));
+    }
+
+    #[test]
+    fn short_tokens_are_ignored() {
+        let b = KeywordBlocker::default();
+        assert!(!b.keep(&entity("a", "x of y"), &entity("b", "z of w")));
+    }
+
+    #[test]
+    fn min_shared_threshold() {
+        let b = KeywordBlocker::new(2);
+        assert!(!b.keep(&entity("a", "canon camera"), &entity("b", "canon watch")));
+        assert!(b.keep(&entity("a", "canon eos camera"), &entity("b", "canon eos body")));
+    }
+
+    #[test]
+    fn filter_pairs_reduces() {
+        let b = KeywordBlocker::new(1);
+        let pairs = vec![
+            EntityPair::new(entity("a", "alpha beta"), entity("b", "beta gamma"), true),
+            EntityPair::new(entity("c", "delta"), entity("d", "omega"), false),
+        ];
+        let kept = b.filter_pairs(pairs);
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].label);
+    }
+
+    #[test]
+    fn cross_blocking_finds_matching_cells() {
+        let b = KeywordBlocker::new(1);
+        let left = vec![entity("l0", "apple pie"), entity("l1", "banana bread")];
+        let right = vec![entity("r0", "apple tart"), entity("r1", "cherry cake")];
+        let blocked = b.block_cross(&left, &right);
+        assert_eq!(blocked, vec![(0, 0)]);
+    }
+}

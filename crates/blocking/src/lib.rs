@@ -1,0 +1,15 @@
+//! Blocking: pruning the candidate space before matching.
+//!
+//! The paper's ER pipeline (Figure 5) runs a blocker before HierGAT. Two
+//! blockers are provided, matching §2.1 and §6.3:
+//!
+//! * [`KeywordBlocker`] — word-overlap filtering (the Magellan-style
+//!   key-word filter used for pairwise ER);
+//! * [`TfIdfBlocker`] — TF-IDF cosine top-N candidate retrieval (used to
+//!   build the collective candidate sets with N = 16).
+
+mod keyword;
+mod tfidf_block;
+
+pub use keyword::KeywordBlocker;
+pub use tfidf_block::TfIdfBlocker;

@@ -1,0 +1,108 @@
+//! Minimal `--key value` / `--flag` argument parsing (no external crates).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--flag`s.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{arg}'"));
+            };
+            if key.is_empty() {
+                return Err("empty option name".into());
+            }
+            // A following token that does not start with "--" is the value.
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    if out.values.insert(key.to_string(), v.clone()).is_some() {
+                        return Err(format!("duplicate option --{key}"));
+                    }
+                    i += 2;
+                }
+                _ => {
+                    out.flags.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key`, or an error naming the missing option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parses the value of `--key` into `T`, if present.
+    pub fn get_parsed<T: FromStr>(&self, key: &str) -> Option<Result<T, String>> {
+        self.get(key).map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}"))
+        })
+    }
+
+    /// `true` if the bare flag `--key` was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = parse(&["--model", "dir", "--no-pretrain", "--epochs", "4"]).expect("parse");
+        assert_eq!(a.get("model"), Some("dir"));
+        assert!(a.has_flag("no-pretrain"));
+        assert_eq!(a.get_parsed::<usize>("epochs"), Some(Ok(4)));
+    }
+
+    #[test]
+    fn rejects_positional_and_duplicates() {
+        assert!(parse(&["stray"]).is_err());
+        assert!(parse(&["--k", "1", "--k", "2"]).is_err());
+    }
+
+    #[test]
+    fn require_names_the_missing_option() {
+        let a = parse(&[]).expect("parse");
+        let err = a.require("train").unwrap_err();
+        assert!(err.contains("--train"));
+    }
+
+    #[test]
+    fn invalid_parse_is_reported() {
+        let a = parse(&["--epochs", "many"]).expect("parse");
+        assert!(a.get_parsed::<usize>("epochs").expect("present").is_err());
+    }
+
+    #[test]
+    fn trailing_flag_without_value() {
+        let a = parse(&["--verbose"]).expect("parse");
+        assert!(a.has_flag("verbose"));
+        assert_eq!(a.get("verbose"), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! `hiergat` — command-line entity resolution.
+//!
+//! Subcommands:
+//!
+//! * `train   --train train.csv --valid valid.csv --test test.csv --model DIR`
+//!   trains HierGAT on DeepMatcher-style labeled CSV pair files (columns
+//!   `label,ltable_*,rtable_*`) and saves the checkpoint.
+//! * `predict --model DIR --pairs pairs.csv [--threshold 0.5]`
+//!   scores a pair file with a saved model and prints `score,prediction`
+//!   rows as CSV.
+//! * `block   --left tableA.csv --right tableB.csv [--top 16]`
+//!   TF-IDF top-N candidate generation between two entity tables.
+//! * `demo    [--dataset amazon-google] [--scale 0.5]`
+//!   trains on a bundled synthetic benchmark (no files needed).
+
+use hiergat::{load_model, save_model, train_pairwise, HierGat, HierGatConfig};
+use hiergat_data::io::{read_entity_table, read_pairs};
+use hiergat_data::{MagellanDataset, PairDataset};
+use hiergat_lm::{corpus_from_entities, pretrain, LmTier, PretrainConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+mod args;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  hiergat train   --train FILE --valid FILE --test FILE --model DIR
+                  [--tier dbert|roberta|lroberta] [--epochs N] [--no-pretrain]
+  hiergat predict --model DIR --pairs FILE [--threshold T]
+  hiergat block   --left FILE --right FILE [--top N]
+  hiergat demo    [--dataset NAME] [--scale S] [--epochs N]";
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "predict" => cmd_predict(&args),
+        "block" => cmd_block(&args),
+        "demo" => cmd_demo(&args),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn tier_of(args: &Args) -> Result<LmTier, String> {
+    match args.get("tier").unwrap_or("roberta") {
+        "dbert" => Ok(LmTier::MiniDistil),
+        "roberta" => Ok(LmTier::MiniBase),
+        "lroberta" => Ok(LmTier::MiniLarge),
+        other => Err(format!("unknown tier '{other}' (dbert|roberta|lroberta)")),
+    }
+}
+
+fn train_on(ds: &PairDataset, args: &Args) -> Result<HierGat, String> {
+    let tier = tier_of(args)?;
+    let epochs: usize = args.get_parsed("epochs").unwrap_or(Ok(8))?;
+    let mut model = HierGat::new(
+        HierGatConfig::pairwise().with_tier(tier).with_epochs(epochs),
+        ds.arity().max(1),
+    );
+    if !args.has_flag("no-pretrain") {
+        let entities: Vec<_> = ds
+            .train
+            .iter()
+            .flat_map(|p| [p.left.clone(), p.right.clone()])
+            .collect();
+        let corpus = corpus_from_entities(entities.iter());
+        eprintln!("pre-training {} LM on {} sentences...", tier.name(), corpus.len());
+        let pre = pretrain(tier.config(), &corpus, &PretrainConfig::default());
+        model.load_pretrained(&pre.store);
+    }
+    eprintln!(
+        "training HierGAT ({} parameters, {} epochs) on {} train pairs...",
+        model.num_parameters(),
+        epochs,
+        ds.train.len()
+    );
+    let report = train_pairwise(&mut model, ds);
+    let m = report.test_confusion.pr_f1();
+    eprintln!(
+        "test F1 {:.1}  precision {:.1}  recall {:.1}  ({:.1}s)",
+        m.f1 * 100.0,
+        m.precision * 100.0,
+        m.recall * 100.0,
+        report.total_seconds()
+    );
+    Ok(model)
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let train = read_pairs(args.require("train")?).map_err(|e| e.to_string())?;
+    let valid = read_pairs(args.require("valid")?).map_err(|e| e.to_string())?;
+    let test = read_pairs(args.require("test")?).map_err(|e| e.to_string())?;
+    if train.is_empty() {
+        return Err("training file has no pairs".into());
+    }
+    let ds = PairDataset { name: "cli".into(), train, valid, test };
+    let model = train_on(&ds, args)?;
+    let dir = args.require("model")?;
+    save_model(&model, dir).map_err(|e| e.to_string())?;
+    eprintln!("saved model to {dir}");
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let model = load_model(args.require("model")?).map_err(|e| e.to_string())?;
+    let pairs = read_pairs(args.require("pairs")?).map_err(|e| e.to_string())?;
+    let threshold: f32 = args.get_parsed("threshold").unwrap_or(Ok(0.5))?;
+    println!("score,prediction");
+    for pair in &pairs {
+        let score = model.predict_pair(pair);
+        println!("{score:.4},{}", u8::from(score >= threshold));
+    }
+    Ok(())
+}
+
+fn cmd_block(args: &Args) -> Result<(), String> {
+    let left = read_entity_table(args.require("left")?).map_err(|e| e.to_string())?;
+    let right = read_entity_table(args.require("right")?).map_err(|e| e.to_string())?;
+    let top: usize = args.get_parsed("top").unwrap_or(Ok(16))?;
+    let blocker = hiergat_blocking::TfIdfBlocker::fit(&right);
+    println!("left_id,right_id,cosine");
+    for l in &left {
+        for (idx, score) in blocker.top_n(l, top) {
+            println!("{},{},{score:.4}", l.id, right[idx].id);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &Args) -> Result<(), String> {
+    let name = args.get("dataset").unwrap_or("amazon-google");
+    let by_name: HashMap<String, MagellanDataset> = MagellanDataset::all()
+        .into_iter()
+        .map(|d| (d.name().to_lowercase(), d))
+        .collect();
+    let kind = by_name
+        .get(&name.to_lowercase())
+        .copied()
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset '{name}'; one of: {}",
+                MagellanDataset::all()
+                    .map(|d| d.name().to_lowercase())
+                    .join(", ")
+            )
+        })?;
+    let scale: f64 = args.get_parsed("scale").unwrap_or(Ok(0.5))?;
+    let ds = kind.load(scale);
+    eprintln!("demo on {} ({} pairs)", ds.name, ds.len());
+    let model = train_on(&ds, args)?;
+    if let Some(dir) = args.get("model") {
+        save_model(&model, dir).map_err(|e| e.to_string())?;
+        eprintln!("saved model to {dir}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_lists_all_subcommands() {
+        for cmd in ["train", "predict", "block", "demo"] {
+            assert!(USAGE.contains(cmd));
+        }
+    }
+
+    #[test]
+    fn unknown_subcommand_is_rejected() {
+        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn missing_subcommand_is_rejected() {
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn tier_parsing() {
+        let args = Args::parse(&["--tier".into(), "dbert".into()]).expect("parse");
+        assert_eq!(tier_of(&args).expect("tier"), LmTier::MiniDistil);
+        let args = Args::parse(&["--tier".into(), "bogus".into()]).expect("parse");
+        assert!(tier_of(&args).is_err());
+    }
+
+    #[test]
+    fn demo_rejects_unknown_dataset() {
+        let args = Args::parse(&["--dataset".into(), "nope".into()]).expect("parse");
+        let err = cmd_demo(&args).unwrap_err();
+        assert!(err.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn block_runs_on_csv_tables() {
+        let dir = std::env::temp_dir().join("hiergat-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        std::fs::write(&a, "id,title\n1,canon eos camera\n").expect("write");
+        std::fs::write(&b, "id,title\n9,canon eos body\n8,leather watch\n").expect("write");
+        let args = Args::parse(&[
+            "--left".into(),
+            a.display().to_string(),
+            "--right".into(),
+            b.display().to_string(),
+            "--top".into(),
+            "1".into(),
+        ])
+        .expect("parse");
+        cmd_block(&args).expect("block");
+    }
+
+    #[test]
+    fn train_save_predict_roundtrip_via_csv() {
+        let dir = std::env::temp_dir().join("hiergat-cli-roundtrip");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        // Generate a tiny dataset and write the DeepMatcher-style files.
+        let ds = MagellanDataset::FodorsZagats.load(0.2);
+        let paths: Vec<_> = ["train", "valid", "test"].iter().map(|s| dir.join(format!("{s}.csv"))).collect();
+        hiergat_data::io::write_pairs(&paths[0], &ds.train).expect("w");
+        hiergat_data::io::write_pairs(&paths[1], &ds.valid).expect("w");
+        hiergat_data::io::write_pairs(&paths[2], &ds.test).expect("w");
+        let model_dir = dir.join("model");
+        let argv: Vec<String> = [
+            "train",
+            "--train", paths[0].to_str().unwrap(),
+            "--valid", paths[1].to_str().unwrap(),
+            "--test", paths[2].to_str().unwrap(),
+            "--model", model_dir.to_str().unwrap(),
+            "--tier", "dbert",
+            "--epochs", "1",
+            "--no-pretrain",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).expect("train");
+        let argv: Vec<String> = [
+            "predict",
+            "--model", model_dir.to_str().unwrap(),
+            "--pairs", paths[2].to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).expect("predict");
+    }
+}

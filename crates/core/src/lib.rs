@@ -1,0 +1,52 @@
+//! HierGAT and HierGAT+ — the primary contribution of "Entity Resolution
+//! with Hierarchical Graph Attention Networks" (SIGMOD 2022), reproduced in
+//! Rust.
+//!
+//! The model combines Transformer self-attention with graph attention over
+//! a Hierarchical Heterogeneous Graph (HHG) of token / attribute / entity
+//! nodes:
+//!
+//! * [`context`]: word+context (WpC) embeddings with token-, attribute-, and
+//!   entity-level context (§4);
+//! * [`aggregate`]: attribute & entity summarization (§5.1, Algorithm 1);
+//! * [`compare`]: attribute comparison and structural-attention entity
+//!   comparison with three multi-view combiners (§5.2, Table 10);
+//! * [`align`]: the entity alignment layer of the collective model (Eq. 5);
+//! * [`model`]: the assembled [`HierGat`] handling both pairwise and
+//!   collective ER;
+//! * [`train`]: §6.1-style training with validation-based selection;
+//! * [`explain`]: attention heat maps (Figure 9).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hiergat::{train_pairwise, HierGat, HierGatConfig};
+//! use hiergat_data::MagellanDataset;
+//!
+//! let dataset = MagellanDataset::AmazonGoogle.load(1.0);
+//! let mut model = HierGat::new(HierGatConfig::pairwise(), dataset.arity());
+//! let report = train_pairwise(&mut model, &dataset);
+//! println!("test F1 = {:.1}", report.test_f1 * 100.0);
+//! let p = model.predict_pair(&dataset.test[0]);
+//! assert!((0.0..=1.0).contains(&p));
+//! ```
+
+pub mod aggregate;
+pub mod align;
+pub mod compare;
+pub mod config;
+pub mod context;
+pub mod explain;
+pub mod model;
+pub mod persist;
+pub mod schema_align;
+pub mod train;
+
+pub use config::{HierGatConfig, ViewCombiner};
+pub use explain::{explain_pair, AttrExplanation, PairExplanation};
+pub use model::HierGat;
+pub use persist::{load_model, save_model, PersistError};
+pub use schema_align::{align_pairs, align_schemas, project_entity, SchemaAlignment};
+pub use train::{
+    score_collective, score_pairs, train_collective, train_pairwise, TrainReport,
+};

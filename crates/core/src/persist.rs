@@ -1,0 +1,131 @@
+//! Trained-model persistence: save/load a [`HierGat`] checkpoint
+//! (binary weights + JSON config + schema arity) to a directory.
+
+use crate::config::HierGatConfig;
+use crate::model::HierGat;
+use hiergat_nn::checkpoint::{self, CheckpointError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Error saving or loading a model checkpoint.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Weight (de)serialization failure.
+    Checkpoint(CheckpointError),
+    /// Manifest (de)serialization failure.
+    Manifest(serde_json::Error),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            Self::Manifest(e) => write!(f, "manifest error: {e}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<CheckpointError> for PersistError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Manifest(e)
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    config: HierGatConfig,
+    arity: usize,
+    format_version: u32,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// Saves a trained model: `<dir>/manifest.json` + `<dir>/weights.bin`.
+pub fn save_model(model: &HierGat, dir: impl AsRef<Path>) -> Result<(), PersistError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let manifest = Manifest {
+        config: *model.config(),
+        arity: model.arity(),
+        format_version: FORMAT_VERSION,
+    };
+    fs::write(dir.join("manifest.json"), serde_json::to_string_pretty(&manifest)?)?;
+    checkpoint::save_binary(&model.ps, dir.join("weights.bin"))?;
+    Ok(())
+}
+
+/// Loads a model saved by [`save_model`]. The architecture is rebuilt from
+/// the manifest, then the weights are copied in by name.
+pub fn load_model(dir: impl AsRef<Path>) -> Result<HierGat, PersistError> {
+    let dir = dir.as_ref();
+    let manifest: Manifest =
+        serde_json::from_str(&fs::read_to_string(dir.join("manifest.json"))?)?;
+    let weights = checkpoint::load_binary(dir.join("weights.bin"))?;
+    let mut model = HierGat::new(manifest.config, manifest.arity);
+    let copied = model.ps.load_matching(&weights);
+    debug_assert!(copied > 0, "checkpoint contained no matching tensors");
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiergat_data::{Entity, EntityPair};
+
+    fn pair() -> EntityPair {
+        EntityPair::new(
+            Entity::new("l", vec![("t".into(), "canon eos xk42".into())]),
+            Entity::new("r", vec![("t".into(), "canon eos xk42 kit".into())]),
+            true,
+        )
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let dir = std::env::temp_dir().join("hiergat-persist-test");
+        let mut model = HierGat::new(HierGatConfig::fast_test(), 1);
+        // Nudge the weights away from init so the roundtrip is non-trivial.
+        for _ in 0..3 {
+            model.train_pair(&pair());
+        }
+        let before = model.predict_pair(&pair());
+        save_model(&model, &dir).expect("save");
+        let loaded = load_model(&dir).expect("load");
+        let after = loaded.predict_pair(&pair());
+        assert!(
+            (before - after).abs() < 1e-6,
+            "prediction must survive the roundtrip: {before} vs {after}"
+        );
+        assert_eq!(loaded.arity(), 1);
+    }
+
+    #[test]
+    fn load_missing_dir_fails_cleanly() {
+        match load_model("/nonexistent/hiergat-model") {
+            Err(err) => {
+                assert!(matches!(err, PersistError::Io(_)));
+                assert!(!err.to_string().is_empty());
+            }
+            Ok(_) => panic!("loading a missing directory must fail"),
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Unaligned-attribute entity resolution (the paper's stated future work,
+//! §8: "An interesting future direction is to extend HierGAT to the setting
+//! of unaligned attributes").
+//!
+//! When the two sources use different schemas (`name` vs `title`,
+//! `manufacturer` vs `brand`), HierGAT's per-attribute comparison cannot be
+//! applied directly. This module computes a soft schema alignment from two
+//! signals — attribute **key-name** similarity and attribute **value
+//! content** similarity measured over a sample of entities — solves the
+//! assignment greedily, and rewrites the right-hand entities into the
+//! left schema so the standard pipeline applies.
+
+use hiergat_data::{Entity, EntityPair, MISSING};
+use hiergat_text::{cosine_tokens, jaro_winkler, tokenize};
+
+/// A computed alignment between two schemas.
+#[derive(Debug, Clone)]
+pub struct SchemaAlignment {
+    /// Left-schema keys, in order.
+    pub left_keys: Vec<String>,
+    /// For each left key, the matched right key (if any) and its score.
+    pub mapping: Vec<Option<(String, f64)>>,
+}
+
+impl SchemaAlignment {
+    /// The matched right-schema key for a left key.
+    pub fn right_key_for(&self, left_key: &str) -> Option<&str> {
+        let idx = self.left_keys.iter().position(|k| k == left_key)?;
+        self.mapping[idx].as_ref().map(|(k, _)| k.as_str())
+    }
+
+    /// Number of aligned attribute pairs.
+    pub fn n_aligned(&self) -> usize {
+        self.mapping.iter().flatten().count()
+    }
+}
+
+/// Key-name similarity: Jaro-Winkler over the (lowercased) key strings,
+/// with a boost for substring containment (`modelno` vs `model`).
+fn key_similarity(a: &str, b: &str) -> f64 {
+    let (a, b) = (a.to_lowercase(), b.to_lowercase());
+    let base = jaro_winkler(&a, &b);
+    if a.contains(&b) || b.contains(&a) {
+        (base + 1.0) / 2.0
+    } else {
+        base
+    }
+}
+
+/// Value-content similarity of two attribute columns over entity samples:
+/// token-cosine between the pooled token bags, with a type-affinity floor
+/// for numeric columns (prices never share tokens, but `price`/`cost`
+/// columns are both overwhelmingly numeric).
+fn column_similarity(left: &[Entity], lk: &str, right: &[Entity], rk: &str) -> f64 {
+    fn values<'a>(entities: &'a [Entity], key: &str) -> Vec<&'a str> {
+        entities
+            .iter()
+            .filter_map(|e| e.attr(key))
+            .filter(|v| *v != MISSING)
+            .collect()
+    }
+    let lv = values(left, lk);
+    let rv = values(right, rk);
+    if lv.is_empty() || rv.is_empty() {
+        return 0.0;
+    }
+    let bag = |vals: &[&str]| -> Vec<String> { vals.iter().flat_map(|v| tokenize(v)).collect() };
+    let cosine = cosine_tokens(&bag(&lv), &bag(&rv));
+    let numeric_fraction = |vals: &[&str]| -> f64 {
+        vals.iter()
+            .filter(|v| v.trim().trim_end_matches('%').parse::<f64>().is_ok())
+            .count() as f64
+            / vals.len() as f64
+    };
+    let type_floor = if numeric_fraction(&lv) > 0.7 && numeric_fraction(&rv) > 0.7 {
+        0.5
+    } else {
+        0.0
+    };
+    cosine.max(type_floor)
+}
+
+/// Computes a greedy one-to-one schema alignment from samples of both
+/// sources. `key_weight` balances name vs content similarity (0.4 works
+/// well; content dominates because real schemas use divergent names).
+pub fn align_schemas(
+    left_sample: &[Entity],
+    right_sample: &[Entity],
+    key_weight: f64,
+) -> SchemaAlignment {
+    let left_keys: Vec<String> = left_sample
+        .first()
+        .map(|e| e.keys().map(str::to_string).collect())
+        .unwrap_or_default();
+    let right_keys: Vec<String> = right_sample
+        .first()
+        .map(|e| e.keys().map(str::to_string).collect())
+        .unwrap_or_default();
+
+    // Score every (left, right) key pair.
+    let mut scored: Vec<(usize, usize, f64)> = Vec::new();
+    for (li, lk) in left_keys.iter().enumerate() {
+        for (ri, rk) in right_keys.iter().enumerate() {
+            let s = key_weight * key_similarity(lk, rk)
+                + (1.0 - key_weight) * column_similarity(left_sample, lk, right_sample, rk);
+            scored.push((li, ri, s));
+        }
+    }
+    // Greedy assignment, best score first, one-to-one.
+    scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut mapping: Vec<Option<(String, f64)>> = vec![None; left_keys.len()];
+    let mut right_used = vec![false; right_keys.len()];
+    for (li, ri, s) in scored {
+        if mapping[li].is_none() && !right_used[ri] && s > 0.05 {
+            mapping[li] = Some((right_keys[ri].clone(), s));
+            right_used[ri] = true;
+        }
+    }
+    SchemaAlignment { left_keys, mapping }
+}
+
+/// Rewrites a right-schema entity into the left schema using the alignment;
+/// unaligned left attributes become `NAN`.
+pub fn project_entity(e: &Entity, alignment: &SchemaAlignment) -> Entity {
+    let attrs = alignment
+        .left_keys
+        .iter()
+        .map(|lk| {
+            let value = alignment
+                .right_key_for(lk)
+                .and_then(|rk| e.attr(rk))
+                .unwrap_or(MISSING)
+                .to_string();
+            (lk.clone(), value)
+        })
+        .collect();
+    Entity::new(e.id.clone(), attrs)
+}
+
+/// Aligns a whole pair set whose right-hand entities use a foreign schema.
+pub fn align_pairs(pairs: &[EntityPair], key_weight: f64) -> (SchemaAlignment, Vec<EntityPair>) {
+    let left_sample: Vec<Entity> = pairs.iter().take(64).map(|p| p.left.clone()).collect();
+    let right_sample: Vec<Entity> = pairs.iter().take(64).map(|p| p.right.clone()).collect();
+    let alignment = align_schemas(&left_sample, &right_sample, key_weight);
+    let rewritten = pairs
+        .iter()
+        .map(|p| {
+            EntityPair::new(p.left.clone(), project_entity(&p.right, &alignment), p.label)
+        })
+        .collect();
+    (alignment, rewritten)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left_entity(i: usize) -> Entity {
+        Entity::new(
+            format!("l{i}"),
+            vec![
+                ("title".into(), format!("canon eos camera x{i}")),
+                ("manufacturer".into(), "canon".into()),
+                ("price".into(), "499.99".into()),
+            ],
+        )
+    }
+
+    /// Same content, renamed + reordered keys.
+    fn right_entity(i: usize) -> Entity {
+        Entity::new(
+            format!("r{i}"),
+            vec![
+                ("cost".into(), "489.00".into()),
+                ("name".into(), format!("canon eos camera x{i} kit")),
+                ("brand".into(), "canon".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn content_similarity_aligns_renamed_keys() {
+        let left: Vec<Entity> = (0..8).map(left_entity).collect();
+        let right: Vec<Entity> = (0..8).map(right_entity).collect();
+        let alignment = align_schemas(&left, &right, 0.4);
+        assert_eq!(alignment.right_key_for("title"), Some("name"));
+        assert_eq!(alignment.right_key_for("manufacturer"), Some("brand"));
+        assert_eq!(alignment.right_key_for("price"), Some("cost"));
+        assert_eq!(alignment.n_aligned(), 3);
+    }
+
+    #[test]
+    fn key_name_similarity_helps_when_content_is_ambiguous() {
+        // Two numeric columns: names decide.
+        let left = vec![Entity::new(
+            "l",
+            vec![("price".into(), "10.00".into()), ("year".into(), "2010".into())],
+        )];
+        let right = vec![Entity::new(
+            "r",
+            vec![("release_year".into(), "2011".into()), ("prices".into(), "12.00".into())],
+        )];
+        let alignment = align_schemas(&left, &right, 0.7);
+        assert_eq!(alignment.right_key_for("price"), Some("prices"));
+        assert_eq!(alignment.right_key_for("year"), Some("release_year"));
+    }
+
+    #[test]
+    fn projection_rewrites_into_left_schema() {
+        let left: Vec<Entity> = (0..4).map(left_entity).collect();
+        let right: Vec<Entity> = (0..4).map(right_entity).collect();
+        let alignment = align_schemas(&left, &right, 0.4);
+        let projected = project_entity(&right_entity(0), &alignment);
+        assert_eq!(projected.keys().collect::<Vec<_>>(), vec!["title", "manufacturer", "price"]);
+        assert_eq!(projected.attr("manufacturer"), Some("canon"));
+        assert!(projected.attr("title").expect("title").contains("eos"));
+    }
+
+    #[test]
+    fn unmatched_left_keys_become_nan() {
+        let left = vec![Entity::new(
+            "l",
+            vec![("title".into(), "canon eos".into()), ("warranty".into(), "2 years".into())],
+        )];
+        let right = vec![Entity::new("r", vec![("name".into(), "canon eos".into())])];
+        let alignment = align_schemas(&left, &right, 0.4);
+        let projected = project_entity(&right[0], &alignment);
+        assert_eq!(projected.attr("warranty"), Some(MISSING));
+    }
+
+    #[test]
+    fn align_pairs_end_to_end_is_trainable_shape() {
+        let pairs: Vec<EntityPair> = (0..10)
+            .map(|i| EntityPair::new(left_entity(i), right_entity(i), i % 2 == 0))
+            .collect();
+        let (alignment, rewritten) = align_pairs(&pairs, 0.4);
+        assert_eq!(alignment.n_aligned(), 3);
+        for p in &rewritten {
+            assert_eq!(p.left.keys().collect::<Vec<_>>(), p.right.keys().collect::<Vec<_>>());
+        }
+        // The rewritten pairs drop into the normal HierGAT pipeline.
+        let mut model = crate::HierGat::new(crate::HierGatConfig::fast_test(), 3);
+        let score = model.predict_pair(&rewritten[0]);
+        assert!((0.0..=1.0).contains(&score));
+        let loss = model.train_pair(&rewritten[0]);
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn empty_samples_align_to_nothing() {
+        let alignment = align_schemas(&[], &[], 0.4);
+        assert_eq!(alignment.n_aligned(), 0);
+        assert!(alignment.left_keys.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Dirty-dataset corruption.
+//!
+//! The paper's dirty variants (§6.1) corrupt entity structure by randomly
+//! "injecting" attribute values into other attributes — e.g. the title ends
+//! up containing the price — while the underlying match labels stay the
+//! same. This module reproduces that corruption.
+
+use crate::dataset::PairDataset;
+use crate::entity::{Entity, EntityPair, MISSING};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Probability settings for the dirty corruption.
+#[derive(Debug, Clone, Copy)]
+pub struct DirtyConfig {
+    /// Probability each entity gets at least one injection.
+    pub entity_rate: f64,
+    /// Maximum number of attribute injections per entity.
+    pub max_injections: usize,
+}
+
+impl Default for DirtyConfig {
+    fn default() -> Self {
+        Self { entity_rate: 0.5, max_injections: 2 }
+    }
+}
+
+/// Moves the value of one random attribute into another, leaving `NAN`
+/// behind (DeepMatcher's dirty-set construction).
+fn inject_once(e: &mut Entity, rng: &mut StdRng) {
+    if e.arity() < 2 {
+        return;
+    }
+    let src = rng.gen_range(0..e.arity());
+    let mut dst = rng.gen_range(0..e.arity() - 1);
+    if dst >= src {
+        dst += 1;
+    }
+    let val = std::mem::replace(&mut e.attrs[src].1, MISSING.to_string());
+    if val == MISSING {
+        return;
+    }
+    let target = &mut e.attrs[dst].1;
+    if target == MISSING {
+        *target = val;
+    } else {
+        target.push(' ');
+        target.push_str(&val);
+    }
+}
+
+/// Corrupts a single entity in place.
+pub fn corrupt_entity(e: &mut Entity, cfg: &DirtyConfig, rng: &mut StdRng) {
+    if rng.gen_bool(cfg.entity_rate) {
+        let n = rng.gen_range(1..=cfg.max_injections);
+        for _ in 0..n {
+            inject_once(e, rng);
+        }
+    }
+}
+
+/// Produces the dirty version of a pairwise dataset (labels unchanged).
+pub fn make_dirty(ds: &PairDataset, cfg: &DirtyConfig, seed: u64) -> PairDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corrupt_split = |pairs: &[EntityPair], rng: &mut StdRng| {
+        pairs
+            .iter()
+            .map(|p| {
+                let mut left = p.left.clone();
+                let mut right = p.right.clone();
+                corrupt_entity(&mut left, cfg, rng);
+                corrupt_entity(&mut right, cfg, rng);
+                EntityPair::new(left, right, p.label)
+            })
+            .collect::<Vec<_>>()
+    };
+    PairDataset {
+        name: format!("Dirty-{}", ds.name),
+        train: corrupt_split(&ds.train, &mut rng),
+        valid: corrupt_split(&ds.valid, &mut rng),
+        test: corrupt_split(&ds.test, &mut rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity() -> Entity {
+        Entity::new(
+            "e",
+            vec![
+                ("title".into(), "adobe photoshop".into()),
+                ("price".into(), "49.99".into()),
+                ("brand".into(), "adobe".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn injection_moves_value_and_leaves_nan() {
+        let mut e = entity();
+        let mut rng = StdRng::seed_from_u64(1);
+        inject_once(&mut e, &mut rng);
+        let nan_count = e.attrs.iter().filter(|(_, v)| v == MISSING).count();
+        assert_eq!(nan_count, 1, "exactly one attribute must become NAN");
+        // All original token content survives somewhere.
+        let all: String = e.attrs.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>().join(" ");
+        assert!(all.contains("photoshop"));
+        assert!(all.contains("49.99"));
+    }
+
+    #[test]
+    fn single_attr_entity_is_untouched() {
+        let mut e = Entity::new("e", vec![("t".into(), "x".into())]);
+        let mut rng = StdRng::seed_from_u64(2);
+        inject_once(&mut e, &mut rng);
+        assert_eq!(e.attr("t"), Some("x"));
+    }
+
+    #[test]
+    fn make_dirty_preserves_labels_and_counts() {
+        let pairs: Vec<EntityPair> = (0..50)
+            .map(|i| EntityPair::new(entity(), entity(), i % 3 == 0))
+            .collect();
+        let ds = PairDataset::split_3_1_1("X", pairs, 1);
+        let dirty = make_dirty(&ds, &DirtyConfig::default(), 9);
+        assert_eq!(dirty.name, "Dirty-X");
+        assert_eq!(dirty.len(), ds.len());
+        assert_eq!(dirty.n_positive(), ds.n_positive());
+    }
+
+    #[test]
+    fn dirty_actually_corrupts_some_entities() {
+        let pairs: Vec<EntityPair> =
+            (0..40).map(|_| EntityPair::new(entity(), entity(), false)).collect();
+        let ds = PairDataset::split_3_1_1("X", pairs, 2);
+        let dirty = make_dirty(&ds, &DirtyConfig { entity_rate: 1.0, max_injections: 1 }, 3);
+        let changed = dirty
+            .train
+            .iter()
+            .zip(&ds.train)
+            .filter(|(d, o)| d.left.attrs != o.left.attrs)
+            .count();
+        assert!(changed > ds.train.len() / 2, "corruption too rare: {changed}");
+    }
+
+    #[test]
+    fn dirty_is_deterministic() {
+        let pairs: Vec<EntityPair> =
+            (0..20).map(|_| EntityPair::new(entity(), entity(), true)).collect();
+        let ds = PairDataset::split_3_1_1("X", pairs, 4);
+        let a = make_dirty(&ds, &DirtyConfig::default(), 5);
+        let b = make_dirty(&ds, &DirtyConfig::default(), 5);
+        for (x, y) in a.train.iter().zip(&b.train) {
+            assert_eq!(x.left.attrs, y.left.attrs);
+        }
+    }
+}

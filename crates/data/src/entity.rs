@@ -1,0 +1,240 @@
+//! The entity/record model.
+//!
+//! Following §2 of the paper, an entity is a list of `<key, val>` attribute
+//! pairs; missing values are filled with the literal word `"NAN"`.
+
+use serde::{Deserialize, Serialize};
+
+/// The placeholder value for missing attributes (§2.1 of the paper).
+pub const MISSING: &str = "NAN";
+
+/// One data entity: an identifier plus ordered `<key, val>` attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entity {
+    /// Stable identifier within its source collection.
+    pub id: String,
+    /// Ordered attribute pairs; keys follow the dataset schema.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Entity {
+    /// Creates an entity, replacing empty values with [`MISSING`].
+    pub fn new(id: impl Into<String>, attrs: Vec<(String, String)>) -> Self {
+        let attrs = attrs
+            .into_iter()
+            .map(|(k, v)| {
+                let v = if v.trim().is_empty() { MISSING.to_string() } else { v };
+                (k, v)
+            })
+            .collect();
+        Self { id: id.into(), attrs }
+    }
+
+    /// Looks up an attribute value by key (first occurrence).
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Mutable access to an attribute value by key.
+    pub fn attr_mut(&mut self, key: &str) -> Option<&mut String> {
+        self.attrs
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute keys in schema order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// All tokens across all attribute values (tokenized lazily).
+    pub fn all_tokens(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (_, v) in &self.attrs {
+            out.extend(hiergat_text::tokenize(v));
+        }
+        out
+    }
+
+    /// Serializes the entity Ditto-style:
+    /// `[COL] key [VAL] value [COL] key [VAL] value ...`
+    pub fn serialize_ditto(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.attrs {
+            s.push_str("[COL] ");
+            s.push_str(k);
+            s.push_str(" [VAL] ");
+            s.push_str(v);
+            s.push(' ');
+        }
+        s.trim_end().to_string()
+    }
+
+    /// Concatenation of all attribute values (used by single-text models
+    /// and TF-IDF blocking).
+    pub fn full_text(&self) -> String {
+        self.attrs
+            .iter()
+            .map(|(_, v)| v.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// `true` if the attribute is missing or the NAN placeholder.
+    pub fn is_missing(&self, key: &str) -> bool {
+        match self.attr(key) {
+            None => true,
+            Some(v) => v == MISSING,
+        }
+    }
+}
+
+/// A labeled pair of entities for pairwise ER.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntityPair {
+    /// Entity from the first source.
+    pub left: Entity,
+    /// Entity from the second source.
+    pub right: Entity,
+    /// `true` if both refer to the same real-world entity.
+    pub label: bool,
+}
+
+impl EntityPair {
+    /// Creates a labeled pair.
+    pub fn new(left: Entity, right: Entity, label: bool) -> Self {
+        Self { left, right, label }
+    }
+
+    /// The shared attribute keys of the two entities, in left-schema order.
+    pub fn common_keys(&self) -> Vec<String> {
+        self.left
+            .keys()
+            .filter(|k| self.right.attr(k).is_some())
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+/// A collective-ER example: one query entity and its candidate set (§2.1,
+/// Figure 2 of the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectiveExample {
+    /// The query entity from source A.
+    pub query: Entity,
+    /// Top-N blocked candidates from source B.
+    pub candidates: Vec<Entity>,
+    /// `labels[i]` is `true` iff `candidates[i]` matches the query.
+    pub labels: Vec<bool>,
+}
+
+impl CollectiveExample {
+    /// Creates an example, checking the label count.
+    pub fn new(query: Entity, candidates: Vec<Entity>, labels: Vec<bool>) -> Self {
+        assert_eq!(candidates.len(), labels.len(), "label count mismatch");
+        Self { query, candidates, labels }
+    }
+
+    /// Number of candidates.
+    pub fn n_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of matching candidates.
+    pub fn n_positive(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Flattens into labeled pairs (for evaluating pairwise models on
+    /// collective data).
+    pub fn to_pairs(&self) -> Vec<EntityPair> {
+        self.candidates
+            .iter()
+            .zip(&self.labels)
+            .map(|(c, &l)| EntityPair::new(self.query.clone(), c.clone(), l))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Entity {
+        Entity::new(
+            "a1",
+            vec![
+                ("title".into(), "Adobe Photoshop 5.0".into()),
+                ("price".into(), "49.99".into()),
+                ("desc".into(), "".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn empty_values_become_nan() {
+        let e = sample();
+        assert_eq!(e.attr("desc"), Some(MISSING));
+        assert!(e.is_missing("desc"));
+        assert!(!e.is_missing("title"));
+        assert!(e.is_missing("nonexistent"));
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("price"), Some("49.99"));
+        assert_eq!(e.attr("none"), None);
+        assert_eq!(e.arity(), 3);
+    }
+
+    #[test]
+    fn tokens_span_attributes() {
+        let toks = sample().all_tokens();
+        assert!(toks.contains(&"adobe".to_string()));
+        assert!(toks.contains(&"49.99".to_string()));
+        assert!(toks.contains(&"nan".to_string()));
+    }
+
+    #[test]
+    fn ditto_serialization_format() {
+        let e = Entity::new("x", vec![("t".into(), "hello".into())]);
+        assert_eq!(e.serialize_ditto(), "[COL] t [VAL] hello");
+    }
+
+    #[test]
+    fn pair_common_keys() {
+        let l = Entity::new("l", vec![("a".into(), "1".into()), ("b".into(), "2".into())]);
+        let r = Entity::new("r", vec![("b".into(), "3".into()), ("c".into(), "4".into())]);
+        let p = EntityPair::new(l, r, false);
+        assert_eq!(p.common_keys(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn collective_example_counts() {
+        let q = sample();
+        let c1 = sample();
+        let c2 = Entity::new("b2", vec![("title".into(), "Other".into())]);
+        let ex = CollectiveExample::new(q, vec![c1, c2], vec![true, false]);
+        assert_eq!(ex.n_candidates(), 2);
+        assert_eq!(ex.n_positive(), 1);
+        let pairs = ex.to_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs[0].label && !pairs[1].label);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn collective_label_mismatch_panics() {
+        CollectiveExample::new(sample(), vec![], vec![true]);
+    }
+}

@@ -1,0 +1,345 @@
+//! CSV import/export for entity tables and labeled pair sets.
+//!
+//! The real Magellan/DeepMatcher releases ship entity tables (`tableA.csv`,
+//! `tableB.csv`) and labeled pair files (`train.csv` with `ltable_`/`rtable_`
+//! prefixed columns). This module reads and writes both shapes with a small
+//! RFC-4180-subset parser (quoted fields, embedded commas/quotes/newlines),
+//! so a downstream user can run the models on the genuine benchmark files.
+
+use crate::entity::{Entity, EntityPair};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Error from CSV reading.
+#[derive(Debug)]
+pub enum CsvError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Structural problem, with a line number (1-based).
+    Malformed { line: usize, reason: String },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "csv I/O error: {e}"),
+            Self::Malformed { line, reason } => write!(f, "csv line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parses CSV text into rows of fields (RFC-4180 subset).
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut field = String::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    while let Some(c) = chars.next() {
+        match (in_quotes, c) {
+            (false, '"') if field.is_empty() => in_quotes = true,
+            (false, '"') => {
+                return Err(CsvError::Malformed {
+                    line,
+                    reason: "quote inside unquoted field".into(),
+                })
+            }
+            (true, '"') => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (false, ',') => row.push(std::mem::take(&mut field)),
+            (false, '\r') => {} // tolerate CRLF
+            (false, '\n') => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                line += 1;
+            }
+            (true, '\n') => {
+                field.push('\n');
+                line += 1;
+            }
+            (_, c) => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::Malformed { line, reason: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Escapes one field for CSV output.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Reads an entity table: first column is the id, remaining header names
+/// become attribute keys.
+pub fn read_entity_table(path: impl AsRef<Path>) -> Result<Vec<Entity>, CsvError> {
+    let text = fs::read_to_string(path)?;
+    entities_from_csv(&text)
+}
+
+/// Parses an entity table from CSV text (see [`read_entity_table`]).
+pub fn entities_from_csv(text: &str) -> Result<Vec<Entity>, CsvError> {
+    let rows = parse_csv(text)?;
+    let Some((header, data)) = rows.split_first() else {
+        return Ok(Vec::new());
+    };
+    if header.is_empty() {
+        return Err(CsvError::Malformed { line: 1, reason: "empty header".into() });
+    }
+    let keys = &header[1..];
+    let mut out = Vec::with_capacity(data.len());
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(CsvError::Malformed {
+                line: i + 2,
+                reason: format!("expected {} fields, got {}", header.len(), row.len()),
+            });
+        }
+        let attrs = keys
+            .iter()
+            .zip(&row[1..])
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.push(Entity::new(row[0].clone(), attrs));
+    }
+    Ok(out)
+}
+
+/// Writes an entity table (inverse of [`read_entity_table`]).
+///
+/// # Panics
+/// Panics if entities have inconsistent schemas.
+pub fn write_entity_table(path: impl AsRef<Path>, entities: &[Entity]) -> Result<(), CsvError> {
+    let mut out = String::new();
+    if let Some(first) = entities.first() {
+        out.push_str("id");
+        for key in first.keys() {
+            out.push(',');
+            out.push_str(&escape(key));
+        }
+        out.push('\n');
+        for e in entities {
+            assert_eq!(
+                e.keys().collect::<Vec<_>>(),
+                first.keys().collect::<Vec<_>>(),
+                "write_entity_table: schema mismatch for {}",
+                e.id
+            );
+            out.push_str(&escape(&e.id));
+            for (_, v) in &e.attrs {
+                out.push(',');
+                out.push_str(&escape(v));
+            }
+            out.push('\n');
+        }
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+/// Reads a DeepMatcher-style labeled pair file:
+/// `label,ltable_<k1>,...,rtable_<k1>,...` (ids optional).
+pub fn read_pairs(path: impl AsRef<Path>) -> Result<Vec<EntityPair>, CsvError> {
+    let text = fs::read_to_string(path)?;
+    pairs_from_csv(&text)
+}
+
+/// Parses a labeled pair file from CSV text (see [`read_pairs`]).
+pub fn pairs_from_csv(text: &str) -> Result<Vec<EntityPair>, CsvError> {
+    let rows = parse_csv(text)?;
+    let Some((header, data)) = rows.split_first() else {
+        return Ok(Vec::new());
+    };
+    let label_col = header
+        .iter()
+        .position(|h| h == "label")
+        .ok_or(CsvError::Malformed { line: 1, reason: "missing 'label' column".into() })?;
+    let left_cols: Vec<(usize, String)> = header
+        .iter()
+        .enumerate()
+        .filter_map(|(i, h)| h.strip_prefix("ltable_").map(|k| (i, k.to_string())))
+        .collect();
+    let right_cols: Vec<(usize, String)> = header
+        .iter()
+        .enumerate()
+        .filter_map(|(i, h)| h.strip_prefix("rtable_").map(|k| (i, k.to_string())))
+        .collect();
+    if left_cols.is_empty() || right_cols.is_empty() {
+        return Err(CsvError::Malformed {
+            line: 1,
+            reason: "missing ltable_/rtable_ columns".into(),
+        });
+    }
+    let mut out = Vec::with_capacity(data.len());
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(CsvError::Malformed {
+                line: i + 2,
+                reason: format!("expected {} fields, got {}", header.len(), row.len()),
+            });
+        }
+        let label = matches!(row[label_col].trim(), "1" | "true" | "True");
+        let build = |cols: &[(usize, String)], id: String| {
+            Entity::new(
+                id,
+                cols.iter()
+                    .map(|(ci, k)| (k.clone(), row[*ci].clone()))
+                    .collect(),
+            )
+        };
+        out.push(EntityPair::new(
+            build(&left_cols, format!("l{i}")),
+            build(&right_cols, format!("r{i}")),
+            label,
+        ));
+    }
+    Ok(out)
+}
+
+/// Writes labeled pairs in the DeepMatcher CSV shape (inverse of
+/// [`read_pairs`]).
+pub fn write_pairs(path: impl AsRef<Path>, pairs: &[EntityPair]) -> Result<(), CsvError> {
+    let mut out = String::new();
+    if let Some(first) = pairs.first() {
+        out.push_str("label");
+        for k in first.left.keys() {
+            out.push_str(&format!(",ltable_{}", escape(k)));
+        }
+        for k in first.right.keys() {
+            out.push_str(&format!(",rtable_{}", escape(k)));
+        }
+        out.push('\n');
+        for p in pairs {
+            out.push_str(if p.label { "1" } else { "0" });
+            for (_, v) in p.left.attrs.iter().chain(&p.right.attrs) {
+                out.push(',');
+                out.push_str(&escape(v));
+            }
+            out.push('\n');
+        }
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_handles_quotes_and_embedded_commas() {
+        let rows = parse_csv("a,\"b,c\",\"d\"\"e\"\nf,g,h\n").expect("parse");
+        assert_eq!(rows, vec![vec!["a", "b,c", "d\"e"], vec!["f", "g", "h"]]);
+    }
+
+    #[test]
+    fn parse_handles_embedded_newline() {
+        let rows = parse_csv("x,\"line1\nline2\"\n").expect("parse");
+        assert_eq!(rows[0][1], "line1\nline2");
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_quote() {
+        assert!(matches!(parse_csv("a,\"b\n"), Err(CsvError::Malformed { .. })));
+    }
+
+    #[test]
+    fn parse_tolerates_missing_trailing_newline_and_crlf() {
+        let rows = parse_csv("a,b\r\nc,d").expect("parse");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn entity_table_roundtrip() {
+        let dir = std::env::temp_dir().join("hiergat-csv-test");
+        fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("tableA.csv");
+        let entities = vec![
+            Entity::new("1", vec![("title".into(), "canon, eos".into()), ("price".into(), "9.99".into())]),
+            Entity::new("2", vec![("title".into(), "say \"hi\"".into()), ("price".into(), "".into())]),
+        ];
+        write_entity_table(&path, &entities).expect("write");
+        let loaded = read_entity_table(&path).expect("read");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].attr("title"), Some("canon, eos"));
+        assert_eq!(loaded[1].attr("title"), Some("say \"hi\""));
+        // Empty value became the NAN placeholder on load.
+        assert_eq!(loaded[1].attr("price"), Some(crate::entity::MISSING));
+    }
+
+    #[test]
+    fn pair_file_roundtrip() {
+        let dir = std::env::temp_dir().join("hiergat-csv-test");
+        fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("train.csv");
+        let pairs = vec![EntityPair::new(
+            Entity::new("l0", vec![("name".into(), "a b".into())]),
+            Entity::new("r0", vec![("name".into(), "a c".into())]),
+            true,
+        )];
+        write_pairs(&path, &pairs).expect("write");
+        let loaded = read_pairs(&path).expect("read");
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded[0].label);
+        assert_eq!(loaded[0].left.attr("name"), Some("a b"));
+        assert_eq!(loaded[0].right.attr("name"), Some("a c"));
+    }
+
+    #[test]
+    fn pairs_require_label_column() {
+        assert!(matches!(
+            pairs_from_csv("ltable_x,rtable_x\na,b\n"),
+            Err(CsvError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_row_width_is_reported_with_line() {
+        let err = entities_from_csv("id,a\n1,x\n2\n").unwrap_err();
+        match err {
+            CsvError::Malformed { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn generated_dataset_roundtrips_through_csv() {
+        let ds = crate::MagellanDataset::Beer.load(0.2);
+        let dir = std::env::temp_dir().join("hiergat-csv-test");
+        fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("beer_train.csv");
+        write_pairs(&path, &ds.train).expect("write");
+        let loaded = read_pairs(&path).expect("read");
+        assert_eq!(loaded.len(), ds.train.len());
+        for (a, b) in loaded.iter().zip(&ds.train) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.left.attrs, b.left.attrs);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Word pools and deterministic pseudo-word generation for the synthetic
+//! benchmark corpora.
+//!
+//! The generators must reproduce the phenomena the paper's analysis hinges
+//! on: rare brand/model tokens that are highly discriminative (§4.1),
+//! long descriptions full of shared filler words, and polysemous words whose
+//! meaning depends on the category ("Giant" the grocery store vs. the bike
+//! brand, §1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// High-frequency filler words shared across all domains.
+pub const FILLERS: &[&str] = &[
+    "the", "and", "with", "for", "of", "new", "best", "great", "quality", "premium", "original",
+    "edition", "series", "pro", "plus", "ultra", "classic", "standard", "deluxe", "official",
+    "genuine", "top", "rated", "popular", "latest", "improved",
+];
+
+/// Polysemous words that occur in several categories with different senses.
+pub const POLYSEMOUS: &[&str] = &["giant", "spark", "delta", "apple", "eclipse", "fusion", "titan"];
+
+/// A domain lexicon: nouns/adjectives characteristic of one product domain.
+#[derive(Debug, Clone)]
+pub struct DomainLexicon {
+    /// Domain name ("software", "music", ...).
+    pub name: &'static str,
+    /// Category labels within the domain.
+    pub categories: &'static [&'static str],
+    /// Characteristic nouns.
+    pub nouns: &'static [&'static str],
+    /// Characteristic modifiers.
+    pub modifiers: &'static [&'static str],
+}
+
+/// Software (Amazon-Google).
+pub const SOFTWARE: DomainLexicon = DomainLexicon {
+    name: "software",
+    categories: &["office", "graphics", "security", "data", "os"],
+    nouns: &[
+        "software", "suite", "server", "framework", "cluster", "database", "editor", "studio",
+        "manager", "toolkit", "platform", "engine", "compiler", "analyzer", "backup", "antivirus",
+        "firewall", "spreadsheet", "processor", "designer",
+    ],
+    modifiers: &[
+        "professional", "enterprise", "home", "academic", "upgrade", "retail", "license", "user",
+        "big", "data", "cloud", "desktop", "windows", "mac", "linux", "bit", "32", "64",
+    ],
+};
+
+/// Music (iTunes-Amazon).
+pub const MUSIC: DomainLexicon = DomainLexicon {
+    name: "music",
+    categories: &["rock", "pop", "jazz", "country", "electronic"],
+    nouns: &[
+        "love", "night", "heart", "dream", "fire", "road", "river", "dance", "song", "blues",
+        "light", "rain", "summer", "midnight", "soul", "angel", "moon", "story", "home", "train",
+    ],
+    modifiers: &[
+        "remix", "live", "acoustic", "feat", "deluxe", "remastered", "single", "album", "version",
+        "radio", "explicit", "bonus", "track", "original", "mix",
+    ],
+};
+
+/// Restaurant (Fodors-Zagats).
+pub const RESTAURANT: DomainLexicon = DomainLexicon {
+    name: "restaurant",
+    categories: &["italian", "french", "asian", "american", "mexican"],
+    nouns: &[
+        "grill", "cafe", "bistro", "kitchen", "house", "garden", "palace", "corner", "room",
+        "tavern", "diner", "bar", "steakhouse", "trattoria", "brasserie", "cantina",
+    ],
+    modifiers: &[
+        "golden", "royal", "little", "blue", "old", "grand", "silver", "red", "green", "east",
+        "west", "north", "south", "downtown",
+    ],
+};
+
+/// Citation (DBLP-ACM, DBLP-Scholar).
+pub const CITATION: DomainLexicon = DomainLexicon {
+    name: "citation",
+    categories: &["database", "systems", "learning", "theory", "web"],
+    nouns: &[
+        "query", "optimization", "index", "transaction", "stream", "graph", "mining", "learning",
+        "model", "network", "algorithm", "system", "storage", "cache", "join", "schema",
+        "integration", "resolution", "entity", "knowledge",
+    ],
+    modifiers: &[
+        "efficient", "scalable", "distributed", "parallel", "adaptive", "incremental", "approximate",
+        "online", "robust", "deep", "probabilistic", "semantic", "hierarchical", "attention",
+    ],
+};
+
+/// Electronics (Walmart-Amazon).
+pub const ELECTRONICS: DomainLexicon = DomainLexicon {
+    name: "electronics",
+    categories: &["audio", "video", "computing", "mobile", "gaming"],
+    nouns: &[
+        "headphones", "speaker", "monitor", "keyboard", "mouse", "router", "charger", "cable",
+        "adapter", "camera", "tablet", "laptop", "drive", "memory", "battery", "screen", "printer",
+        "projector", "console", "controller",
+    ],
+    modifiers: &[
+        "wireless", "bluetooth", "portable", "rechargeable", "hd", "4k", "usb", "hdmi", "gaming",
+        "ergonomic", "compact", "slim", "inch", "gb", "tb", "black", "white", "silver",
+    ],
+};
+
+/// Generic product (Abt-Buy).
+pub const PRODUCT: DomainLexicon = DomainLexicon {
+    name: "product",
+    categories: &["home", "kitchen", "outdoor", "fitness", "office"],
+    nouns: &[
+        "blender", "toaster", "vacuum", "heater", "fan", "lamp", "chair", "desk", "grill",
+        "cooker", "mixer", "kettle", "iron", "scale", "purifier", "humidifier", "dehumidifier",
+        "treadmill", "bike", "tent",
+    ],
+    modifiers: &[
+        "stainless", "steel", "electric", "digital", "automatic", "adjustable", "folding", "heavy",
+        "duty", "cordless", "compact", "quiet", "speed", "watt", "quart", "piece",
+    ],
+};
+
+/// Company descriptions (Company dataset; single long text attribute).
+pub const COMPANY: DomainLexicon = DomainLexicon {
+    name: "company",
+    categories: &["tech", "finance", "retail", "energy", "health"],
+    nouns: &[
+        "company", "corporation", "group", "holdings", "solutions", "services", "technologies",
+        "industries", "partners", "ventures", "systems", "labs", "global", "international",
+        "consulting", "logistics", "capital", "media", "networks", "dynamics",
+    ],
+    modifiers: &[
+        "founded", "headquartered", "leading", "provider", "customers", "worldwide", "products",
+        "revenue", "employees", "markets", "innovative", "acquired", "subsidiary", "publicly",
+        "traded", "privately",
+    ],
+};
+
+/// Beer (Beer dataset).
+pub const BEER: DomainLexicon = DomainLexicon {
+    name: "beer",
+    categories: &["ipa", "stout", "lager", "ale", "porter"],
+    nouns: &[
+        "ipa", "stout", "lager", "ale", "porter", "pilsner", "wheat", "saison", "brewing",
+        "brewery", "hops", "barrel", "reserve", "harvest", "session",
+    ],
+    modifiers: &[
+        "imperial", "double", "dark", "pale", "amber", "golden", "hazy", "dry", "hopped", "aged",
+        "small", "batch", "craft", "seasonal",
+    ],
+};
+
+/// Camera products (WDC camera, DI2KG camera).
+pub const CAMERA: DomainLexicon = DomainLexicon {
+    name: "camera",
+    categories: &["dslr", "mirrorless", "compact", "action", "film"],
+    nouns: &[
+        "camera", "lens", "body", "kit", "zoom", "sensor", "flash", "tripod", "viewfinder",
+        "shutter", "aperture", "megapixel", "stabilizer", "battery", "strap",
+    ],
+    modifiers: &[
+        "digital", "full", "frame", "wide", "angle", "telephoto", "prime", "macro", "optical",
+        "black", "silver", "mm", "f1.8", "f2.8", "waterproof",
+    ],
+};
+
+/// Watches (WDC watch).
+pub const WATCH: DomainLexicon = DomainLexicon {
+    name: "watch",
+    categories: &["dive", "dress", "chrono", "smart", "field"],
+    nouns: &[
+        "watch", "chronograph", "dial", "strap", "bracelet", "bezel", "movement", "crystal",
+        "case", "band", "clasp", "crown", "calendar", "alarm",
+    ],
+    modifiers: &[
+        "automatic", "quartz", "stainless", "leather", "sapphire", "water", "resistant", "mens",
+        "womens", "gold", "rose", "blue", "mm", "swiss", "luminous",
+    ],
+};
+
+/// Shoes (WDC shoe).
+pub const SHOE: DomainLexicon = DomainLexicon {
+    name: "shoe",
+    categories: &["running", "basketball", "casual", "hiking", "training"],
+    nouns: &[
+        "shoes", "sneakers", "boots", "trainers", "sandals", "runners", "cleats", "loafers",
+        "sole", "cushion", "mesh", "laces", "heel", "toe",
+    ],
+    modifiers: &[
+        "mens", "womens", "kids", "lightweight", "breathable", "waterproof", "leather", "knit",
+        "black", "white", "red", "blue", "size", "wide", "trail",
+    ],
+};
+
+/// Computers (WDC computer).
+pub const COMPUTER: DomainLexicon = DomainLexicon {
+    name: "computer",
+    categories: &["laptop", "desktop", "workstation", "server", "mini"],
+    nouns: &[
+        "laptop", "desktop", "notebook", "workstation", "processor", "ram", "ssd", "graphics",
+        "display", "motherboard", "tower", "chassis", "cooler", "keyboard",
+    ],
+    modifiers: &[
+        "intel", "core", "i5", "i7", "ryzen", "ghz", "gb", "tb", "inch", "gaming", "business",
+        "touchscreen", "backlit", "slim", "refurbished",
+    ],
+};
+
+/// Monitors (DI2KG monitor).
+pub const MONITOR: DomainLexicon = DomainLexicon {
+    name: "monitor",
+    categories: &["office", "gaming", "professional", "ultrawide", "portable"],
+    nouns: &[
+        "monitor", "display", "screen", "panel", "stand", "mount", "bezel", "backlight",
+        "resolution", "refresh", "contrast", "brightness", "pixel",
+    ],
+    modifiers: &[
+        "led", "lcd", "ips", "curved", "ultrawide", "4k", "1080p", "144hz", "60hz", "hdmi",
+        "displayport", "inch", "anti", "glare", "adjustable",
+    ],
+};
+
+const CONSONANT: &[char] = &['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z'];
+const VOWEL: &[char] = &['a', 'e', 'i', 'o', 'u'];
+
+/// Generates a pronounceable pseudo-word (used for brand names) with
+/// `syllables` consonant-vowel syllables.
+pub fn pseudo_word(rng: &mut StdRng, syllables: usize) -> String {
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push(*CONSONANT.choose(rng).expect("non-empty"));
+        w.push(*VOWEL.choose(rng).expect("non-empty"));
+    }
+    if rng.gen_bool(0.4) {
+        w.push(*CONSONANT.choose(rng).expect("non-empty"));
+    }
+    w
+}
+
+/// Generates a model code like "xk382" — a rare, highly discriminative token.
+pub fn model_code(rng: &mut StdRng) -> String {
+    let a = *CONSONANT.choose(rng).expect("non-empty");
+    let b = *CONSONANT.choose(rng).expect("non-empty");
+    let num: u32 = rng.gen_range(100..9999);
+    format!("{a}{b}{num}")
+}
+
+/// All lexicons, for enumeration in tests.
+pub const ALL_LEXICONS: &[&DomainLexicon] = &[
+    &SOFTWARE, &MUSIC, &RESTAURANT, &CITATION, &ELECTRONICS, &PRODUCT, &COMPANY, &BEER, &CAMERA,
+    &WATCH, &SHOE, &COMPUTER, &MONITOR,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lexicons_are_nonempty_and_named() {
+        for lex in ALL_LEXICONS {
+            assert!(!lex.name.is_empty());
+            assert!(lex.nouns.len() >= 10, "{} has too few nouns", lex.name);
+            assert!(lex.modifiers.len() >= 10, "{} has too few modifiers", lex.name);
+            assert!(lex.categories.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn pseudo_words_are_deterministic() {
+        let a = pseudo_word(&mut StdRng::seed_from_u64(5), 3);
+        let b = pseudo_word(&mut StdRng::seed_from_u64(5), 3);
+        assert_eq!(a, b);
+        assert!(a.len() >= 6);
+    }
+
+    #[test]
+    fn model_codes_look_like_tokens() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = model_code(&mut rng);
+        assert!(m.len() >= 5);
+        assert!(m.chars().take(2).all(|c| c.is_alphabetic()));
+        assert!(m.chars().skip(2).all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn pseudo_words_vary_with_seed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let words: std::collections::HashSet<String> =
+            (0..50).map(|_| pseudo_word(&mut rng, 2)).collect();
+        assert!(words.len() > 30, "pseudo-word space too small: {}", words.len());
+    }
+}

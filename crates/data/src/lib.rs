@@ -1,0 +1,32 @@
+//! Entity model and synthetic benchmark generators for the HierGAT
+//! reproduction.
+//!
+//! Provides the `<key, val>` [`Entity`] record model (§2 of the paper),
+//! pairwise and collective dataset containers with the paper's split
+//! protocols, and deterministic synthetic stand-ins for the Magellan, WDC,
+//! and DI2KG benchmarks (see DESIGN.md for the substitution rationale).
+
+mod corrupt;
+mod dataset;
+mod di2kg;
+mod entity;
+pub mod io;
+pub mod lexicon;
+mod magellan;
+mod pairgen;
+pub mod synth;
+
+#[cfg(test)]
+mod proptests;
+mod wdc;
+
+pub use corrupt::{corrupt_entity, make_dirty, DirtyConfig};
+pub use dataset::{CollectiveDataset, PairDataset};
+pub use di2kg::{load_di2kg, Di2kgCategory};
+pub use entity::{CollectiveExample, Entity, EntityPair, MISSING};
+pub use magellan::MagellanDataset;
+pub use pairgen::{
+    generate_collective, generate_collective_dataset, generate_pair_dataset, generate_pairs,
+    CollectiveGenConfig, PairGenConfig,
+};
+pub use wdc::{load_wdc, load_wdc_all, WdcDomain, WdcSize, WDC_TEST_PAIRS, WDC_TEST_POS};

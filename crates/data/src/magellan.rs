@@ -1,0 +1,418 @@
+//! Synthetic stand-ins for the Magellan benchmark datasets (Table 1 of the
+//! paper) and their dirty variants, plus the collective versions built with
+//! the §6.3 split-then-block protocol (Table 5).
+//!
+//! Sizes are scaled down ~20x so the whole benchmark suite trains on CPU in
+//! minutes; positive rates, attribute counts, domains, and difficulty
+//! ordering follow the paper.
+
+use crate::corrupt::{make_dirty, DirtyConfig};
+use crate::dataset::{CollectiveDataset, PairDataset};
+use crate::lexicon;
+use crate::pairgen::{
+    generate_collective_dataset, generate_pair_dataset, CollectiveGenConfig, PairGenConfig,
+};
+use crate::synth::{AttrKind, NoiseConfig, Schema, World};
+
+/// The nine Magellan benchmark datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MagellanDataset {
+    /// Beer (450 pairs, 4 attrs in the paper).
+    Beer,
+    /// iTunes-Amazon (539 pairs, 8 attrs). Has a dirty version.
+    ItunesAmazon,
+    /// Fodors-Zagats (946 pairs, 6 attrs).
+    FodorsZagats,
+    /// DBLP-ACM (12,363 pairs, 4 attrs). Has a dirty version.
+    DblpAcm,
+    /// DBLP-Scholar (28,707 pairs, 4 attrs). Has a dirty version.
+    DblpScholar,
+    /// Amazon-Google (11,460 pairs, 3 attrs).
+    AmazonGoogle,
+    /// Walmart-Amazon (10,242 pairs, 5 attrs). Has a dirty version.
+    WalmartAmazon,
+    /// Abt-Buy (9,575 pairs, 3 attrs).
+    AbtBuy,
+    /// Company (112,632 pairs, 1 attr).
+    Company,
+}
+
+const BEER_SCHEMA: Schema = Schema {
+    name: "beer",
+    attrs: &[
+        ("beer_name", AttrKind::TitleFull),
+        ("brew_factory", AttrKind::Brand),
+        ("style", AttrKind::Category),
+        ("abv", AttrKind::Abv),
+    ],
+};
+
+const ITUNES_SCHEMA: Schema = Schema {
+    name: "itunes-amazon",
+    attrs: &[
+        ("song_name", AttrKind::TitleFull),
+        ("artist", AttrKind::PersonName),
+        ("album", AttrKind::Name),
+        ("genre", AttrKind::Category),
+        ("price", AttrKind::Price),
+        ("copyright", AttrKind::Brand),
+        ("time", AttrKind::Time),
+        ("released", AttrKind::Year),
+    ],
+};
+
+const FODORS_SCHEMA: Schema = Schema {
+    name: "fodors-zagats",
+    attrs: &[
+        ("name", AttrKind::Name),
+        ("addr", AttrKind::Address),
+        ("city", AttrKind::Category),
+        ("phone", AttrKind::Phone),
+        ("type", AttrKind::Category),
+        ("class", AttrKind::Model),
+    ],
+};
+
+const CITATION_SCHEMA: Schema = Schema {
+    name: "citation",
+    attrs: &[
+        ("title", AttrKind::TitleFull),
+        ("authors", AttrKind::PersonName),
+        ("venue", AttrKind::Venue),
+        ("year", AttrKind::Year),
+    ],
+};
+
+const AMAZON_GOOGLE_SCHEMA: Schema = Schema {
+    name: "amazon-google",
+    attrs: &[
+        ("title", AttrKind::TitleFull),
+        ("manufacturer", AttrKind::Brand),
+        ("price", AttrKind::Price),
+    ],
+};
+
+const WALMART_SCHEMA: Schema = Schema {
+    name: "walmart-amazon",
+    attrs: &[
+        ("title", AttrKind::TitleFull),
+        ("category", AttrKind::Category),
+        ("brand", AttrKind::Brand),
+        ("modelno", AttrKind::Model),
+        ("price", AttrKind::Price),
+    ],
+};
+
+const ABT_BUY_SCHEMA: Schema = Schema {
+    name: "abt-buy",
+    attrs: &[
+        ("name", AttrKind::TitleFull),
+        ("description", AttrKind::Description),
+        ("price", AttrKind::Price),
+    ],
+};
+
+const COMPANY_SCHEMA: Schema =
+    Schema { name: "company", attrs: &[("content", AttrKind::LongText)] };
+
+/// Per-dataset generation settings.
+struct Profile {
+    schema: &'static Schema,
+    lexicon: &'static lexicon::DomainLexicon,
+    n_pairs: usize,
+    pos_rate: f64,
+    hard_negative_frac: f64,
+    noise_a: NoiseConfig,
+    noise_b: NoiseConfig,
+    world_products: usize,
+    family_size: usize,
+    seed: u64,
+}
+
+impl MagellanDataset {
+    /// All nine datasets, in Table 1 order.
+    pub fn all() -> [Self; 9] {
+        [
+            Self::Beer,
+            Self::ItunesAmazon,
+            Self::FodorsZagats,
+            Self::DblpAcm,
+            Self::DblpScholar,
+            Self::AmazonGoogle,
+            Self::WalmartAmazon,
+            Self::AbtBuy,
+            Self::Company,
+        ]
+    }
+
+    /// The four datasets with dirty versions in the paper.
+    pub fn dirty_capable() -> [Self; 4] {
+        [Self::ItunesAmazon, Self::DblpAcm, Self::DblpScholar, Self::WalmartAmazon]
+    }
+
+    /// The five datasets with public raw tables used for collective ER
+    /// (Table 5 of the paper).
+    pub fn collective_capable() -> [Self; 5] {
+        [
+            Self::ItunesAmazon,
+            Self::DblpAcm,
+            Self::AmazonGoogle,
+            Self::WalmartAmazon,
+            Self::AbtBuy,
+        ]
+    }
+
+    /// Canonical dataset name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Beer => "Beer",
+            Self::ItunesAmazon => "iTunes-Amazon",
+            Self::FodorsZagats => "Fodors-Zagats",
+            Self::DblpAcm => "DBLP-ACM",
+            Self::DblpScholar => "DBLP-Scholar",
+            Self::AmazonGoogle => "Amazon-Google",
+            Self::WalmartAmazon => "Walmart-Amazon",
+            Self::AbtBuy => "Abt-Buy",
+            Self::Company => "Company",
+        }
+    }
+
+    /// Short name used in the paper's tables (I-A, D-A, ...).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Self::Beer => "Beer",
+            Self::ItunesAmazon => "I-A",
+            Self::FodorsZagats => "F-Z",
+            Self::DblpAcm => "D-A",
+            Self::DblpScholar => "D-S",
+            Self::AmazonGoogle => "A-G",
+            Self::WalmartAmazon => "W-A",
+            Self::AbtBuy => "A-B",
+            Self::Company => "C",
+        }
+    }
+
+    /// Dataset schema.
+    pub fn schema(&self) -> &'static Schema {
+        self.profile().schema
+    }
+
+    fn profile(&self) -> Profile {
+        match self {
+            Self::Beer => Profile {
+                schema: &BEER_SCHEMA,
+                lexicon: &lexicon::BEER,
+                n_pairs: 280,
+                pos_rate: 0.15,
+                hard_negative_frac: 0.4,
+                noise_a: NoiseConfig::light(),
+                noise_b: NoiseConfig::light(),
+                world_products: 90,
+                family_size: 3,
+                seed: 0xbee0,
+            },
+            Self::ItunesAmazon => Profile {
+                schema: &ITUNES_SCHEMA,
+                lexicon: &lexicon::MUSIC,
+                n_pairs: 300,
+                pos_rate: 0.245,
+                hard_negative_frac: 0.5,
+                noise_a: NoiseConfig::light(),
+                noise_b: NoiseConfig::light(),
+                world_products: 110,
+                family_size: 3,
+                seed: 0x17a0,
+            },
+            Self::FodorsZagats => Profile {
+                schema: &FODORS_SCHEMA,
+                lexicon: &lexicon::RESTAURANT,
+                n_pairs: 300,
+                pos_rate: 0.13,
+                hard_negative_frac: 0.3,
+                noise_a: NoiseConfig::clean(),
+                noise_b: NoiseConfig::clean(),
+                world_products: 130,
+                family_size: 2,
+                seed: 0xf0d0,
+            },
+            Self::DblpAcm => Profile {
+                schema: &CITATION_SCHEMA,
+                lexicon: &lexicon::CITATION,
+                n_pairs: 480,
+                pos_rate: 0.18,
+                hard_negative_frac: 0.35,
+                noise_a: NoiseConfig::clean(),
+                noise_b: NoiseConfig::clean(),
+                world_products: 260,
+                family_size: 3,
+                seed: 0xdb1a,
+            },
+            Self::DblpScholar => Profile {
+                schema: &CITATION_SCHEMA,
+                lexicon: &lexicon::CITATION,
+                n_pairs: 520,
+                pos_rate: 0.186,
+                hard_negative_frac: 0.4,
+                noise_a: NoiseConfig::clean(),
+                noise_b: NoiseConfig::light(),
+                world_products: 300,
+                family_size: 3,
+                seed: 0xdb15,
+            },
+            Self::AmazonGoogle => Profile {
+                schema: &AMAZON_GOOGLE_SCHEMA,
+                lexicon: &lexicon::SOFTWARE,
+                n_pairs: 600,
+                pos_rate: 0.14,
+                hard_negative_frac: 0.55,
+                noise_a: NoiseConfig::medium(),
+                noise_b: NoiseConfig::heavy(),
+                world_products: 320,
+                family_size: 4,
+                seed: 0xa600,
+            },
+            Self::WalmartAmazon => Profile {
+                schema: &WALMART_SCHEMA,
+                lexicon: &lexicon::ELECTRONICS,
+                n_pairs: 500,
+                pos_rate: 0.12,
+                hard_negative_frac: 0.6,
+                noise_a: NoiseConfig::light(),
+                noise_b: NoiseConfig::medium(),
+                world_products: 240,
+                family_size: 4,
+                seed: 0x3a1a,
+            },
+            Self::AbtBuy => Profile {
+                schema: &ABT_BUY_SCHEMA,
+                lexicon: &lexicon::PRODUCT,
+                n_pairs: 460,
+                pos_rate: 0.12,
+                hard_negative_frac: 0.55,
+                noise_a: NoiseConfig::light(),
+                noise_b: NoiseConfig::medium(),
+                world_products: 230,
+                family_size: 4,
+                seed: 0xab7b,
+            },
+            Self::Company => Profile {
+                schema: &COMPANY_SCHEMA,
+                lexicon: &lexicon::COMPANY,
+                n_pairs: 300,
+                pos_rate: 0.25,
+                hard_negative_frac: 0.45,
+                noise_a: NoiseConfig::medium(),
+                noise_b: NoiseConfig::medium(),
+                world_products: 180,
+                family_size: 3,
+                seed: 0xc0c0,
+            },
+        }
+    }
+
+    /// Generates the dataset. `scale` multiplies the pair count (1.0 is the
+    /// default benchmark size; smaller values speed up tests).
+    pub fn load(&self, scale: f64) -> PairDataset {
+        let p = self.profile();
+        let world = World::generate(p.lexicon, p.world_products, p.family_size, p.seed);
+        let cfg = PairGenConfig {
+            n_pairs: ((p.n_pairs as f64 * scale).round() as usize).max(20),
+            pos_rate: p.pos_rate,
+            hard_negative_frac: p.hard_negative_frac,
+            noise_a: p.noise_a,
+            noise_b: p.noise_b,
+            seed: p.seed ^ 0x9a1,
+        };
+        generate_pair_dataset(self.name(), &world, p.schema, &cfg)
+    }
+
+    /// Generates the dirty variant (only for [`Self::dirty_capable`]).
+    pub fn load_dirty(&self, scale: f64) -> PairDataset {
+        let clean = self.load(scale);
+        make_dirty(&clean, &DirtyConfig::default(), self.profile().seed ^ 0xd1d1)
+    }
+
+    /// Generates the collective version under the split-then-block protocol
+    /// with top-16 TF-IDF blocking (§6.3).
+    pub fn load_collective(&self, scale: f64) -> CollectiveDataset {
+        let p = self.profile();
+        let world = World::generate(p.lexicon, p.world_products, p.family_size, p.seed ^ 0xc01);
+        let n_queries = (((p.n_pairs / 4) as f64 * scale).round() as usize).max(10);
+        let cfg = CollectiveGenConfig {
+            n_queries,
+            top_n: 16,
+            noise_a: p.noise_a,
+            noise_b: p.noise_b,
+            distractor_frac: 0.3,
+            seed: p.seed ^ 0xc02,
+        };
+        generate_collective_dataset(self.name(), &world, p.schema, &cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_with_correct_arity() {
+        let expected_arity = [4usize, 8, 6, 4, 4, 3, 5, 3, 1];
+        for (ds, &arity) in MagellanDataset::all().iter().zip(&expected_arity) {
+            let d = ds.load(0.2);
+            assert_eq!(d.arity(), arity, "{}", ds.name());
+            assert!(!d.train.is_empty(), "{} empty train", ds.name());
+        }
+    }
+
+    #[test]
+    fn positive_rates_roughly_match_paper() {
+        let ds = MagellanDataset::AmazonGoogle.load(1.0);
+        assert!((ds.positive_rate() - 0.14).abs() < 0.03, "rate {}", ds.positive_rate());
+        let ds = MagellanDataset::Company.load(1.0);
+        assert!((ds.positive_rate() - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn dirty_variant_differs_but_keeps_labels() {
+        let clean = MagellanDataset::WalmartAmazon.load(0.3);
+        let dirty = MagellanDataset::WalmartAmazon.load_dirty(0.3);
+        assert_eq!(clean.len(), dirty.len());
+        assert_eq!(clean.n_positive(), dirty.n_positive());
+        let changed = clean
+            .train
+            .iter()
+            .zip(&dirty.train)
+            .filter(|(c, d)| c.left.attrs != d.left.attrs || c.right.attrs != d.right.attrs)
+            .count();
+        assert!(changed > 0);
+    }
+
+    #[test]
+    fn collective_versions_have_top16_candidates() {
+        let ds = MagellanDataset::AmazonGoogle.load_collective(0.3);
+        assert!(ds.n_queries() >= 10);
+        for e in ds.train.iter().chain(&ds.test) {
+            assert!(e.n_candidates() <= 16);
+        }
+    }
+
+    #[test]
+    fn loads_are_deterministic() {
+        let a = MagellanDataset::Beer.load(0.5);
+        let b = MagellanDataset::Beer.load(0.5);
+        assert_eq!(a.train.len(), b.train.len());
+        for (x, y) in a.train.iter().zip(&b.train) {
+            assert_eq!(x.left.attrs, y.left.attrs);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MagellanDataset::DblpScholar.short_name(), "D-S");
+        assert_eq!(MagellanDataset::AbtBuy.name(), "Abt-Buy");
+        assert_eq!(MagellanDataset::all().len(), 9);
+        assert_eq!(MagellanDataset::dirty_capable().len(), 4);
+        assert_eq!(MagellanDataset::collective_capable().len(), 5);
+    }
+}

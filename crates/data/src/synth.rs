@@ -1,0 +1,555 @@
+//! The synthetic product world: ground-truth entities, noisy per-source
+//! rendering, and labeled pair construction.
+//!
+//! A *world* is a catalog of ground-truth products organized into
+//! **families** (same brand, category, and base name; different model codes).
+//! Rendering a product through a [`NoiseConfig`] simulates one data source's
+//! formatting; pairing two renderings of the same product gives a positive,
+//! pairing family siblings gives the hard negatives that make benchmarks
+//! like Amazon-Google difficult (shared brand/series text, one different
+//! model token — exactly the failure mode of the RNN models in Figure 1 of
+//! the paper).
+
+use crate::entity::Entity;
+use crate::lexicon::{model_code, pseudo_word, DomainLexicon, FILLERS, POLYSEMOUS};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Per-source rendering noise.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Probability of dropping each non-essential token.
+    pub token_drop: f64,
+    /// Probability of swapping adjacent tokens.
+    pub token_swap: f64,
+    /// Probability of a character typo per token.
+    pub typo: f64,
+    /// Probability an attribute value is replaced by `"NAN"`.
+    pub missing_attr: f64,
+    /// Relative jitter applied to numeric fields.
+    pub numeric_jitter: f64,
+    /// Probability of inserting a filler token after each token.
+    pub extra_filler: f64,
+    /// Probability that the discriminative model code is dropped entirely
+    /// (this is what makes hard datasets hard).
+    pub model_drop: f64,
+    /// Probability of moving one attribute's value into another (mild
+    /// structural heterogeneity; the dirty datasets crank this up).
+    pub attr_inject: f64,
+}
+
+impl NoiseConfig {
+    /// Nearly exact copies (DBLP-ACM-like, paper F1 ≈ 99).
+    pub fn clean() -> Self {
+        Self {
+            token_drop: 0.02,
+            token_swap: 0.02,
+            typo: 0.01,
+            missing_attr: 0.01,
+            numeric_jitter: 0.0,
+            extra_filler: 0.02,
+            model_drop: 0.0,
+            attr_inject: 0.0,
+        }
+    }
+
+    /// Light formatting differences (iTunes-Amazon-like).
+    pub fn light() -> Self {
+        Self {
+            token_drop: 0.08,
+            token_swap: 0.05,
+            typo: 0.03,
+            missing_attr: 0.04,
+            numeric_jitter: 0.02,
+            extra_filler: 0.06,
+            model_drop: 0.02,
+            attr_inject: 0.03,
+        }
+    }
+
+    /// Substantial heterogeneity (Walmart-Amazon-like).
+    pub fn medium() -> Self {
+        Self {
+            token_drop: 0.18,
+            token_swap: 0.10,
+            typo: 0.05,
+            missing_attr: 0.14,
+            numeric_jitter: 0.10,
+            extra_filler: 0.12,
+            model_drop: 0.06,
+            attr_inject: 0.30,
+        }
+    }
+
+    /// Heavy noise (Amazon-Google / Abt-Buy-like, paper F1 ≈ 76).
+    pub fn heavy() -> Self {
+        Self {
+            token_drop: 0.22,
+            token_swap: 0.12,
+            typo: 0.06,
+            missing_attr: 0.14,
+            numeric_jitter: 0.15,
+            extra_filler: 0.15,
+            model_drop: 0.06,
+            attr_inject: 0.40,
+        }
+    }
+}
+
+/// A ground-truth product in the world.
+#[derive(Debug, Clone)]
+pub struct Product {
+    /// Unique id within the world.
+    pub uid: usize,
+    /// Family id (products in one family are hard negatives of each other).
+    pub family: usize,
+    /// Category index into the domain lexicon.
+    pub category: usize,
+    /// Brand pseudo-word (shared within a family).
+    pub brand: String,
+    /// Model code — the discriminative token.
+    pub model: String,
+    /// Base name words (shared within a family).
+    pub name_words: Vec<String>,
+    /// Member-specific descriptive words.
+    pub desc_words: Vec<String>,
+    /// A person-like name (artist / author / brewer), pseudo-generated.
+    pub person: String,
+    /// Ground-truth price.
+    pub price: f64,
+    /// Ground-truth year.
+    pub year: u32,
+}
+
+/// A catalog of products over one domain lexicon.
+pub struct World {
+    /// The domain lexicon used for rendering.
+    pub lexicon: &'static DomainLexicon,
+    /// The ground-truth catalog.
+    pub products: Vec<Product>,
+}
+
+impl World {
+    /// Generates `n_products` products in families of `family_size`.
+    pub fn generate(
+        lexicon: &'static DomainLexicon,
+        n_products: usize,
+        family_size: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(family_size >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut products = Vec::with_capacity(n_products);
+        let mut uid = 0;
+        let mut family = 0;
+        while products.len() < n_products {
+            let category = rng.gen_range(0..lexicon.categories.len());
+            let brand_syllables = rng.gen_range(2..=3);
+            let brand = pseudo_word(&mut rng, brand_syllables);
+            let n_name = rng.gen_range(2..=3);
+            let name_words: Vec<String> = (0..n_name)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        lexicon.nouns.choose(&mut rng).expect("nonempty").to_string()
+                    } else {
+                        lexicon.modifiers.choose(&mut rng).expect("nonempty").to_string()
+                    }
+                })
+                .collect();
+            let members = family_size.min(n_products - products.len());
+            for _ in 0..members {
+                let mut desc_words = Vec::new();
+                let n_desc = rng.gen_range(6..=14);
+                for _ in 0..n_desc {
+                    let pool = if rng.gen_bool(0.5) { lexicon.nouns } else { lexicon.modifiers };
+                    desc_words.push(pool.choose(&mut rng).expect("nonempty").to_string());
+                }
+                // Polysemous words appear with category-specific companions,
+                // so context disambiguates them (§1 of the paper).
+                if rng.gen_bool(0.25) {
+                    let p = POLYSEMOUS.choose(&mut rng).expect("nonempty").to_string();
+                    let companion = lexicon.nouns[category % lexicon.nouns.len()].to_string();
+                    desc_words.push(p);
+                    desc_words.push(companion);
+                }
+                products.push(Product {
+                    uid,
+                    family,
+                    category,
+                    brand: brand.clone(),
+                    model: model_code(&mut rng),
+                    name_words: name_words.clone(),
+                    desc_words,
+                    person: format!(
+                        "{} {}",
+                        pseudo_word(&mut rng, 2),
+                        pseudo_word(&mut rng, 3)
+                    ),
+                    price: (rng.gen_range(5.0..2000.0f64) * 100.0).round() / 100.0,
+                    year: rng.gen_range(1995..2022),
+                });
+                uid += 1;
+            }
+            family += 1;
+        }
+        Self { lexicon, products }
+    }
+
+    /// Siblings of a product (same family, different uid).
+    pub fn family_siblings(&self, p: &Product) -> Vec<&Product> {
+        self.products
+            .iter()
+            .filter(|q| q.family == p.family && q.uid != p.uid)
+            .collect()
+    }
+}
+
+/// Attribute semantics used by dataset schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrKind {
+    /// Brand + name + model (+modifiers): the headline attribute.
+    TitleFull,
+    /// Brand + name words only (no model code).
+    Name,
+    /// The brand token.
+    Brand,
+    /// The model code.
+    Model,
+    /// Formatted price.
+    Price,
+    /// Release/publication year.
+    Year,
+    /// Member-specific description words.
+    Description,
+    /// Category label.
+    Category,
+    /// Person-like name (artist, authors, brewer).
+    PersonName,
+    /// Venue-like short phrase (citation datasets).
+    Venue,
+    /// Phone number derived from the uid.
+    Phone,
+    /// Street address derived from the uid.
+    Address,
+    /// Long free text (Company dataset): name + description + fillers.
+    LongText,
+    /// Duration mm:ss derived from the uid.
+    Time,
+    /// ABV percentage (beer).
+    Abv,
+}
+
+/// A dataset schema: named attributes with semantics.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Schema name for diagnostics.
+    pub name: &'static str,
+    /// `(attribute key, semantics)` in order.
+    pub attrs: &'static [(&'static str, AttrKind)],
+}
+
+impl Schema {
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+fn apply_token_noise(tokens: &mut Vec<String>, noise: &NoiseConfig, rng: &mut StdRng) {
+    // Drop.
+    if noise.token_drop > 0.0 && tokens.len() > 1 {
+        tokens.retain(|_| !rng.gen_bool(noise.token_drop));
+        if tokens.is_empty() {
+            tokens.push(FILLERS[0].to_string());
+        }
+    }
+    // Adjacent swaps.
+    if tokens.len() >= 2 {
+        for i in 0..tokens.len() - 1 {
+            if rng.gen_bool(noise.token_swap) {
+                tokens.swap(i, i + 1);
+            }
+        }
+    }
+    // Typos: duplicate or drop one character.
+    for t in tokens.iter_mut() {
+        if t.len() > 3 && rng.gen_bool(noise.typo) {
+            let pos = rng.gen_range(1..t.len() - 1);
+            if t.is_char_boundary(pos) && t.is_char_boundary(pos + 1) {
+                if rng.gen_bool(0.5) {
+                    t.remove(pos);
+                } else {
+                    let c = t.as_bytes()[pos] as char;
+                    t.insert(pos, c);
+                }
+            }
+        }
+    }
+    // Filler insertion.
+    if noise.extra_filler > 0.0 {
+        let mut out = Vec::with_capacity(tokens.len() + 2);
+        for t in tokens.drain(..) {
+            out.push(t);
+            if rng.gen_bool(noise.extra_filler) {
+                out.push(FILLERS.choose(rng).expect("nonempty").to_string());
+            }
+        }
+        *tokens = out;
+    }
+}
+
+fn jitter_number(value: f64, rel: f64, rng: &mut StdRng) -> f64 {
+    if rel <= 0.0 {
+        return value;
+    }
+    let factor = 1.0 + rng.gen_range(-rel..rel);
+    (value * factor * 100.0).round() / 100.0
+}
+
+/// Renders one attribute value for a product.
+fn render_attr(
+    p: &Product,
+    lexicon: &DomainLexicon,
+    kind: AttrKind,
+    noise: &NoiseConfig,
+    rng: &mut StdRng,
+) -> String {
+    let mut tokens: Vec<String> = match kind {
+        AttrKind::TitleFull => {
+            let mut t = vec![p.brand.clone()];
+            t.extend(p.name_words.iter().cloned());
+            if !rng.gen_bool(noise.model_drop) {
+                t.push(p.model.clone());
+            }
+            if rng.gen_bool(0.4) {
+                t.push(lexicon.modifiers.choose(rng).expect("nonempty").to_string());
+            }
+            t
+        }
+        AttrKind::Name => {
+            let mut t = vec![p.brand.clone()];
+            t.extend(p.name_words.iter().cloned());
+            t
+        }
+        AttrKind::Brand => vec![p.brand.clone()],
+        AttrKind::Model => vec![p.model.clone()],
+        AttrKind::Price => {
+            let v = jitter_number(p.price, noise.numeric_jitter, rng);
+            return format!("{v:.2}");
+        }
+        AttrKind::Year => return p.year.to_string(),
+        AttrKind::Description => p.desc_words.clone(),
+        AttrKind::Category => {
+            return lexicon.categories[p.category % lexicon.categories.len()].to_string()
+        }
+        AttrKind::PersonName => p.person.split(' ').map(str::to_string).collect(),
+        AttrKind::Venue => {
+            // Venue derived from the family so related records agree.
+            let v1 = lexicon.nouns[p.family % lexicon.nouns.len()].to_string();
+            vec!["proc".to_string(), v1, "conf".to_string()]
+        }
+        AttrKind::Phone => {
+            return format!(
+                "{:03}-{:03}-{:04}",
+                200 + p.uid % 700,
+                (p.uid * 7) % 1000,
+                (p.uid * 31) % 10000
+            );
+        }
+        AttrKind::Address => {
+            let street = lexicon.nouns[(p.uid * 13) % lexicon.nouns.len()];
+            vec![format!("{}", 10 + p.uid % 980), street.to_string(), "st".to_string()]
+        }
+        AttrKind::LongText => {
+            let mut t = vec![p.brand.clone()];
+            t.extend(p.name_words.iter().cloned());
+            t.push(p.model.clone());
+            t.extend(p.desc_words.iter().cloned());
+            for _ in 0..12 {
+                let pool = if rng.gen_bool(0.5) { lexicon.nouns } else { lexicon.modifiers };
+                t.push(pool.choose(rng).expect("nonempty").to_string());
+            }
+            t
+        }
+        AttrKind::Time => {
+            return format!("{}:{:02}", 2 + p.uid % 6, (p.uid * 17) % 60);
+        }
+        AttrKind::Abv => {
+            let v = jitter_number(4.0 + (p.uid % 80) as f64 / 10.0, noise.numeric_jitter, rng);
+            return format!("{v:.1}%");
+        }
+    };
+    apply_token_noise(&mut tokens, noise, rng);
+    tokens.join(" ")
+}
+
+/// Renders a full entity for `p` under a schema and noise level.
+///
+/// The `source` string namespaces entity ids so two renderings of the same
+/// product are distinguishable.
+pub fn render_entity(
+    p: &Product,
+    lexicon: &DomainLexicon,
+    schema: &Schema,
+    noise: &NoiseConfig,
+    source: &str,
+    rng: &mut StdRng,
+) -> Entity {
+    let attrs = schema
+        .attrs
+        .iter()
+        .map(|&(key, kind)| {
+            let v = if rng.gen_bool(noise.missing_attr) {
+                crate::entity::MISSING.to_string()
+            } else {
+                render_attr(p, lexicon, kind, noise, rng)
+            };
+            (key.to_string(), v)
+        })
+        .collect();
+    Entity::new(format!("{source}-{}", p.uid), attrs)
+}
+
+/// Derives a second-source view of an already-rendered entity by applying
+/// token noise, numeric jitter, missing values, and attribute injection.
+///
+/// Matching records in real benchmarks are *edited copies* of one another
+/// (a retailer reformats the manufacturer's text), not independent
+/// renderings, so the pair generator renders source A from the ground truth
+/// and perturbs that rendering into the source-B view.
+pub fn perturb_entity(e: &Entity, noise: &NoiseConfig, id: &str, rng: &mut StdRng) -> Entity {
+    let mut attrs: Vec<(String, String)> = Vec::with_capacity(e.arity());
+    for (key, val) in &e.attrs {
+        if rng.gen_bool(noise.missing_attr) || val == crate::entity::MISSING {
+            attrs.push((key.clone(), crate::entity::MISSING.to_string()));
+            continue;
+        }
+        // Numeric fields get jitter instead of token noise.
+        if let Ok(num) = val.trim_end_matches('%').parse::<f64>() {
+            let jittered = jitter_number(num, noise.numeric_jitter, rng);
+            let rendered = if val.ends_with('%') {
+                format!("{jittered:.1}%")
+            } else {
+                format!("{jittered:.2}")
+            };
+            attrs.push((key.clone(), rendered));
+            continue;
+        }
+        let mut tokens: Vec<String> = val.split(' ').map(str::to_string).collect();
+        apply_token_noise(&mut tokens, noise, rng);
+        attrs.push((key.clone(), tokens.join(" ")));
+    }
+    // Attribute injection: move one value into another attribute (mild
+    // version of the dirty corruption).
+    if attrs.len() >= 2 && rng.gen_bool(noise.attr_inject) {
+        let src = rng.gen_range(0..attrs.len());
+        let mut dst = rng.gen_range(0..attrs.len() - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        let moved = std::mem::replace(&mut attrs[src].1, crate::entity::MISSING.to_string());
+        if moved != crate::entity::MISSING {
+            if attrs[dst].1 == crate::entity::MISSING {
+                attrs[dst].1 = moved;
+            } else {
+                attrs[dst].1.push(' ');
+                attrs[dst].1.push_str(&moved);
+            }
+        }
+    }
+    Entity::new(id, attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::SOFTWARE;
+
+    const SCHEMA: Schema = Schema {
+        name: "test",
+        attrs: &[
+            ("title", AttrKind::TitleFull),
+            ("manufacturer", AttrKind::Brand),
+            ("price", AttrKind::Price),
+        ],
+    };
+
+    #[test]
+    fn world_generation_is_deterministic() {
+        let w1 = World::generate(&SOFTWARE, 20, 4, 42);
+        let w2 = World::generate(&SOFTWARE, 20, 4, 42);
+        assert_eq!(w1.products.len(), 20);
+        for (a, b) in w1.products.iter().zip(&w2.products) {
+            assert_eq!(a.brand, b.brand);
+            assert_eq!(a.model, b.model);
+        }
+    }
+
+    #[test]
+    fn families_share_brand_and_name() {
+        let w = World::generate(&SOFTWARE, 12, 4, 1);
+        let p = &w.products[0];
+        let siblings = w.family_siblings(p);
+        assert_eq!(siblings.len(), 3);
+        for s in siblings {
+            assert_eq!(s.brand, p.brand);
+            assert_eq!(s.name_words, p.name_words);
+            assert_ne!(s.model, p.model, "siblings must differ in model code");
+        }
+    }
+
+    #[test]
+    fn render_produces_schema_attrs() {
+        let w = World::generate(&SOFTWARE, 4, 2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = render_entity(&w.products[0], w.lexicon, &SCHEMA, &NoiseConfig::clean(), "a", &mut rng);
+        assert_eq!(e.arity(), 3);
+        assert!(e.attr("title").expect("title").contains(&w.products[0].brand));
+        assert!(e.attr("price").expect("price").parse::<f64>().is_ok());
+    }
+
+    #[test]
+    fn clean_renderings_of_same_product_share_model_code() {
+        let w = World::generate(&SOFTWARE, 4, 2, 5);
+        let p = &w.products[0];
+        let mut rng = StdRng::seed_from_u64(7);
+        let noise = NoiseConfig::clean();
+        let a = render_entity(p, w.lexicon, &SCHEMA, &noise, "a", &mut rng);
+        let b = render_entity(p, w.lexicon, &SCHEMA, &noise, "b", &mut rng);
+        assert!(a.attr("title").expect("t").contains(&p.model));
+        assert!(b.attr("title").expect("t").contains(&p.model));
+    }
+
+    #[test]
+    fn heavy_noise_changes_text() {
+        let w = World::generate(&SOFTWARE, 4, 2, 6);
+        let p = &w.products[0];
+        let mut rng = StdRng::seed_from_u64(8);
+        let clean = render_entity(p, w.lexicon, &SCHEMA, &NoiseConfig::clean(), "a", &mut rng);
+        let noisy = render_entity(p, w.lexicon, &SCHEMA, &NoiseConfig::heavy(), "b", &mut rng);
+        assert_ne!(clean.attr("title"), noisy.attr("title"));
+    }
+
+    #[test]
+    fn missing_attr_probability_one_yields_all_nan() {
+        let w = World::generate(&SOFTWARE, 2, 1, 9);
+        let mut noise = NoiseConfig::clean();
+        noise.missing_attr = 1.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = render_entity(&w.products[0], w.lexicon, &SCHEMA, &noise, "a", &mut rng);
+        assert!(e.attrs.iter().all(|(_, v)| v == crate::entity::MISSING));
+    }
+
+    #[test]
+    fn render_never_produces_empty_values() {
+        let w = World::generate(&SOFTWARE, 10, 2, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        for p in &w.products {
+            let e = render_entity(p, w.lexicon, &SCHEMA, &NoiseConfig::heavy(), "a", &mut rng);
+            for (_, v) in &e.attrs {
+                assert!(!v.is_empty());
+            }
+        }
+    }
+}

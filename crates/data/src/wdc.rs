@@ -1,0 +1,232 @@
+//! Synthetic stand-in for the WDC product-matching corpus (Table 2 of the
+//! paper): four domains x four training-set sizes plus the combined "all"
+//! dataset, with a fixed test set per domain.
+//!
+//! As in the paper, only the `title` attribute is aligned, positives come
+//! from shared product identity, and negatives are chosen with high text
+//! similarity (family siblings), which is what makes WDC hard.
+
+use crate::dataset::PairDataset;
+use crate::entity::EntityPair;
+use crate::lexicon;
+use crate::pairgen::{generate_pairs, PairGenConfig};
+use crate::synth::{AttrKind, NoiseConfig, Schema, World};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// WDC product domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WdcDomain {
+    /// Computers.
+    Computer,
+    /// Cameras.
+    Camera,
+    /// Watches.
+    Watch,
+    /// Shoes.
+    Shoe,
+}
+
+/// WDC training-set size tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WdcSize {
+    /// ~1/24 of xlarge.
+    Small,
+    /// ~1/8 of xlarge.
+    Medium,
+    /// ~1/2 of xlarge.
+    Large,
+    /// Full size.
+    Xlarge,
+}
+
+const WDC_SCHEMA: Schema = Schema { name: "wdc", attrs: &[("title", AttrKind::TitleFull)] };
+
+impl WdcDomain {
+    /// All four domains.
+    pub fn all() -> [Self; 4] {
+        [Self::Computer, Self::Camera, Self::Watch, Self::Shoe]
+    }
+
+    /// Domain name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Computer => "computer",
+            Self::Camera => "camera",
+            Self::Watch => "watch",
+            Self::Shoe => "shoe",
+        }
+    }
+
+    fn lexicon(&self) -> &'static lexicon::DomainLexicon {
+        match self {
+            Self::Computer => &lexicon::COMPUTER,
+            Self::Camera => &lexicon::CAMERA,
+            Self::Watch => &lexicon::WATCH,
+            Self::Shoe => &lexicon::SHOE,
+        }
+    }
+
+    fn seed(&self) -> u64 {
+        match self {
+            Self::Computer => 0x3dc0,
+            Self::Camera => 0x3dc1,
+            Self::Watch => 0x3dc2,
+            Self::Shoe => 0x3dc3,
+        }
+    }
+}
+
+impl WdcSize {
+    /// All tiers, smallest first.
+    pub fn all() -> [Self; 4] {
+        [Self::Small, Self::Medium, Self::Large, Self::Xlarge]
+    }
+
+    /// Tier name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Small => "small",
+            Self::Medium => "medium",
+            Self::Large => "large",
+            Self::Xlarge => "xlarge",
+        }
+    }
+
+    /// Scaled-down training+validation pair counts mirroring the paper's
+    /// relative sizes (~1 : 2.9 : 11.8 : 24).
+    fn train_pairs(&self) -> usize {
+        match self {
+            Self::Small => 40,
+            Self::Medium => 110,
+            Self::Large => 460,
+            Self::Xlarge => 940,
+        }
+    }
+}
+
+/// Scaled-down fixed test-set size per domain (paper: 1100 with 300
+/// positives).
+pub const WDC_TEST_PAIRS: usize = 88;
+/// Positive pairs inside [`WDC_TEST_PAIRS`] (paper ratio 300:1100).
+pub const WDC_TEST_POS: usize = 24;
+
+/// Loads one WDC domain at one size tier.
+///
+/// The test set is identical across tiers of the same domain (as in WDC,
+/// where every training size is evaluated on the same gold standard); the
+/// training+validation pool grows with the tier and is split 4:1 (§6.1).
+pub fn load_wdc(domain: WdcDomain, size: WdcSize, scale: f64) -> PairDataset {
+    let world = World::generate(domain.lexicon(), 420, 5, domain.seed());
+    let noise = NoiseConfig::light();
+    // Fixed test set: generated with a tier-independent seed.
+    let test_cfg = PairGenConfig {
+        n_pairs: ((WDC_TEST_PAIRS as f64 * scale).round() as usize).max(15),
+        pos_rate: WDC_TEST_POS as f64 / WDC_TEST_PAIRS as f64,
+        hard_negative_frac: 0.55,
+        noise_a: noise,
+        noise_b: NoiseConfig::medium(),
+        seed: domain.seed() ^ 0x7e57,
+    };
+    let test = generate_pairs(&world, &WDC_SCHEMA, &test_cfg);
+
+    let pool_cfg = PairGenConfig {
+        n_pairs: ((size.train_pairs() as f64 * scale).round() as usize).max(10),
+        pos_rate: 0.27,
+        hard_negative_frac: 0.55,
+        noise_a: noise,
+        noise_b: NoiseConfig::medium(),
+        // Tier-specific stream so bigger tiers are supersets in distribution.
+        seed: domain.seed() ^ 0x1234,
+    };
+    let pool = generate_pairs(&world, &WDC_SCHEMA, &pool_cfg);
+
+    // 4:1 train/validation split over the pool (paper §6.1), stratified by
+    // label — generate_pairs emits positives first, so an unshuffled tail
+    // split would leave validation positive-free.
+    let mut rng = StdRng::seed_from_u64(domain.seed() ^ 0x5117);
+    let (mut pos, mut neg): (Vec<EntityPair>, Vec<EntityPair>) =
+        pool.into_iter().partition(|p| p.label);
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut train = Vec::new();
+    let mut valid = Vec::new();
+    for mut stratum in [pos, neg] {
+        let n_train = stratum.len() * 4 / 5;
+        valid.extend(stratum.split_off(n_train));
+        train.extend(stratum);
+    }
+    train.shuffle(&mut rng);
+    valid.shuffle(&mut rng);
+    PairDataset {
+        name: format!("wdc-{}-{}", domain.name(), size.name()),
+        train,
+        valid,
+        test,
+    }
+}
+
+/// Loads the multi-domain "all" dataset: the union of the four domains at
+/// the given tier, with the concatenated fixed test sets.
+pub fn load_wdc_all(size: WdcSize, scale: f64) -> PairDataset {
+    let mut train = Vec::new();
+    let mut valid = Vec::new();
+    let mut test = Vec::new();
+    for domain in WdcDomain::all() {
+        let ds = load_wdc(domain, size, scale);
+        train.extend(ds.train);
+        valid.extend(ds.valid);
+        test.extend(ds.test);
+    }
+    PairDataset { name: format!("wdc-all-{}", size.name()), train, valid, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_grow_monotonically() {
+        let mut prev = 0;
+        for size in WdcSize::all() {
+            let ds = load_wdc(WdcDomain::Camera, size, 1.0);
+            assert!(ds.train.len() > prev, "{}: {}", size.name(), ds.train.len());
+            prev = ds.train.len();
+        }
+    }
+
+    #[test]
+    fn test_set_is_fixed_across_tiers() {
+        let small = load_wdc(WdcDomain::Shoe, WdcSize::Small, 1.0);
+        let xl = load_wdc(WdcDomain::Shoe, WdcSize::Xlarge, 1.0);
+        assert_eq!(small.test.len(), xl.test.len());
+        for (a, b) in small.test.iter().zip(&xl.test) {
+            assert_eq!(a.left.attrs, b.left.attrs);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn only_title_attribute() {
+        let ds = load_wdc(WdcDomain::Computer, WdcSize::Small, 1.0);
+        assert_eq!(ds.arity(), 1);
+        assert_eq!(ds.train[0].left.keys().next(), Some("title"));
+    }
+
+    #[test]
+    fn all_dataset_unions_domains() {
+        let all = load_wdc_all(WdcSize::Small, 1.0);
+        let single = load_wdc(WdcDomain::Computer, WdcSize::Small, 1.0);
+        assert_eq!(all.test.len(), 4 * single.test.len());
+        assert!(all.train.len() >= 4 * single.train.len() - 4);
+    }
+
+    #[test]
+    fn test_positive_ratio_matches_paper_shape() {
+        let ds = load_wdc(WdcDomain::Watch, WdcSize::Medium, 1.0);
+        let pos = ds.test.iter().filter(|p| p.label).count();
+        let rate = pos as f64 / ds.test.len() as f64;
+        assert!((rate - 0.27).abs() < 0.08, "rate {rate}");
+    }
+}

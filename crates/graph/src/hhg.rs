@@ -1,0 +1,300 @@
+//! The Hierarchical Heterogeneous Graph (HHG) of §2.2.
+//!
+//! Three node layers — tokens, attributes, entities — with Token-Attribute,
+//! Attribute-Entity, and Entity-Entity relations. Distinct words become a
+//! single token node even when they occur in several attributes or entities
+//! (Figure 4); attribute nodes are **not** merged across entities even when
+//! they share a key.
+
+use hiergat_data::{Entity, EntityPair};
+use hiergat_text::tokenize;
+use std::collections::HashMap;
+
+/// An attribute node: one `<key, val>` of one entity.
+#[derive(Debug, Clone)]
+pub struct AttrNode {
+    /// The attribute key (not unique across the graph).
+    pub key: String,
+    /// Owning entity node index.
+    pub entity: usize,
+    /// Token node ids of the value, **in text order** (word positions carry
+    /// semantics, §2.2).
+    pub token_seq: Vec<usize>,
+}
+
+/// An entity node.
+#[derive(Debug, Clone)]
+pub struct EntityNode {
+    /// The entity's source identifier.
+    pub id: String,
+    /// Attribute node indices, in schema order.
+    pub attr_nodes: Vec<usize>,
+}
+
+/// The hierarchical heterogeneous graph.
+#[derive(Debug, Clone, Default)]
+pub struct Hhg {
+    /// Token node id -> token string (deduplicated).
+    pub tokens: Vec<String>,
+    token_index: HashMap<String, usize>,
+    /// Attribute nodes.
+    pub attributes: Vec<AttrNode>,
+    /// Entity nodes.
+    pub entities: Vec<EntityNode>,
+    /// Entity-Entity relation edges (for collective ER: query -> candidate).
+    pub entity_edges: Vec<(usize, usize)>,
+}
+
+impl Hhg {
+    /// Builds an HHG from any number of entities. Entity 0 is the query in
+    /// the collective setting; an entity-entity edge links it to every other
+    /// entity (the matching relation network of Figure 2).
+    pub fn from_entities(entities: &[Entity]) -> Self {
+        let mut g = Hhg::default();
+        for e in entities {
+            g.add_entity(e);
+        }
+        for i in 1..g.entities.len() {
+            g.entity_edges.push((0, i));
+        }
+        g
+    }
+
+    /// Builds the two-entity HHG of pairwise ER.
+    pub fn from_pair(pair: &EntityPair) -> Self {
+        Self::from_entities(&[pair.left.clone(), pair.right.clone()])
+    }
+
+    fn token_node(&mut self, tok: &str) -> usize {
+        if let Some(&id) = self.token_index.get(tok) {
+            return id;
+        }
+        let id = self.tokens.len();
+        self.tokens.push(tok.to_string());
+        self.token_index.insert(tok.to_string(), id);
+        id
+    }
+
+    fn add_entity(&mut self, e: &Entity) -> usize {
+        let entity_id = self.entities.len();
+        let mut attr_nodes = Vec::with_capacity(e.arity());
+        for (key, val) in &e.attrs {
+            let token_seq: Vec<usize> = tokenize(val)
+                .iter()
+                .map(|t| self.token_node(t))
+                .collect();
+            let attr_id = self.attributes.len();
+            self.attributes.push(AttrNode { key: key.clone(), entity: entity_id, token_seq });
+            attr_nodes.push(attr_id);
+        }
+        self.entities.push(EntityNode { id: e.id.clone(), attr_nodes });
+        entity_id
+    }
+
+    /// Number of token nodes.
+    pub fn n_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of attribute nodes.
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of entity nodes.
+    pub fn n_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Total node count across all three layers.
+    pub fn n_nodes(&self) -> usize {
+        self.n_tokens() + self.n_attributes() + self.n_entities()
+    }
+
+    /// Token node id of a string, if present.
+    pub fn token_id(&self, tok: &str) -> Option<usize> {
+        self.token_index.get(tok).copied()
+    }
+
+    /// The distinct attribute keys, in first-seen order (the unique
+    /// attribute set `\bar{V^a}` of §4.2).
+    pub fn unique_keys(&self) -> Vec<String> {
+        let mut keys = Vec::new();
+        for a in &self.attributes {
+            if !keys.contains(&a.key) {
+                keys.push(a.key.clone());
+            }
+        }
+        keys
+    }
+
+    /// Attribute node indices sharing `key`.
+    pub fn attrs_with_key(&self, key: &str) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.key == key)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Attribute node indices that contain token node `tok`.
+    pub fn attrs_containing_token(&self, tok: usize) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.token_seq.contains(&tok))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Token node ids that occur in more than one entity — the *common
+    /// tokens* whose redundant contribution the entity-level context removes
+    /// (§4.2, Eq. 2-3).
+    pub fn common_tokens(&self) -> Vec<usize> {
+        let mut seen_by: Vec<Option<usize>> = vec![None; self.n_tokens()];
+        let mut common = vec![false; self.n_tokens()];
+        for a in &self.attributes {
+            for &t in &a.token_seq {
+                match seen_by[t] {
+                    None => seen_by[t] = Some(a.entity),
+                    Some(e) if e != a.entity => common[t] = true,
+                    _ => {}
+                }
+            }
+        }
+        common
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Flattens the HHG into an undirected homogeneous adjacency (neighbor
+    /// lists) over all nodes, ordered tokens, then attributes, then
+    /// entities. Used by the GCN/GAT/HGAT baselines that ignore node types.
+    pub fn homogeneous_adjacency(&self) -> Vec<Vec<usize>> {
+        let nt = self.n_tokens();
+        let na = self.n_attributes();
+        let mut adj = vec![Vec::new(); self.n_nodes()];
+        for (ai, a) in self.attributes.iter().enumerate() {
+            let a_node = nt + ai;
+            for &t in &a.token_seq {
+                if !adj[t].contains(&a_node) {
+                    adj[t].push(a_node);
+                    adj[a_node].push(t);
+                }
+            }
+            let e_node = nt + na + a.entity;
+            adj[a_node].push(e_node);
+            adj[e_node].push(a_node);
+        }
+        for &(x, y) in &self.entity_edges {
+            adj[nt + na + x].push(nt + na + y);
+            adj[nt + na + y].push(nt + na + x);
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(id: &str, attrs: &[(&str, &str)]) -> Entity {
+        Entity::new(
+            id,
+            attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        )
+    }
+
+    fn sample_pair() -> EntityPair {
+        EntityPair::new(
+            entity("e1", &[("title", "apache spark framework"), ("desc", "big data framework")]),
+            entity("e2", &[("title", "adobe spark"), ("desc", "video design")]),
+            false,
+        )
+    }
+
+    #[test]
+    fn tokens_are_deduplicated() {
+        let g = Hhg::from_pair(&sample_pair());
+        // "framework" appears in two attributes but is one node (Figure 4).
+        let fw = g.token_id("framework").expect("framework node");
+        assert_eq!(g.tokens.iter().filter(|t| *t == "framework").count(), 1);
+        assert_eq!(g.attrs_containing_token(fw).len(), 2);
+        // "spark" appears in both entities: one node.
+        assert_eq!(g.tokens.iter().filter(|t| *t == "spark").count(), 1);
+    }
+
+    #[test]
+    fn attribute_nodes_are_not_merged() {
+        let g = Hhg::from_pair(&sample_pair());
+        // Two "desc" attribute nodes, one per entity (Figure 4).
+        assert_eq!(g.attrs_with_key("desc").len(), 2);
+        assert_eq!(g.n_attributes(), 4);
+        assert_eq!(g.unique_keys(), vec!["title".to_string(), "desc".to_string()]);
+    }
+
+    #[test]
+    fn token_order_is_preserved() {
+        let g = Hhg::from_pair(&sample_pair());
+        let title = &g.attributes[0];
+        let words: Vec<&str> = title.token_seq.iter().map(|&t| g.tokens[t].as_str()).collect();
+        assert_eq!(words, vec!["apache", "spark", "framework"]);
+    }
+
+    #[test]
+    fn collective_graph_links_query_to_candidates() {
+        let es = vec![
+            entity("q", &[("t", "a b")]),
+            entity("c1", &[("t", "a c")]),
+            entity("c2", &[("t", "b d")]),
+        ];
+        let g = Hhg::from_entities(&es);
+        assert_eq!(g.n_entities(), 3);
+        assert_eq!(g.entity_edges, vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn common_tokens_cross_entities_only() {
+        let g = Hhg::from_pair(&sample_pair());
+        let common = g.common_tokens();
+        let spark = g.token_id("spark").expect("spark");
+        let apache = g.token_id("apache").expect("apache");
+        assert!(common.contains(&spark), "spark is shared by both entities");
+        assert!(!common.contains(&apache), "apache is only in e1");
+        // "framework" occurs twice but only within e1.
+        let fw = g.token_id("framework").expect("fw");
+        assert!(!common.contains(&fw));
+    }
+
+    #[test]
+    fn homogeneous_adjacency_is_symmetric() {
+        let g = Hhg::from_pair(&sample_pair());
+        let adj = g.homogeneous_adjacency();
+        assert_eq!(adj.len(), g.n_nodes());
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                assert!(adj[v].contains(&u), "edge {u}-{v} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn entity_attr_links_are_consistent() {
+        let g = Hhg::from_pair(&sample_pair());
+        for (ei, e) in g.entities.iter().enumerate() {
+            for &ai in &e.attr_nodes {
+                assert_eq!(g.attributes[ai].entity, ei);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_values_become_token_nodes() {
+        let g = Hhg::from_entities(&[entity("e", &[("x", "NAN")])]);
+        assert!(g.token_id("nan").is_some());
+    }
+}

@@ -1,0 +1,15 @@
+//! The Hierarchical Heterogeneous Graph (HHG, §2.2 of the paper) and
+//! graph-attention operators.
+//!
+//! Provides the three-layer token/attribute/entity graph with token
+//! deduplication, the `GraphAttn` aggregation used by HierGAT's contextual
+//! embeddings (Eq. 1-3), and homogeneous GCN/GAT layers for the baseline
+//! models of Table 7.
+
+mod attn;
+mod hhg;
+mod layers;
+
+pub use attn::{GraphAttn, GAT_SLOPE};
+pub use hhg::{AttrNode, EntityNode, Hhg};
+pub use layers::{GatLayer, GcnLayer};

@@ -1,0 +1,111 @@
+//! Language-model size tiers.
+//!
+//! The paper evaluates HierGAT and Ditto across three pre-trained LM sizes
+//! (DistilBERT, RoBERTa, RoBERTa-Large; Tables 3 and 8). The reproduction
+//! mirrors the three-tier structure with miniature Transformers that can be
+//! pre-trained from scratch on CPU in seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// The three model-size tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LmTier {
+    /// Stand-in for DistilBERT (smallest).
+    MiniDistil,
+    /// Stand-in for RoBERTa (base).
+    MiniBase,
+    /// Stand-in for RoBERTa-Large (largest).
+    MiniLarge,
+}
+
+/// Architecture hyperparameters of a miniature LM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LmConfig {
+    /// Hidden width (the paper's models use 768/1024; ours are miniature).
+    pub d_model: usize,
+    /// Number of encoder blocks.
+    pub n_layers: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Hash-vocabulary size (including special tokens).
+    pub vocab_size: usize,
+    /// Maximum sequence length.
+    pub max_len: usize,
+}
+
+impl LmTier {
+    /// All tiers, smallest first (paper table order: DBERT, RoBERTa,
+    /// LRoBERTa).
+    pub fn all() -> [Self; 3] {
+        [Self::MiniDistil, Self::MiniBase, Self::MiniLarge]
+    }
+
+    /// Display name aligned with the paper's column headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::MiniDistil => "DBERT",
+            Self::MiniBase => "RoBERTa",
+            Self::MiniLarge => "LRoBERTa",
+        }
+    }
+
+    /// The tier's architecture.
+    pub fn config(&self) -> LmConfig {
+        match self {
+            Self::MiniDistil => LmConfig {
+                d_model: 32,
+                n_layers: 2,
+                heads: 2,
+                d_ff: 64,
+                vocab_size: 2048,
+                max_len: 96,
+            },
+            Self::MiniBase => LmConfig {
+                d_model: 48,
+                n_layers: 3,
+                heads: 4,
+                d_ff: 96,
+                vocab_size: 2048,
+                max_len: 96,
+            },
+            Self::MiniLarge => LmConfig {
+                d_model: 64,
+                n_layers: 4,
+                heads: 4,
+                d_ff: 128,
+                vocab_size: 2048,
+                max_len: 96,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_grow_monotonically() {
+        let [d, b, l] = LmTier::all();
+        assert!(d.config().d_model < b.config().d_model);
+        assert!(b.config().d_model < l.config().d_model);
+        assert!(d.config().n_layers < l.config().n_layers);
+    }
+
+    #[test]
+    fn heads_divide_width() {
+        for tier in LmTier::all() {
+            let c = tier.config();
+            assert_eq!(c.d_model % c.heads, 0, "{}", tier.name());
+        }
+    }
+
+    #[test]
+    fn names_match_paper_headers() {
+        assert_eq!(LmTier::MiniDistil.name(), "DBERT");
+        assert_eq!(LmTier::MiniBase.name(), "RoBERTa");
+        assert_eq!(LmTier::MiniLarge.name(), "LRoBERTa");
+    }
+}

@@ -1,0 +1,15 @@
+//! Miniature pre-trained language models.
+//!
+//! Stand-ins for the DistilBERT / RoBERTa / RoBERTa-Large checkpoints the
+//! paper fine-tunes (§6.1): three size tiers of a hash-vocabulary
+//! Transformer encoder, pre-trained from scratch with a masked-token
+//! objective on a synthetic corpus, then loaded into ER models via
+//! `ParamStore::load_matching` for fine-tuning.
+
+mod config;
+mod model;
+mod pretrain;
+
+pub use config::{LmConfig, LmTier};
+pub use model::MiniLm;
+pub use pretrain::{corpus_from_entities, pretrain, Pretrained, PretrainConfig};

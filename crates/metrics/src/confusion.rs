@@ -1,0 +1,157 @@
+//! Confusion matrix and precision/recall/F1.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+/// Precision, recall, and F1 (all in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrF1 {
+    /// Precision `tp / (tp + fp)`.
+    pub precision: f64,
+    /// Recall `tp / (tp + fn)`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+        let mut c = Self::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            c.record(p, a);
+        }
+        c
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// Precision/recall/F1. Degenerate cases (no predicted or no actual
+    /// positives) yield zeros rather than NaN.
+    pub fn pr_f1(&self) -> PrF1 {
+        let precision = if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        };
+        let recall = if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        PrF1 { precision, recall, f1 }
+    }
+
+    /// F1 as a percentage (the paper's convention, e.g. "88.2").
+    pub fn f1_percent(&self) -> f64 {
+        self.pr_f1().f1 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let c = Confusion::from_predictions(&[true, false, true], &[true, false, true]);
+        let m = c.pr_f1();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // tp=2 fp=1 fn=2 tn=1 => precision 2/3, recall 1/2, f1 4/7
+        let c = Confusion { tp: 2, fp: 1, tn: 1, fn_: 2 };
+        let m = c.pr_f1();
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 4.0 / 7.0).abs() < 1e-12);
+        assert!((c.f1_percent() - 400.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_nan() {
+        let c = Confusion { tp: 0, fp: 0, tn: 5, fn_: 0 };
+        let m = c.pr_f1();
+        assert_eq!(m.f1, 0.0);
+        assert!(!m.precision.is_nan());
+        let empty = Confusion::default();
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Confusion { tp: 1, fp: 2, tn: 3, fn_: 4 };
+        a.merge(&Confusion { tp: 10, fp: 20, tn: 30, fn_: 40 });
+        assert_eq!(a, Confusion { tp: 11, fp: 22, tn: 33, fn_: 44 });
+        assert_eq!(a.total(), 110);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Confusion::from_predictions(&[true], &[]);
+    }
+
+    #[test]
+    fn all_false_predictions_zero_recall() {
+        let c = Confusion::from_predictions(&[false, false], &[true, true]);
+        assert_eq!(c.pr_f1().recall, 0.0);
+        assert_eq!(c.fn_, 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Precision-recall curves and average precision.
+
+use crate::confusion::Confusion;
+
+/// One point on a precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f32,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+}
+
+/// Computes the precision-recall curve by sweeping every distinct score as
+/// a threshold (descending), plus the all-positive point.
+pub fn pr_curve(scores: &[f32], labels: &[bool]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let total_pos = labels.iter().filter(|&&l| l).count();
+    if total_pos == 0 {
+        return Vec::new();
+    }
+    let mut points = Vec::new();
+    let mut c = Confusion { tp: 0, fp: 0, tn: labels.len() - total_pos, fn_: total_pos };
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Include every example tied at this threshold.
+        while i < order.len() && scores[order[i]] == threshold {
+            let idx = order[i];
+            if labels[idx] {
+                c.tp += 1;
+                c.fn_ -= 1;
+            } else {
+                c.fp += 1;
+                c.tn -= 1;
+            }
+            i += 1;
+        }
+        let m = c.pr_f1();
+        points.push(PrPoint { threshold, precision: m.precision, recall: m.recall });
+    }
+    points
+}
+
+/// Average precision (area under the PR curve, step interpolation).
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
+    let curve = pr_curve(scores, labels);
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &curve {
+        ap += (p.recall - prev_recall).max(0.0) * p.precision;
+        prev_recall = p.recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_ap_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_ranking_gives_low_ap() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(average_precision(&scores, &labels) < 0.6);
+    }
+
+    #[test]
+    fn curve_recall_is_monotone() {
+        let scores = [0.9, 0.7, 0.7, 0.4, 0.2];
+        let labels = [true, false, true, true, false];
+        let curve = pr_curve(&scores, &labels);
+        assert!(curve.windows(2).all(|w| w[1].recall >= w[0].recall));
+        let last = curve.last().expect("nonempty");
+        assert!((last.recall - 1.0).abs() < 1e-9, "last point covers all positives");
+    }
+
+    #[test]
+    fn no_positives_gives_empty_curve() {
+        assert!(pr_curve(&[0.5, 0.4], &[false, false]).is_empty());
+        assert_eq!(average_precision(&[0.5], &[false]), 0.0);
+    }
+
+    #[test]
+    fn ties_are_grouped_into_one_point() {
+        let scores = [0.5, 0.5, 0.5];
+        let labels = [true, false, true];
+        let curve = pr_curve(&scores, &labels);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].recall - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! Evaluation metrics for entity resolution.
+//!
+//! The paper reports F1 throughout (§6.1); this crate provides the confusion
+//! matrix, precision/recall/F1, and a threshold sweep used when a model
+//! outputs match probabilities rather than hard decisions.
+
+//! # Example
+//!
+//! ```
+//! use hiergat_metrics::{best_threshold, Confusion};
+//!
+//! let c = Confusion::from_predictions(&[true, false, true], &[true, true, false]);
+//! assert!(c.pr_f1().f1 > 0.0);
+//! let (threshold, f1) = best_threshold(&[0.9, 0.2], &[true, false]);
+//! assert_eq!(f1, 1.0);
+//! assert!(threshold > 0.2);
+//! ```
+
+mod confusion;
+mod curve;
+mod threshold;
+
+pub use confusion::{Confusion, PrF1};
+pub use curve::{average_precision, pr_curve, PrPoint};
+pub use threshold::{best_threshold, evaluate_at_threshold};

@@ -1,0 +1,84 @@
+//! Decision-threshold selection on validation scores.
+
+use crate::confusion::Confusion;
+
+/// Evaluates probability scores against labels at a fixed threshold.
+pub fn evaluate_at_threshold(scores: &[f32], labels: &[bool], threshold: f32) -> Confusion {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let mut c = Confusion::default();
+    for (&s, &l) in scores.iter().zip(labels) {
+        c.record(s >= threshold, l);
+    }
+    c
+}
+
+/// Sweeps thresholds over the observed scores and returns the `(threshold,
+/// f1)` pair maximizing F1 on this (validation) set.
+///
+/// The paper selects models by validation F1 (§6.1); sweeping the decision
+/// threshold the same way keeps every model comparable regardless of its
+/// output calibration. Ties prefer the lower threshold (higher recall).
+pub fn best_threshold(scores: &[f32], labels: &[bool]) -> (f32, f64) {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    if scores.is_empty() {
+        return (0.5, 0.0);
+    }
+    let mut candidates: Vec<f32> = scores.to_vec();
+    candidates.push(0.5);
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.dedup();
+    let mut best = (0.5f32, -1.0f64);
+    for &t in &candidates {
+        let f1 = evaluate_at_threshold(scores, labels, t).pr_f1().f1;
+        if f1 > best.1 {
+            best = (t, f1);
+        }
+    }
+    if best.1 < 0.0 {
+        (0.5, 0.0)
+    } else {
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_scores_find_perfect_threshold() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        let (t, f1) = best_threshold(&scores, &labels);
+        assert_eq!(f1, 1.0);
+        assert!(t > 0.2 && t <= 0.8);
+    }
+
+    #[test]
+    fn evaluate_counts_correctly() {
+        let c = evaluate_at_threshold(&[0.9, 0.4], &[true, true], 0.5);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fn_, 1);
+    }
+
+    #[test]
+    fn empty_input_defaults() {
+        let (t, f1) = best_threshold(&[], &[]);
+        assert_eq!(t, 0.5);
+        assert_eq!(f1, 0.0);
+    }
+
+    #[test]
+    fn noisy_scores_still_pick_reasonable_threshold() {
+        let scores = [0.3, 0.6, 0.55, 0.7, 0.2, 0.65];
+        let labels = [false, true, false, true, false, true];
+        let (_, f1) = best_threshold(&scores, &labels);
+        assert!(f1 >= 0.8, "f1 {f1}");
+    }
+
+    #[test]
+    fn all_negative_labels_yield_zero_f1() {
+        let (_, f1) = best_threshold(&[0.1, 0.9], &[false, false]);
+        assert_eq!(f1, 0.0);
+    }
+}

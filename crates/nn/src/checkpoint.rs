@@ -1,0 +1,202 @@
+//! Parameter checkpointing.
+//!
+//! Two formats are provided:
+//!
+//! * **JSON** — human-inspectable, used for experiment manifests and tests.
+//! * **Binary** — compact little-endian encoding via `bytes`, used for the
+//!   pre-trained language-model checkpoints that the ER models load before
+//!   fine-tuning.
+
+use crate::params::ParamStore;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hiergat_tensor::Tensor;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Error loading or saving a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The binary buffer is truncated or malformed.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::Json(e) => write!(f, "checkpoint JSON error: {e}"),
+            Self::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+const MAGIC: u32 = 0x4847_4154; // "HGAT"
+const VERSION: u16 = 1;
+
+/// Serializes all parameters (names, shapes, values) into a compact binary
+/// buffer.
+pub fn to_bytes(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u32(store.len() as u32);
+    for (_, name, value) in store.iter() {
+        let name_bytes = name.as_bytes();
+        buf.put_u16(name_bytes.len() as u16);
+        buf.put_slice(name_bytes);
+        buf.put_u32(value.rows() as u32);
+        buf.put_u32(value.cols() as u32);
+        for &v in value.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary checkpoint into a fresh [`ParamStore`].
+pub fn from_bytes(mut buf: Bytes) -> Result<ParamStore, CheckpointError> {
+    if buf.remaining() < 10 {
+        return Err(CheckpointError::Malformed("header too short"));
+    }
+    if buf.get_u32() != MAGIC {
+        return Err(CheckpointError::Malformed("bad magic"));
+    }
+    if buf.get_u16() != VERSION {
+        return Err(CheckpointError::Malformed("unsupported version"));
+    }
+    let count = buf.get_u32() as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        if buf.remaining() < 2 {
+            return Err(CheckpointError::Malformed("truncated name length"));
+        }
+        let name_len = buf.get_u16() as usize;
+        if buf.remaining() < name_len + 8 {
+            return Err(CheckpointError::Malformed("truncated entry"));
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| CheckpointError::Malformed("non-utf8 name"))?;
+        let rows = buf.get_u32() as usize;
+        let cols = buf.get_u32() as usize;
+        let n = rows * cols;
+        if buf.remaining() < n * 4 {
+            return Err(CheckpointError::Malformed("truncated tensor data"));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(buf.get_f32_le());
+        }
+        let tensor =
+            Tensor::from_vec(rows, cols, data).map_err(|_| CheckpointError::Malformed("shape"))?;
+        store.add(name, tensor);
+    }
+    Ok(store)
+}
+
+/// Writes a binary checkpoint to disk.
+pub fn save_binary(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    fs::write(path, to_bytes(store))?;
+    Ok(())
+}
+
+/// Reads a binary checkpoint from disk.
+pub fn load_binary(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError> {
+    let data = fs::read(path)?;
+    from_bytes(Bytes::from(data))
+}
+
+/// Writes a JSON checkpoint to disk.
+pub fn save_json(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let json = serde_json::to_string(store)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a JSON checkpoint from disk.
+pub fn load_json(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError> {
+    let data = fs::read_to_string(path)?;
+    let mut store: ParamStore = serde_json::from_str(&data)?;
+    store.rebuild_index();
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_store() -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ps = ParamStore::new();
+        ps.add("layer.w", Tensor::rand_normal(3, 4, 0.0, 1.0, &mut rng));
+        ps.add("layer.b", Tensor::rand_normal(1, 4, 0.0, 1.0, &mut rng));
+        ps
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let ps = sample_store();
+        let loaded = from_bytes(to_bytes(&ps)).expect("roundtrip");
+        assert_eq!(loaded.len(), ps.len());
+        for (id, name, value) in ps.iter() {
+            let _ = id;
+            let lid = loaded.id_of(name).expect("name survives");
+            assert!(loaded.value(lid).allclose(value, 0.0));
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut raw = to_bytes(&sample_store()).to_vec();
+        raw[0] ^= 0xFF;
+        assert!(matches!(
+            from_bytes(Bytes::from(raw)),
+            Err(CheckpointError::Malformed("bad magic"))
+        ));
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let raw = to_bytes(&sample_store());
+        let truncated = raw.slice(0..raw.len() - 5);
+        assert!(from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_binary_and_json() {
+        let dir = std::env::temp_dir().join("hiergat-ckpt-test");
+        fs::create_dir_all(&dir).unwrap();
+        let ps = sample_store();
+
+        let bin = dir.join("model.bin");
+        save_binary(&ps, &bin).unwrap();
+        let loaded = load_binary(&bin).unwrap();
+        assert_eq!(loaded.len(), 2);
+
+        let js = dir.join("model.json");
+        save_json(&ps, &js).unwrap();
+        let loaded = load_json(&js).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.id_of("layer.w").is_some(), "index must be rebuilt");
+    }
+}

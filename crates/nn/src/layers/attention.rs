@@ -1,0 +1,162 @@
+//! Multi-head self-attention.
+
+use crate::layers::linear::Linear;
+use crate::params::ParamStore;
+use crate::tape::{Tape, Var};
+use hiergat_tensor::Tensor;
+use rand::Rng;
+
+/// Multi-head scaled-dot-product self-attention over an `n x d` sequence.
+///
+/// Because the workspace processes one sequence at a time, heads are realized
+/// by column-slicing the projected `Q`, `K`, `V` matrices rather than a 4-D
+/// batch layout.
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    d_model: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Registers projection parameters. `d_model` must be divisible by `heads`.
+    pub fn new(
+        ps: &mut ParamStore,
+        prefix: &str,
+        d_model: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(heads > 0 && d_model % heads == 0, "d_model {d_model} not divisible by heads {heads}");
+        Self {
+            wq: Linear::new(ps, &format!("{prefix}.wq"), d_model, d_model, true, rng),
+            wk: Linear::new(ps, &format!("{prefix}.wk"), d_model, d_model, true, rng),
+            wv: Linear::new(ps, &format!("{prefix}.wv"), d_model, d_model, true, rng),
+            wo: Linear::new(ps, &format!("{prefix}.wo"), d_model, d_model, true, rng),
+            heads,
+            d_model,
+        }
+    }
+
+    /// Applies self-attention; returns the `n x d` output.
+    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, x: Var) -> Var {
+        self.forward_impl(t, ps, x, None)
+    }
+
+    /// Like [`Self::forward`], but also captures each head's `n x n`
+    /// attention matrix (detached copies) for visualization (paper Fig. 9).
+    pub fn forward_with_attn(
+        &self,
+        t: &mut Tape,
+        ps: &ParamStore,
+        x: Var,
+        attn_out: &mut Vec<Tensor>,
+    ) -> Var {
+        self.forward_impl(t, ps, x, Some(attn_out))
+    }
+
+    fn forward_impl(
+        &self,
+        t: &mut Tape,
+        ps: &ParamStore,
+        x: Var,
+        mut attn_out: Option<&mut Vec<Tensor>>,
+    ) -> Var {
+        let dh = self.d_model / self.heads;
+        let q = self.wq.forward(t, ps, x);
+        let k = self.wk.forward(t, ps, x);
+        let v = self.wv.forward(t, ps, x);
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = t.slice_cols(q, h * dh, dh);
+            let kh = t.slice_cols(k, h * dh, dh);
+            let vh = t.slice_cols(v, h * dh, dh);
+            let kt = t.transpose(kh);
+            let scores = t.matmul(qh, kt);
+            let scores = t.scale(scores, scale);
+            let att = t.softmax(scores);
+            if let Some(out) = attn_out.as_deref_mut() {
+                out.push(t.value(att).clone());
+            }
+            head_outputs.push(t.matmul(att, vh));
+        }
+        let merged = t.concat_cols(&head_outputs);
+        self.wo.forward(t, ps, merged)
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamStore::new();
+        let mha = MultiHeadSelfAttention::new(&mut ps, "mha", 8, 2, &mut rng);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::rand_normal(5, 8, 0.0, 1.0, &mut rng));
+        let y = mha.forward(&mut t, &ps, x);
+        assert_eq!(t.value(y).shape(), (5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible_heads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamStore::new();
+        MultiHeadSelfAttention::new(&mut ps, "mha", 7, 2, &mut rng);
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamStore::new();
+        let mha = MultiHeadSelfAttention::new(&mut ps, "mha", 4, 2, &mut rng);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::rand_normal(3, 4, 0.0, 1.0, &mut rng));
+        let mut attn = Vec::new();
+        let _ = mha.forward_with_attn(&mut t, &ps, x, &mut attn);
+        assert_eq!(attn.len(), 2);
+        for a in &attn {
+            assert_eq!(a.shape(), (3, 3));
+            for r in 0..3 {
+                let s: f32 = a.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_attention() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamStore::new();
+        let mha = MultiHeadSelfAttention::new(&mut ps, "mha", 4, 2, &mut rng);
+        let x = Tensor::rand_normal(3, 4, 0.0, 1.0, &mut rng);
+        crate::gradcheck::assert_gradients_ok(
+            &mut ps,
+            |t, ps| {
+                let xv = t.input(x.clone());
+                let y = mha.forward(t, ps, xv);
+                t.mean_all(y)
+            },
+            1e-3,
+            4e-2,
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! GRU recurrent cell (used by the DeepMatcher baseline).
+
+use crate::layers::linear::Linear;
+use crate::params::ParamStore;
+use crate::tape::{Tape, Var};
+use hiergat_tensor::Tensor;
+use rand::Rng;
+
+/// A gated recurrent unit cell.
+///
+/// DeepMatcher's attribute summarization uses a (bi)GRU over the attribute's
+/// word embeddings; this cell is the building block.
+pub struct GruCell {
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+    d_hidden: usize,
+}
+
+impl GruCell {
+    /// Registers the six projections of a GRU cell.
+    pub fn new(
+        ps: &mut ParamStore,
+        prefix: &str,
+        d_in: usize,
+        d_hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            wz: Linear::new(ps, &format!("{prefix}.wz"), d_in, d_hidden, true, rng),
+            uz: Linear::new(ps, &format!("{prefix}.uz"), d_hidden, d_hidden, false, rng),
+            wr: Linear::new(ps, &format!("{prefix}.wr"), d_in, d_hidden, true, rng),
+            ur: Linear::new(ps, &format!("{prefix}.ur"), d_hidden, d_hidden, false, rng),
+            wh: Linear::new(ps, &format!("{prefix}.wh"), d_in, d_hidden, true, rng),
+            uh: Linear::new(ps, &format!("{prefix}.uh"), d_hidden, d_hidden, false, rng),
+            d_hidden,
+        }
+    }
+
+    /// One step: consumes input `x` (`1 x d_in`) and state `h` (`1 x d_h`),
+    /// returns the next state.
+    pub fn step(&self, t: &mut Tape, ps: &ParamStore, x: Var, h: Var) -> Var {
+        let z = {
+            let a = self.wz.forward(t, ps, x);
+            let b = self.uz.forward(t, ps, h);
+            let s = t.add(a, b);
+            t.sigmoid(s)
+        };
+        let r = {
+            let a = self.wr.forward(t, ps, x);
+            let b = self.ur.forward(t, ps, h);
+            let s = t.add(a, b);
+            t.sigmoid(s)
+        };
+        let h_tilde = {
+            let a = self.wh.forward(t, ps, x);
+            let rh = t.mul(r, h);
+            let b = self.uh.forward(t, ps, rh);
+            let s = t.add(a, b);
+            t.tanh(s)
+        };
+        // h' = (1 - z) * h + z * h_tilde
+        let one_minus_z = t.one_minus(z);
+        let keep = t.mul(one_minus_z, h);
+        let update = t.mul(z, h_tilde);
+        t.add(keep, update)
+    }
+
+    /// Runs the GRU over an `n x d_in` sequence (top to bottom), returning
+    /// the `n x d_h` matrix of hidden states.
+    pub fn run(&self, t: &mut Tape, ps: &ParamStore, seq: Var) -> Var {
+        let n = t.value(seq).rows();
+        let mut h = t.input(Tensor::zeros(1, self.d_hidden));
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = t.row(seq, i);
+            h = self.step(t, ps, x, h);
+            states.push(h);
+        }
+        t.concat_rows(&states)
+    }
+
+    /// Runs the GRU in both directions and concatenates the final states,
+    /// producing an `n x 2 d_h` matrix. Helper for bidirectional encoders.
+    pub fn run_reversed(&self, t: &mut Tape, ps: &ParamStore, seq: Var) -> Var {
+        let n = t.value(seq).rows();
+        let mut h = t.input(Tensor::zeros(1, self.d_hidden));
+        let mut states = vec![None; n];
+        for i in (0..n).rev() {
+            let x = t.row(seq, i);
+            h = self.step(t, ps, x, h);
+            states[i] = Some(h);
+        }
+        let ordered: Vec<Var> = states.into_iter().map(|s| s.expect("filled")).collect();
+        t.concat_rows(&ordered)
+    }
+
+    /// Hidden width.
+    pub fn d_hidden(&self) -> usize {
+        self.d_hidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn run_produces_one_state_per_token() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamStore::new();
+        let gru = GruCell::new(&mut ps, "gru", 3, 5, &mut rng);
+        let mut t = Tape::new();
+        let seq = t.input(Tensor::rand_normal(4, 3, 0.0, 1.0, &mut rng));
+        let states = gru.run(&mut t, &ps, seq);
+        assert_eq!(t.value(states).shape(), (4, 5));
+    }
+
+    #[test]
+    fn states_stay_bounded() {
+        // GRU state is a convex mix of tanh outputs, so |h| <= 1 elementwise.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamStore::new();
+        let gru = GruCell::new(&mut ps, "gru", 2, 3, &mut rng);
+        let mut t = Tape::new();
+        let seq = t.input(Tensor::rand_normal(20, 2, 0.0, 5.0, &mut rng));
+        let states = gru.run(&mut t, &ps, seq);
+        assert!(t.value(states).as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn reversed_run_differs_from_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamStore::new();
+        let gru = GruCell::new(&mut ps, "gru", 2, 3, &mut rng);
+        let mut t = Tape::new();
+        let seq = t.input(Tensor::rand_normal(5, 2, 0.0, 1.0, &mut rng));
+        let fwd = gru.run(&mut t, &ps, seq);
+        let bwd = gru.run_reversed(&mut t, &ps, seq);
+        assert_eq!(t.value(bwd).shape(), (5, 3));
+        assert!(!t.value(fwd).allclose(t.value(bwd), 1e-6));
+    }
+
+    #[test]
+    fn gradients_flow_through_time() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ps = ParamStore::new();
+        let gru = GruCell::new(&mut ps, "gru", 2, 2, &mut rng);
+        let seq = Tensor::rand_normal(3, 2, 0.0, 1.0, &mut rng);
+        crate::gradcheck::assert_gradients_ok(
+            &mut ps,
+            |t, ps| {
+                let s = t.input(seq.clone());
+                let states = gru.run(t, ps, s);
+                t.mean_all(states)
+            },
+            1e-3,
+            4e-2,
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Layer normalization module wrapper.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use hiergat_tensor::Tensor;
+
+/// Learnable per-feature layer normalization (`gamma`, `beta`).
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers `gamma = 1`, `beta = 0` parameters of width `dim`.
+    pub fn new(ps: &mut ParamStore, prefix: &str, dim: usize) -> Self {
+        let gamma = ps.add(format!("{prefix}.gamma"), Tensor::ones(1, dim));
+        let beta = ps.add(format!("{prefix}.beta"), Tensor::zeros(1, dim));
+        Self { gamma, beta, eps: 1e-5 }
+    }
+
+    /// Normalizes each row of `x`.
+    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, x: Var) -> Var {
+        let g = t.param(ps, self.gamma);
+        let b = t.param(ps, self.beta);
+        t.layer_norm(x, g, b, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_rows_to_unit_stats() {
+        let mut ps = ParamStore::new();
+        let ln = LayerNorm::new(&mut ps, "ln", 4);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 0.0, 10.0, 0.0]]));
+        let y = ln.forward(&mut t, &ps, x);
+        let yv = t.value(y);
+        for r in 0..2 {
+            let mean: f32 = yv.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = yv.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn identity_on_already_normalized_input_with_default_params() {
+        let mut ps = ParamStore::new();
+        let ln = LayerNorm::new(&mut ps, "ln", 2);
+        let mut t = Tape::new();
+        // Row with mean 0, var 1: [-1, 1]
+        let x = t.input(Tensor::from_rows(&[vec![-1.0, 1.0]]));
+        let y = ln.forward(&mut t, &ps, x);
+        assert!(t.value(y).allclose(&Tensor::from_rows(&[vec![-1.0, 1.0]]), 1e-3));
+    }
+}

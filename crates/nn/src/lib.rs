@@ -1,0 +1,30 @@
+//! Tape-based reverse-mode autograd, layers, optimizers, and checkpointing.
+//!
+//! This crate is the stand-in for PyTorch in the HierGAT reproduction: it
+//! provides exactly the functionality the paper's models need — eager
+//! forward execution recorded on a [`Tape`], reverse-mode [`Tape::backward`]
+//! into a [`ParamStore`], [`optim`] optimizers (Adam is what the paper uses,
+//! §6.1), Transformer / GRU / attention [`layers`], and binary/JSON
+//! [`checkpoint`]s for the pre-trained language models.
+//!
+//! Every backward rule is validated against central finite differences; the
+//! checker itself is exported in [`gradcheck`] so downstream crates can
+//! verify composite models.
+
+pub mod checkpoint;
+pub mod gradcheck;
+mod layers;
+mod optim;
+mod params;
+mod tape;
+
+#[cfg(test)]
+mod proptests;
+
+pub use layers::{
+    GruCell, LayerNorm, Linear, MultiHeadSelfAttention, TransformerEncoder,
+    TransformerEncoderLayer,
+};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, Var};

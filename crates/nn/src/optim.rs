@@ -1,0 +1,237 @@
+//! Optimizers: SGD (with momentum) and Adam, plus gradient clipping hooks.
+
+use crate::params::ParamStore;
+use hiergat_tensor::Tensor;
+
+/// Shared optimizer interface.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently held by `store`,
+    /// then leaves the gradients untouched (call [`ParamStore::zero_grad`]
+    /// afterwards).
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by warmup/decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        if self.velocity.len() < ids.len() {
+            for id in ids.iter().skip(self.velocity.len()) {
+                let (r, c) = store.value(*id).shape();
+                self.velocity.push(Tensor::zeros(r, c));
+            }
+        }
+        for (i, id) in ids.into_iter().enumerate() {
+            if store.is_frozen(id) {
+                continue;
+            }
+            let grad = store.grad(id).clone();
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                for (vv, gv) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                    *vv = self.momentum * *vv + gv;
+                }
+                store.value_mut(id).axpy(-self.lr, &self.velocity[i].clone());
+            } else {
+                store.value_mut(id).axpy(-self.lr, &grad);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) — the optimizer used by the paper (§6.1).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        Self { lr, beta1, beta2, eps, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let ids: Vec<_> = store.ids().collect();
+        while self.m.len() < ids.len() {
+            let id = ids[self.m.len()];
+            let (r, c) = store.value(id).shape();
+            self.m.push(Tensor::zeros(r, c));
+            self.v.push(Tensor::zeros(r, c));
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, id) in ids.into_iter().enumerate() {
+            if store.is_frozen(id) {
+                continue;
+            }
+            let grad = store.grad(id).clone();
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mv, vv), gv) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(grad.as_slice())
+            {
+                let g = *gv;
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+            }
+            let lr = self.lr;
+            let (eps, wd) = (self.eps, self.weight_decay);
+            let m_snapshot = m.clone();
+            let v_snapshot = v.clone();
+            let value = store.value_mut(id);
+            for ((pv, mv), vv) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m_snapshot.as_slice())
+                .zip(v_snapshot.as_slice())
+            {
+                let m_hat = mv / bc1;
+                let v_hat = vv / bc2;
+                let mut update = m_hat / (v_hat.sqrt() + eps);
+                if wd > 0.0 {
+                    update += wd * *pv; // decoupled weight decay (AdamW-style)
+                }
+                *pv -= lr * update;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use hiergat_tensor::Tensor;
+
+    /// Minimize (w - 3)^2 and check convergence.
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::scalar(0.0));
+        for _ in 0..steps {
+            let mut t = Tape::new();
+            let wv = t.param(&ps, w);
+            let shifted = t.add_scalar(wv, -3.0);
+            let sq = t.mul(shifted, shifted);
+            let loss = t.sum_all(sq);
+            t.backward(loss, &mut ps);
+            opt.step(&mut ps);
+            ps.zero_grad();
+        }
+        ps.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let w = quadratic_descent(&mut opt, 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let w = quadratic_descent(&mut opt, 100);
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        let w = quadratic_descent(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_skips_frozen_params() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::scalar(1.0));
+        ps.freeze(w);
+        ps.accumulate_grad(w, &Tensor::scalar(10.0));
+        let mut opt = Adam::new(0.5);
+        opt.step(&mut ps);
+        assert_eq!(ps.value(w).item(), 1.0);
+    }
+
+    #[test]
+    fn learning_rate_roundtrip() {
+        let mut opt = Adam::new(0.1);
+        assert!((opt.learning_rate() - 0.1).abs() < 1e-9);
+        opt.set_learning_rate(0.01);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-9);
+        assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    fn adam_handles_params_added_after_construction() {
+        let mut ps = ParamStore::new();
+        let a = ps.add("a", Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        ps.accumulate_grad(a, &Tensor::scalar(1.0));
+        opt.step(&mut ps);
+        // Register a new parameter after the first step.
+        let b = ps.add("b", Tensor::scalar(0.0));
+        ps.zero_grad();
+        ps.accumulate_grad(b, &Tensor::scalar(1.0));
+        opt.step(&mut ps);
+        assert!(ps.value(b).item() < 0.0, "new param must receive updates");
+    }
+}

@@ -1,0 +1,277 @@
+//! Named trainable parameters and their gradients.
+
+use hiergat_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Serialize, Deserialize)]
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    /// Frozen parameters are skipped by optimizers (used for fixed word
+    /// embeddings in the DeepMatcher baseline, mirroring FastText).
+    frozen: bool,
+}
+
+/// Container for every trainable tensor of a model.
+///
+/// A `ParamStore` outlives the per-step [`crate::Tape`]s: each forward pass
+/// reads parameter values from the store, and `Tape::backward` accumulates
+/// gradients back into it. Optimizers then update the values in place.
+#[derive(Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<ParamEntry>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new named parameter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered — layer constructors must use
+    /// unique prefixes.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "ParamStore: duplicate parameter name {name:?}"
+        );
+        let id = self.params.len();
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.by_name.insert(name.clone(), id);
+        self.params.push(ParamEntry { name, value, grad, frozen: false });
+        ParamId(id)
+    }
+
+    /// Marks a parameter as frozen (ignored by optimizers).
+    pub fn freeze(&mut self, id: ParamId) {
+        self.params[id.0].frozen = true;
+    }
+
+    /// Whether a parameter is frozen.
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.params[id.0].frozen
+    }
+
+    /// Looks a parameter up by name.
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied().map(ParamId)
+    }
+
+    /// The parameter's registered name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Current value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value (used by optimizers and manual initialization).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// Adds `delta` into the gradient of `id` (called by `Tape::backward`).
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.params[id.0].grad.add_assign(delta);
+    }
+
+    /// Zeroes every gradient. Call between optimizer steps.
+    pub fn zero_grad(&mut self) {
+        for p in &mut self.params {
+            let (r, c) = p.grad.shape();
+            p.grad = Tensor::zeros(r, c);
+        }
+    }
+
+    /// Global L2 norm over all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| {
+                let n = p.grad.norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Rescales all gradients so the global norm is at most `max_norm`.
+    ///
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let k = max_norm / norm;
+            for p in &mut self.params {
+                for v in p.grad.as_mut_slice() {
+                    *v *= k;
+                }
+            }
+        }
+        norm
+    }
+
+    /// Number of registered parameter tensors.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Iterates over `(ParamId, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p.name.as_str(), &p.value))
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Snapshot of all parameter values (for best-epoch selection).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.params.iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Restores values from a [`Self::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the store's parameter count or
+    /// shapes.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.params.len(), "restore: parameter count mismatch");
+        for (p, s) in self.params.iter_mut().zip(snapshot) {
+            assert_eq!(p.value.shape(), s.shape(), "restore: shape mismatch for {}", p.name);
+            p.value = s.clone();
+        }
+    }
+
+    /// Rebuilds the name index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+    }
+
+    /// Copies values from `other` for every parameter with a matching name
+    /// and shape. Returns the number of tensors copied. Used to load
+    /// pre-trained LM weights into a fine-tuning model.
+    pub fn load_matching(&mut self, other: &ParamStore) -> usize {
+        let mut copied = 0;
+        for i in 0..self.params.len() {
+            let name = self.params[i].name.clone();
+            if let Some(src) = other.id_of(&name) {
+                let src_val = other.value(src);
+                if src_val.shape() == self.params[i].value.shape() {
+                    self.params[i].value = src_val.clone();
+                    copied += 1;
+                }
+            }
+        }
+        copied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", Tensor::ones(2, 3));
+        assert_eq!(ps.id_of("w"), Some(id));
+        assert_eq!(ps.name(id), "w");
+        assert_eq!(ps.value(id).shape(), (2, 3));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.num_scalars(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut ps = ParamStore::new();
+        ps.add("w", Tensor::ones(1, 1));
+        ps.add("w", Tensor::ones(1, 1));
+    }
+
+    #[test]
+    fn grad_accumulation_and_zero() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", Tensor::zeros(1, 2));
+        ps.accumulate_grad(id, &Tensor::row_vector(&[1.0, 2.0]));
+        ps.accumulate_grad(id, &Tensor::row_vector(&[1.0, 2.0]));
+        assert_eq!(ps.grad(id).as_slice(), &[2.0, 4.0]);
+        ps.zero_grad();
+        assert_eq!(ps.grad(id).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_scales_down_only_when_needed() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", Tensor::zeros(1, 2));
+        ps.accumulate_grad(id, &Tensor::row_vector(&[3.0, 4.0])); // norm 5
+        let pre = ps.clip_grad_norm(2.5);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((ps.grad_norm() - 2.5).abs() < 1e-5);
+        // Below the threshold: untouched.
+        let pre2 = ps.clip_grad_norm(10.0);
+        assert!((pre2 - 2.5).abs() < 1e-5);
+        assert!((ps.grad_norm() - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn load_matching_copies_by_name_and_shape() {
+        let mut a = ParamStore::new();
+        a.add("x", Tensor::zeros(2, 2));
+        a.add("y", Tensor::zeros(1, 3));
+        let mut b = ParamStore::new();
+        b.add("x", Tensor::ones(2, 2));
+        b.add("y", Tensor::ones(9, 9)); // wrong shape, skipped
+        assert_eq!(a.load_matching(&b), 1);
+        assert_eq!(a.value(a.id_of("x").unwrap()).as_slice(), &[1.0; 4]);
+        assert_eq!(a.value(a.id_of("y").unwrap()).as_slice(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn freeze_flag() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", Tensor::zeros(1, 1));
+        assert!(!ps.is_frozen(id));
+        ps.freeze(id);
+        assert!(ps.is_frozen(id));
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests: random op compositions must pass the
+//! finite-difference gradient check, and optimizer/parameter invariants
+//! must hold for arbitrary shapes.
+
+use crate::gradcheck::check_gradients;
+use crate::params::ParamStore;
+use crate::tape::{Tape, Var};
+use crate::{Adam, Optimizer};
+use hiergat_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The unary ops exercised by the random-composition property.
+#[derive(Debug, Clone, Copy)]
+enum UnaryOp {
+    Relu,
+    LeakyRelu,
+    Tanh,
+    Sigmoid,
+    Gelu,
+    Softmax,
+    Scale,
+    AddScalar,
+    Transpose2,
+}
+
+fn arb_unary() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::Relu),
+        Just(UnaryOp::LeakyRelu),
+        Just(UnaryOp::Tanh),
+        Just(UnaryOp::Sigmoid),
+        Just(UnaryOp::Gelu),
+        Just(UnaryOp::Softmax),
+        Just(UnaryOp::Scale),
+        Just(UnaryOp::AddScalar),
+        Just(UnaryOp::Transpose2),
+    ]
+}
+
+fn apply(t: &mut Tape, op: UnaryOp, x: Var) -> Var {
+    match op {
+        UnaryOp::Relu => t.relu(x),
+        UnaryOp::LeakyRelu => t.leaky_relu(x, 0.2),
+        UnaryOp::Tanh => t.tanh(x),
+        UnaryOp::Sigmoid => t.sigmoid(x),
+        UnaryOp::Gelu => t.gelu(x),
+        UnaryOp::Softmax => t.softmax(x),
+        UnaryOp::Scale => t.scale(x, 0.7),
+        UnaryOp::AddScalar => t.add_scalar(x, -0.3),
+        UnaryOp::Transpose2 => {
+            let tr = t.transpose(x);
+            t.transpose(tr)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any chain of smooth unary ops on a square parameter passes gradcheck.
+    ///
+    /// ReLU-family kinks can sit exactly at a sampled point, so the check
+    /// tolerates a small number of borderline scalars rather than requiring
+    /// a perfect match.
+    #[test]
+    fn random_unary_chains_pass_gradcheck(
+        seed in 0u64..1000,
+        ops in proptest::collection::vec(arb_unary(), 1..4),
+        dim in 2usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::rand_normal(dim, dim, 0.0, 0.8, &mut rng));
+        let mismatches = check_gradients(
+            &mut ps,
+            |t, ps| {
+                let mut x = t.param(ps, w);
+                for &op in &ops {
+                    x = apply(t, op, x);
+                }
+                t.mean_all(x)
+            },
+            1e-3,
+            5e-2,
+        );
+        // Allow at most one kink-adjacent scalar out of dim*dim.
+        prop_assert!(
+            mismatches.len() <= 1,
+            "ops {:?}: {} mismatches, first {:?}",
+            ops,
+            mismatches.len(),
+            mismatches.first()
+        );
+    }
+
+    /// Binary compositions (add/sub/mul/matmul) of two parameters pass
+    /// gradcheck.
+    #[test]
+    fn random_binary_compositions_pass_gradcheck(
+        seed in 0u64..1000,
+        which in 0usize..4,
+        rows in 2usize..4,
+        cols in 2usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let a = ps.add("a", Tensor::rand_normal(rows, cols, 0.0, 0.8, &mut rng));
+        let b_shape = if which == 3 { (cols, rows) } else { (rows, cols) };
+        let b = ps.add("b", Tensor::rand_normal(b_shape.0, b_shape.1, 0.0, 0.8, &mut rng));
+        let mismatches = check_gradients(
+            &mut ps,
+            |t, ps| {
+                let av = t.param(ps, a);
+                let bv = t.param(ps, b);
+                let y = match which {
+                    0 => t.add(av, bv),
+                    1 => t.sub(av, bv),
+                    2 => t.mul(av, bv),
+                    _ => t.matmul(av, bv),
+                };
+                let y = t.tanh(y);
+                t.mean_all(y)
+            },
+            1e-3,
+            4e-2,
+        );
+        prop_assert!(mismatches.is_empty(), "{:?}", mismatches.first());
+    }
+
+    /// Adam never produces non-finite parameters on bounded gradients.
+    #[test]
+    fn adam_keeps_parameters_finite(
+        seed in 0u64..500,
+        lr in 1e-4f32..0.5,
+        steps in 1usize..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::rand_normal(3, 3, 0.0, 1.0, &mut rng));
+        let mut opt = Adam::new(lr);
+        for k in 0..steps {
+            let grad = Tensor::rand_normal(3, 3, 0.0, 1.0 + k as f32, &mut rng);
+            ps.accumulate_grad(w, &grad);
+            opt.step(&mut ps);
+            ps.zero_grad();
+            prop_assert!(!ps.value(w).has_non_finite());
+        }
+    }
+
+    /// Snapshot/restore is an exact inverse regardless of store contents.
+    #[test]
+    fn snapshot_restore_roundtrip(seed in 0u64..500, n_params in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let ids: Vec<_> = (0..n_params)
+            .map(|i| ps.add(format!("p{i}"), Tensor::rand_normal(2, 3, 0.0, 1.0, &mut rng)))
+            .collect();
+        let snap = ps.snapshot();
+        // Trash the values.
+        for &id in &ids {
+            *ps.value_mut(id) = Tensor::zeros(2, 3);
+        }
+        ps.restore(&snap);
+        for (i, &id) in ids.iter().enumerate() {
+            prop_assert!(ps.value(id).allclose(&snap[i], 0.0));
+        }
+    }
+
+    /// Weighted cross-entropy equals plain cross-entropy at unit weights.
+    #[test]
+    fn weighted_ce_reduces_to_plain_ce(
+        seed in 0u64..500,
+        n in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = Tensor::rand_normal(n, 2, 0.0, 1.5, &mut rng);
+        let targets: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let weights = vec![1.0f32; n];
+        let mut t = Tape::new();
+        let l = t.input(logits.clone());
+        let plain = t.cross_entropy_logits(l, &targets);
+        let l2 = t.input(logits);
+        let weighted = t.weighted_cross_entropy_logits(l2, &targets, &weights);
+        let a = t.value(plain).item();
+        let b = t.value(weighted).item();
+        prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+}

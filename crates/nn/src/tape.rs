@@ -1,0 +1,775 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records one forward pass as a topologically ordered list of
+//! nodes (the order of creation). Values are computed eagerly when each op
+//! is recorded; [`Tape::backward`] then walks the tape in reverse,
+//! propagating adjoints and accumulating parameter gradients into the
+//! [`ParamStore`].
+//!
+//! Every op's backward rule is validated against finite differences by the
+//! `gradcheck` test module.
+
+use crate::params::{ParamId, ParamStore};
+use hiergat_tensor::{gelu_grad_scalar, Tensor};
+use rand::Rng;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    /// Constant input (no gradient flows past it).
+    Input,
+    /// Leaf reading a parameter from the store; backward accumulates there.
+    Param(ParamId),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    /// `(r x c) + broadcast (1 x c)`.
+    AddRow(Var, Var),
+    /// `(r x c) + broadcast (r x 1)`.
+    AddCol(Var, Var),
+    /// Row `i` of lhs scaled by `col[i]`.
+    MulCol(Var, Var),
+    Matmul(Var, Var),
+    Transpose(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    SumRows(Var),
+    SumCols(Var),
+    Softmax(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Tanh(Var),
+    Sigmoid(Var),
+    Gelu(Var),
+    LayerNorm { x: Var, gamma: Var, beta: Var, eps: f32 },
+    ConcatCols(Vec<Var>),
+    ConcatRows(Vec<Var>),
+    SliceCols { x: Var, start: usize },
+    SliceRows { x: Var, start: usize },
+    GatherRows { table: Var, indices: Vec<usize> },
+    Dropout { x: Var, mask: Tensor },
+    CrossEntropyLogits { logits: Var, targets: Vec<usize> },
+    WeightedCrossEntropyLogits { logits: Var, targets: Vec<usize>, weights: Vec<f32> },
+    BceWithLogits { logits: Var, targets: Vec<f32> },
+    MseLoss { pred: Var, target: Tensor },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// One recorded forward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        debug_assert!(!value.has_non_finite(), "tape op produced non-finite values");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a constant input tensor.
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Records a scalar constant.
+    pub fn constant(&mut self, value: f32) -> Var {
+        self.input(Tensor::scalar(value))
+    }
+
+    /// Records a parameter leaf; gradients will accumulate in the store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let v = self.value(a).scale(k);
+        self.push(v, Op::Scale(a, k))
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
+        let v = self.value(a).add_scalar(k);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// `1 - a`, elementwise (GRU gating convenience).
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let neg = self.scale(a, -1.0);
+        self.add_scalar(neg, 1.0)
+    }
+
+    /// Broadcast-adds a `1 x c` row vector to each row of `a`.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let v = self.value(a).add_row_broadcast(self.value(row));
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// Broadcast-adds an `r x 1` column vector to each column of `a`.
+    pub fn add_col(&mut self, a: Var, col: Var) -> Var {
+        let v = self.value(a).add_col_broadcast(self.value(col));
+        self.push(v, Op::AddCol(a, col))
+    }
+
+    /// Scales row `i` of `a` by `col[i]` (attention-weighted rows).
+    pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
+        let v = self.value(a).mul_col_broadcast(self.value(col));
+        self.push(v, Op::MulCol(a, col))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Sum of all elements (`1 x 1`).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements (`1 x 1`).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Sums over rows, producing a `1 x c` vector.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_rows();
+        self.push(v, Op::SumRows(a))
+    }
+
+    /// Sums over columns, producing an `r x 1` vector.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_cols();
+        self.push(v, Op::SumCols(a))
+    }
+
+    /// Mean over rows (`1 x c`).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let rows = self.value(a).rows() as f32;
+        let s = self.sum_rows(a);
+        self.scale(s, 1.0 / rows)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_rows();
+        self.push(v, Op::Softmax(a))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).relu();
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Leaky ReLU with slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).leaky_relu(alpha);
+        self.push(v, Op::LeakyRelu(a, alpha))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).tanh();
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).sigmoid();
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let v = self.value(a).gelu();
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// Fused layer normalization over each row, with learnable `gamma`/`beta`
+    /// (`1 x c` parameters).
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let (mean, var) = xv.row_moments();
+        let mut out = xv.clone();
+        let g = self.value(gamma).clone();
+        let b = self.value(beta).clone();
+        for i in 0..out.rows() {
+            let m = mean.get(i, 0);
+            let inv = 1.0 / (var.get(i, 0) + eps).sqrt();
+            for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+                *v = (*v - m) * inv * g.get(0, j) + b.get(0, j);
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gamma, beta, eps })
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&tensors);
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Vertical concatenation.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_rows(&tensors);
+        self.push(v, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Copies columns `[start, start + len)`.
+    pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let v = self.value(x).slice_cols(start, len);
+        self.push(v, Op::SliceCols { x, start })
+    }
+
+    /// Copies rows `[start, start + len)`.
+    pub fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let v = self.value(x).slice_rows(start, len);
+        self.push(v, Op::SliceRows { x, start })
+    }
+
+    /// Row `r` of `x` as a `1 x c` vector.
+    pub fn row(&mut self, x: Var, r: usize) -> Var {
+        self.slice_rows(x, r, 1)
+    }
+
+    /// Embedding lookup: `out[i] = table[indices[i]]`.
+    pub fn gather_rows(&mut self, table: Var, indices: &[usize]) -> Var {
+        let v = self.value(table).gather_rows(indices);
+        self.push(v, Op::GatherRows { table, indices: indices.to_vec() })
+    }
+
+    /// Inverted dropout. Identity when `train` is false or `p == 0`.
+    pub fn dropout(&mut self, x: Var, p: f32, train: bool, rng: &mut impl Rng) -> Var {
+        if !train || p <= 0.0 {
+            return x;
+        }
+        assert!(p < 1.0, "dropout: p must be < 1");
+        let keep = 1.0 - p;
+        let xv = self.value(x);
+        let mut mask = Tensor::zeros(xv.rows(), xv.cols());
+        for m in mask.as_mut_slice() {
+            if rng.gen::<f32>() < keep {
+                *m = 1.0 / keep;
+            }
+        }
+        let v = xv.mul(&mask);
+        self.push(v, Op::Dropout { x, mask })
+    }
+
+    /// Mean cross-entropy of row-wise logits against class indices.
+    pub fn cross_entropy_logits(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.rows(), targets.len(), "cross_entropy: target count mismatch");
+        let log_probs = lv.log_softmax_rows();
+        let mut loss = 0.0;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < lv.cols(), "cross_entropy: class {t} out of range");
+            loss -= log_probs.get(i, t);
+        }
+        loss /= targets.len() as f32;
+        self.push(
+            Tensor::scalar(loss),
+            Op::CrossEntropyLogits { logits, targets: targets.to_vec() },
+        )
+    }
+
+    /// Weighted cross-entropy: per-row weights, normalized by the weight
+    /// sum. Used to up-weight the rare positive class (9-25% in the
+    /// benchmarks).
+    pub fn weighted_cross_entropy_logits(
+        &mut self,
+        logits: Var,
+        targets: &[usize],
+        weights: &[f32],
+    ) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.rows(), targets.len(), "wce: target count mismatch");
+        assert_eq!(targets.len(), weights.len(), "wce: weight count mismatch");
+        let w_sum: f32 = weights.iter().sum();
+        assert!(w_sum > 0.0, "wce: weights must be positive");
+        let log_probs = lv.log_softmax_rows();
+        let mut loss = 0.0;
+        for (i, (&t, &w)) in targets.iter().zip(weights).enumerate() {
+            assert!(t < lv.cols(), "wce: class {t} out of range");
+            loss -= w * log_probs.get(i, t);
+        }
+        loss /= w_sum;
+        self.push(
+            Tensor::scalar(loss),
+            Op::WeightedCrossEntropyLogits {
+                logits,
+                targets: targets.to_vec(),
+                weights: weights.to_vec(),
+            },
+        )
+    }
+
+    /// Mean binary cross-entropy with logits (`r x 1` logits, `targets` in `[0,1]`).
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.cols(), 1, "bce: logits must be a column vector");
+        assert_eq!(lv.rows(), targets.len(), "bce: target count mismatch");
+        let mut loss = 0.0;
+        for (i, &y) in targets.iter().enumerate() {
+            let z = lv.get(i, 0);
+            // Numerically stable: max(z,0) - z*y + ln(1 + e^{-|z|}).
+            loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        }
+        loss /= targets.len() as f32;
+        self.push(
+            Tensor::scalar(loss),
+            Op::BceWithLogits { logits, targets: targets.to_vec() },
+        )
+    }
+
+    /// Mean squared error against a constant target.
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let pv = self.value(pred);
+        assert_eq!(pv.shape(), target.shape(), "mse: shape mismatch");
+        let diff = pv.sub(target);
+        let loss = diff.as_slice().iter().map(|d| d * d).sum::<f32>() / pv.len() as f32;
+        self.push(Tensor::scalar(loss), Op::MseLoss { pred, target: target.clone() })
+    }
+
+    /// Runs reverse-mode differentiation from the scalar `loss` node,
+    /// accumulating parameter gradients into `store`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        assert!(self.value(loss).is_scalar(), "backward: loss must be scalar");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(pid) => store.accumulate_grad(*pid, &g),
+                Op::Add(a, b) => {
+                    accum(&mut grads, *a, g.clone());
+                    accum(&mut grads, *b, g);
+                }
+                Op::Sub(a, b) => {
+                    accum(&mut grads, *a, g.clone());
+                    accum(&mut grads, *b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let da = g.mul(self.value(*b));
+                    let db = g.mul(self.value(*a));
+                    accum(&mut grads, *a, da);
+                    accum(&mut grads, *b, db);
+                }
+                Op::Scale(a, k) => accum(&mut grads, *a, g.scale(*k)),
+                Op::AddScalar(a) => accum(&mut grads, *a, g),
+                Op::AddRow(a, row) => {
+                    accum(&mut grads, *row, g.sum_rows());
+                    accum(&mut grads, *a, g);
+                }
+                Op::AddCol(a, col) => {
+                    accum(&mut grads, *col, g.sum_cols());
+                    accum(&mut grads, *a, g);
+                }
+                Op::MulCol(a, col) => {
+                    let da = g.mul_col_broadcast(self.value(*col));
+                    let dcol = g.mul(self.value(*a)).sum_cols();
+                    accum(&mut grads, *a, da);
+                    accum(&mut grads, *col, dcol);
+                }
+                Op::Matmul(a, b) => {
+                    // dA = G B^T ; dB = A^T G
+                    let da = g.matmul_nt(self.value(*b));
+                    let db = self.value(*a).matmul_tn(&g);
+                    accum(&mut grads, *a, da);
+                    accum(&mut grads, *b, db);
+                }
+                Op::Transpose(a) => accum(&mut grads, *a, g.transpose()),
+                Op::SumAll(a) => {
+                    let (r, c) = self.value(*a).shape();
+                    accum(&mut grads, *a, Tensor::full(r, c, g.item()));
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.value(*a).shape();
+                    let k = g.item() / (r * c) as f32;
+                    accum(&mut grads, *a, Tensor::full(r, c, k));
+                }
+                Op::SumRows(a) => {
+                    let rows = self.value(*a).rows();
+                    let da = Tensor::zeros(rows, g.cols()).add_row_broadcast(&g);
+                    accum(&mut grads, *a, da);
+                }
+                Op::SumCols(a) => {
+                    let cols = self.value(*a).cols();
+                    let da = Tensor::zeros(g.rows(), cols).add_col_broadcast(&g);
+                    accum(&mut grads, *a, da);
+                }
+                Op::Softmax(a) => {
+                    // dx = y * (g - rowsum(g * y))
+                    let y = &self.nodes[i].value;
+                    let gy = g.mul(y);
+                    let row_dot = gy.sum_cols(); // r x 1
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        let d = row_dot.get(r, 0);
+                        for (j, v) in da.row_mut(r).iter_mut().enumerate() {
+                            *v = y.get(r, j) * (*v - d);
+                        }
+                    }
+                    accum(&mut grads, *a, da);
+                }
+                Op::Relu(a) => {
+                    let x = self.value(*a);
+                    let da = g.zip_map(x, "relu_bwd", |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                    accum(&mut grads, *a, da);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let x = self.value(*a);
+                    let al = *alpha;
+                    let da =
+                        g.zip_map(x, "lrelu_bwd", |gv, xv| if xv > 0.0 { gv } else { al * gv });
+                    accum(&mut grads, *a, da);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let da = g.zip_map(y, "tanh_bwd", |gv, yv| gv * (1.0 - yv * yv));
+                    accum(&mut grads, *a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let da = g.zip_map(y, "sigmoid_bwd", |gv, yv| gv * yv * (1.0 - yv));
+                    accum(&mut grads, *a, da);
+                }
+                Op::Gelu(a) => {
+                    let x = self.value(*a);
+                    let da = g.zip_map(x, "gelu_bwd", |gv, xv| gv * gelu_grad_scalar(xv));
+                    accum(&mut grads, *a, da);
+                }
+                Op::LayerNorm { x, gamma, beta, eps } => {
+                    let (dx, dgamma, dbeta) =
+                        layer_norm_backward(self.value(*x), self.value(*gamma), &g, *eps);
+                    accum(&mut grads, *x, dx);
+                    accum(&mut grads, *gamma, dgamma);
+                    accum(&mut grads, *beta, dbeta);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let w = self.value(p).cols();
+                        accum(&mut grads, p, g.slice_cols(off, w));
+                        off += w;
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let h = self.value(p).rows();
+                        accum(&mut grads, p, g.slice_rows(off, h));
+                        off += h;
+                    }
+                }
+                Op::SliceCols { x, start } => {
+                    let (r, c) = self.value(*x).shape();
+                    let mut dx = Tensor::zeros(r, c);
+                    for row in 0..r {
+                        let src = g.row(row);
+                        dx.row_mut(row)[*start..*start + src.len()].copy_from_slice(src);
+                    }
+                    accum(&mut grads, *x, dx);
+                }
+                Op::SliceRows { x, start } => {
+                    let (r, c) = self.value(*x).shape();
+                    let mut dx = Tensor::zeros(r, c);
+                    for row in 0..g.rows() {
+                        dx.row_mut(start + row).copy_from_slice(g.row(row));
+                    }
+                    accum(&mut grads, *x, dx);
+                }
+                Op::GatherRows { table, indices } => {
+                    let (r, c) = self.value(*table).shape();
+                    let mut dt = Tensor::zeros(r, c);
+                    dt.scatter_add_rows(indices, &g);
+                    accum(&mut grads, *table, dt);
+                }
+                Op::Dropout { x, mask } => {
+                    accum(&mut grads, *x, g.mul(mask));
+                }
+                Op::CrossEntropyLogits { logits, targets } => {
+                    // d logits = (softmax - onehot) * g / n
+                    let lv = self.value(*logits);
+                    let mut dl = lv.softmax_rows();
+                    let k = g.item() / targets.len() as f32;
+                    for (r, &t) in targets.iter().enumerate() {
+                        let cur = dl.get(r, t);
+                        dl.set(r, t, cur - 1.0);
+                    }
+                    accum(&mut grads, *logits, dl.scale(k));
+                }
+                Op::WeightedCrossEntropyLogits { logits, targets, weights } => {
+                    let lv = self.value(*logits);
+                    let mut dl = lv.softmax_rows();
+                    let w_sum: f32 = weights.iter().sum();
+                    let k = g.item() / w_sum;
+                    for (r, (&t, &w)) in targets.iter().zip(weights).enumerate() {
+                        let cur = dl.get(r, t);
+                        dl.set(r, t, cur - 1.0);
+                        for v in dl.row_mut(r) {
+                            *v *= k * w;
+                        }
+                    }
+                    accum(&mut grads, *logits, dl);
+                }
+                Op::BceWithLogits { logits, targets } => {
+                    let lv = self.value(*logits);
+                    let k = g.item() / targets.len() as f32;
+                    let mut dl = Tensor::zeros(lv.rows(), 1);
+                    for (r, &y) in targets.iter().enumerate() {
+                        let z = lv.get(r, 0);
+                        let s = 1.0 / (1.0 + (-z).exp());
+                        dl.set(r, 0, (s - y) * k);
+                    }
+                    accum(&mut grads, *logits, dl);
+                }
+                Op::MseLoss { pred, target } => {
+                    let pv = self.value(*pred);
+                    let k = 2.0 * g.item() / pv.len() as f32;
+                    accum(&mut grads, *pred, pv.sub(target).scale(k));
+                }
+            }
+        }
+    }
+}
+
+fn accum(grads: &mut [Option<Tensor>], v: Var, delta: Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Closed-form layer-norm backward for one batch of rows.
+fn layer_norm_backward(
+    x: &Tensor,
+    gamma: &Tensor,
+    g: &Tensor,
+    eps: f32,
+) -> (Tensor, Tensor, Tensor) {
+    let (rows, cols) = x.shape();
+    let c = cols as f32;
+    let (mean, var) = x.row_moments();
+    let mut dx = Tensor::zeros(rows, cols);
+    let mut dgamma = Tensor::zeros(1, cols);
+    let mut dbeta = Tensor::zeros(1, cols);
+    for r in 0..rows {
+        let m = mean.get(r, 0);
+        let inv = 1.0 / (var.get(r, 0) + eps).sqrt();
+        // x_hat and intermediate sums.
+        let mut sum_dxhat = 0.0;
+        let mut sum_dxhat_xhat = 0.0;
+        let mut xhat = vec![0.0f32; cols];
+        let mut dxhat = vec![0.0f32; cols];
+        for j in 0..cols {
+            xhat[j] = (x.get(r, j) - m) * inv;
+            dxhat[j] = g.get(r, j) * gamma.get(0, j);
+            sum_dxhat += dxhat[j];
+            sum_dxhat_xhat += dxhat[j] * xhat[j];
+            dgamma.set(0, j, dgamma.get(0, j) + g.get(r, j) * xhat[j]);
+            dbeta.set(0, j, dbeta.get(0, j) + g.get(r, j));
+        }
+        for j in 0..cols {
+            let v = inv * (dxhat[j] - sum_dxhat / c - xhat[j] * sum_dxhat_xhat / c);
+            dx.set(r, j, v);
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scalar_chain_gradient() {
+        // loss = sum((w * 3)^2-ish): check a simple chain by hand.
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::scalar(2.0));
+        let mut t = Tape::new();
+        let wv = t.param(&ps, w);
+        let y = t.scale(wv, 3.0); // y = 6
+        let loss = t.mul(y, y); // loss = 36, dloss/dw = 2*y*3 = 36
+        let loss = t.sum_all(loss);
+        assert!((t.value(loss).item() - 36.0).abs() < 1e-5);
+        t.backward(loss, &mut ps);
+        assert!((ps.grad(w).item() - 36.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_gradient_manual() {
+        // loss = sum(A W), dW = A^T 1, dA = 1 W^T
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let mut t = Tape::new();
+        let a = t.input(Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]));
+        let wv = t.param(&ps, w);
+        let y = t.matmul(a, wv);
+        let loss = t.sum_all(y);
+        t.backward(loss, &mut ps);
+        // dW = A^T @ ones(3,2) = [[2,2],[2,2]]
+        assert_eq!(ps.grad(w).as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn param_used_twice_accumulates() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::scalar(5.0));
+        let mut t = Tape::new();
+        let w1 = t.param(&ps, w);
+        let w2 = t.param(&ps, w);
+        let s = t.add(w1, w2); // 2w
+        let loss = t.sum_all(s);
+        t.backward(loss, &mut ps);
+        assert_eq!(ps.grad(w).item(), 2.0);
+    }
+
+    #[test]
+    fn cross_entropy_forward_value() {
+        let mut t = Tape::new();
+        let logits = t.input(Tensor::from_rows(&[vec![0.0, 0.0]]));
+        let loss = t.cross_entropy_logits(logits, &[0]);
+        assert!((t.value(loss).item() - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_forward_value() {
+        let mut t = Tape::new();
+        let logits = t.input(Tensor::col_vector(&[0.0]));
+        let loss = t.bce_with_logits(logits, &[1.0]);
+        assert!((t.value(loss).item() - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut t = Tape::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = t.input(Tensor::ones(2, 4));
+        let y = t.dropout(x, 0.5, false, &mut rng);
+        assert_eq!(y, x); // same var: identity shortcut
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut kept = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let mut t = Tape::new();
+            let x = t.input(Tensor::ones(1, 50));
+            let y = t.dropout(x, 0.3, true, &mut rng);
+            kept += t.value(y).mean();
+        }
+        let avg = kept / n as f32;
+        assert!((avg - 1.0).abs() < 0.05, "dropout expectation {avg}");
+    }
+
+    #[test]
+    fn softmax_rows_grad_sums_to_zero() {
+        // Because softmax output sums to 1, gradient wrt logits of any
+        // function through softmax has zero row-sum when upstream grad is
+        // uniform in that row only through the softmax path.
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::row_vector(&[0.2, -0.4, 0.9]));
+        let mut t = Tape::new();
+        let wv = t.param(&ps, w);
+        let s = t.softmax(wv);
+        let picked = t.slice_cols(s, 1, 1); // prob of class 1
+        let loss = t.sum_all(picked);
+        t.backward(loss, &mut ps);
+        let grad_sum: f32 = ps.grad(w).as_slice().iter().sum();
+        assert!(grad_sum.abs() < 1e-5, "softmax grad row-sum {grad_sum}");
+    }
+
+    #[test]
+    fn gather_rows_duplicate_indices_accumulate() {
+        let mut ps = ParamStore::new();
+        let table = ps.add("emb", Tensor::ones(3, 2));
+        let mut t = Tape::new();
+        let tv = t.param(&ps, table);
+        let picked = t.gather_rows(tv, &[1, 1, 2]);
+        let loss = t.sum_all(picked);
+        t.backward(loss, &mut ps);
+        assert_eq!(ps.grad(table).row(0), &[0.0, 0.0]);
+        assert_eq!(ps.grad(table).row(1), &[2.0, 2.0]);
+        assert_eq!(ps.grad(table).row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_requires_scalar() {
+        let mut ps = ParamStore::new();
+        let mut t = Tape::new();
+        let x = t.input(Tensor::zeros(2, 2));
+        t.backward(x, &mut ps);
+    }
+}

@@ -1,0 +1,334 @@
+//! The [`Tensor`] type: a row-major, 2-D, `f32` matrix.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when constructing a tensor from data whose length does not
+/// match the requested shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Rows requested by the caller.
+    pub rows: usize,
+    /// Columns requested by the caller.
+    pub cols: usize,
+    /// Length of the buffer actually supplied.
+    pub len: usize,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot view a buffer of length {} as a {}x{} tensor",
+            self.len, self.rows, self.cols
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A dense, row-major, two-dimensional `f32` tensor.
+///
+/// `Tensor` is the only numeric container in the workspace. Rows typically
+/// correspond to tokens (for sequences), graph nodes (for the HHG), or
+/// examples (for classifier inputs); columns are feature dimensions.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a `rows x cols` tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` tensor filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates a `rows x cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a `1 x 1` tensor holding `value`.
+    pub fn scalar(value: f32) -> Self {
+        Self { rows: 1, cols: 1, data: vec![value] }
+    }
+
+    /// Creates an identity matrix of size `n x n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// Returns a [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError { rows, cols, len: data.len() });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a tensor from nested row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows have unequal lengths or `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: need at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "from_rows: row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a `1 x n` row vector from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Creates an `n x 1` column vector from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `true` if the tensor is `1 x 1`.
+    #[inline]
+    pub fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// Extracts the value of a `1 x 1` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1 x 1`.
+    pub fn item(&self) -> f32 {
+        assert!(self.is_scalar(), "item: tensor is {}x{}, not 1x1", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the buffer with a new shape of the same element count.
+    ///
+    /// # Panics
+    /// Panics if `rows * cols != self.len()`.
+    pub fn reshape(mut self, rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            rows * cols,
+            self.data.len(),
+            "reshape: cannot view {} elements as {rows}x{cols}",
+            self.data.len()
+        );
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Returns `true` if all elements differ from `other` by at most `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for r in 0..max_rows {
+            write!(f, "  [")?;
+            let max_cols = 8.min(self.cols);
+            for c in 0..max_cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self.get(r, c))?;
+            }
+            if self.cols > max_cols {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let t = Tensor::zeros(2, 3);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.len(), 6);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        let err = Tensor::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(err, ShapeError { rows: 2, cols: 2, len: 3 });
+        assert!(err.to_string().contains("2x2"));
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let t = Tensor::eye(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(t.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn row_accessors() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+        assert_eq!(t.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(7.5).item(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not 1x1")]
+    fn item_panics_on_matrix() {
+        Tensor::zeros(2, 2).item();
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let t = Tensor::from_vec(2, 3, (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.clone().reshape(3, 2);
+        assert_eq!(r.shape(), (3, 2));
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn allclose_tolerance() {
+        let a = Tensor::full(2, 2, 1.0);
+        let mut b = a.clone();
+        b.set(0, 0, 1.0005);
+        assert!(a.allclose(&b, 1e-3));
+        assert!(!a.allclose(&b, 1e-4));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(1, 2);
+        assert!(!t.has_non_finite());
+        t.set(0, 1, f32::NAN);
+        assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn row_and_col_vectors() {
+        let r = Tensor::row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.shape(), (1, 3));
+        let c = Tensor::col_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.shape(), (3, 1));
+        assert_eq!(c.get(2, 0), 3.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Random initialization schemes.
+//!
+//! All randomness in the workspace flows through caller-provided seeded RNGs
+//! so every experiment is reproducible bit-for-bit.
+
+use crate::Tensor;
+use rand::Rng;
+
+impl Tensor {
+    /// Uniform initialization in `[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.as_mut_slice() {
+            *v = rng.gen_range(lo..hi);
+        }
+        t
+    }
+
+    /// Gaussian initialization with the given mean / standard deviation
+    /// (Box-Muller; avoids pulling in `rand_distr`).
+    pub fn rand_normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Self {
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.as_mut_slice() {
+            *v = mean + std * sample_standard_normal(rng);
+        }
+        t
+    }
+
+    /// Xavier/Glorot uniform initialization for a `fan_in x fan_out` weight.
+    pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Self::rand_uniform(fan_in, fan_out, -limit, limit, rng)
+    }
+
+    /// He/Kaiming normal initialization (for ReLU-family layers).
+    pub fn kaiming_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self {
+        let std = (2.0 / fan_in as f32).sqrt();
+        Self::rand_normal(fan_in, fan_out, 0.0, std, rng)
+    }
+}
+
+/// One sample from N(0, 1) via Box-Muller.
+fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::EPSILON {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        return r * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::rand_uniform(10, 10, -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::rand_normal(100, 100, 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn xavier_limit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::xavier_uniform(8, 8, &mut rng);
+        let limit = (6.0f32 / 16.0).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = Tensor::rand_normal(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = Tensor::rand_normal(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

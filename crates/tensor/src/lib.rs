@@ -1,0 +1,44 @@
+//! Dense 2-D `f32` tensor kernels for the HierGAT entity-resolution stack.
+//!
+//! This crate is the numerical substrate of the reproduction: every model in
+//! the workspace (HierGAT itself, the Ditto/DeepMatcher/GNN baselines, and
+//! the miniature pre-trained language models) is built from the operations
+//! defined here, driven by the reverse-mode autograd tape in `hiergat-nn`.
+//!
+//! Design notes:
+//!
+//! * Tensors are **row-major, two-dimensional, `f32`**. Sequences are `n x d`
+//!   matrices (one row per token), scalars are `1 x 1`. The models in the
+//!   paper process one entity pair (or one `1 + N` candidate set) at a time,
+//!   so no batched 3-D/4-D shapes are needed; multi-head attention slices
+//!   columns instead.
+//! * Shape mismatches are programming errors, not recoverable conditions, so
+//!   the arithmetic kernels `assert!` with a descriptive message (the same
+//!   contract `ndarray` uses). Fallible construction from user input goes
+//!   through [`Tensor::from_vec`], which returns a [`ShapeError`].
+//! * Everything is safe Rust; the hot loop (matmul) uses the cache-friendly
+//!   `i-k-j` ordering over contiguous rows so the compiler can vectorize it.
+
+//! # Example
+//!
+//! ```
+//! use hiergat_tensor::Tensor;
+//!
+//! let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+//! let b = Tensor::eye(2);
+//! assert_eq!(a.matmul(&b), a);
+//! let s = a.softmax_rows();
+//! assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+//! ```
+
+mod dense;
+mod init;
+mod ops;
+mod reduce;
+mod slice;
+
+pub use dense::{ShapeError, Tensor};
+pub use ops::{gelu_grad_scalar, gelu_scalar};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,479 @@
+//! Elementwise arithmetic, broadcasting, matrix products, and nonlinearities.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Elementwise sum `self + other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - other`.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, "div", |a, b| a / b)
+    }
+
+    /// In-place elementwise sum.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled accumulate: `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|v| v * k)
+    }
+
+    /// Adds `k` to every element.
+    pub fn add_scalar(&self, k: f32) -> Tensor {
+        self.map(|v| v + k)
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.as_slice().iter().map(|&v| f(v)).collect();
+        Tensor::from_vec(self.rows(), self.cols(), data).expect("map preserves length")
+    }
+
+    /// Applies `f` elementwise over two same-shaped tensors.
+    pub fn zip_map(&self, other: &Tensor, opname: &str, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{opname}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(self.rows(), self.cols(), data).expect("zip_map preserves length")
+    }
+
+    /// Adds a `1 x c` row vector to every row of an `r x c` tensor.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rows(), 1, "add_row_broadcast: rhs must be a row vector");
+        assert_eq!(self.cols(), row.cols(), "add_row_broadcast: column mismatch");
+        let mut out = self.clone();
+        let r = row.as_slice();
+        for i in 0..out.rows() {
+            for (o, b) in out.row_mut(i).iter_mut().zip(r) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Adds an `r x 1` column vector to every column of an `r x c` tensor.
+    pub fn add_col_broadcast(&self, col: &Tensor) -> Tensor {
+        assert_eq!(col.cols(), 1, "add_col_broadcast: rhs must be a column vector");
+        assert_eq!(self.rows(), col.rows(), "add_col_broadcast: row mismatch");
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            let b = col.get(i, 0);
+            for o in out.row_mut(i) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Multiplies every row `i` of an `r x c` tensor by scalar `col[i]`.
+    pub fn mul_col_broadcast(&self, col: &Tensor) -> Tensor {
+        assert_eq!(col.cols(), 1, "mul_col_broadcast: rhs must be a column vector");
+        assert_eq!(self.rows(), col.rows(), "mul_col_broadcast: row mismatch");
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            let b = col.get(i, 0);
+            for o in out.row_mut(i) {
+                *o *= b;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self (r x k) * other (k x c) -> r x c`.
+    ///
+    /// Uses the cache-friendly `i-k-j` loop over contiguous rows.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: inner dimensions differ ({}x{} * {}x{})",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (r, k, c) = (self.rows(), self.cols(), other.cols());
+        let mut out = Tensor::zeros(r, c);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..r {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut o[i * c..(i + 1) * c];
+            for (p, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * c..(p + 1) * c];
+                for (o_v, &b_v) in o_row.iter_mut().zip(b_row) {
+                    *o_v += a_ik * b_v;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * other`: `(k x r)^T=(r x k)` is avoided by reading columns.
+    ///
+    /// Computes `transpose(self).matmul(other)` without materializing the
+    /// transpose. `self` is `k x r`, `other` is `k x c`, result is `r x c`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows(), other.rows(), "matmul_tn: leading dims differ");
+        let (k, r, c) = (self.rows(), self.cols(), other.cols());
+        let mut out = Tensor::zeros(r, c);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let o = out.as_mut_slice();
+        for p in 0..k {
+            let a_row = &a[p * r..(p + 1) * r];
+            let b_row = &b[p * c..(p + 1) * c];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let o_row = &mut o[i * c..(i + 1) * c];
+                for (o_v, &b_v) in o_row.iter_mut().zip(b_row) {
+                    *o_v += a_pi * b_v;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T`: `self` is `r x k`, `other` is `c x k`, result `r x c`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols(), other.cols(), "matmul_nt: trailing dims differ");
+        let (r, k, c) = (self.rows(), self.cols(), other.rows());
+        let mut out = Tensor::zeros(r, c);
+        for i in 0..r {
+            let a_row = self.row(i);
+            for j in 0..c {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Tensor {
+        let (r, c) = self.shape();
+        let mut out = Tensor::zeros(c, r);
+        for i in 0..r {
+            for j in 0..c {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Frobenius / L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Row-wise softmax: each row is normalized to a probability vector.
+    ///
+    /// Numerically stabilized by subtracting the row max.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for v in row.iter_mut() {
+                *v -= log_sum;
+            }
+        }
+        out
+    }
+
+    /// ReLU nonlinearity.
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Leaky ReLU with negative slope `alpha` (the HHG graph attention in the
+    /// paper uses `alpha = 0.2`, the GAT default).
+    pub fn leaky_relu(&self, alpha: f32) -> Tensor {
+        self.map(|v| if v >= 0.0 { v } else { alpha * v })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|v| 1.0 / (1.0 + (-v).exp()))
+    }
+
+    /// GELU (tanh approximation), the Transformer feed-forward activation.
+    pub fn gelu(&self) -> Tensor {
+        self.map(gelu_scalar)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|v| v.clamp(lo, hi))
+    }
+}
+
+/// Scalar GELU (tanh approximation).
+#[inline]
+pub fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of the scalar GELU (tanh approximation).
+#[inline]
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let u = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: &[Vec<f32>]) -> Tensor {
+        Tensor::from_rows(rows)
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        let a = t(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = t(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        assert_eq!(a.add(&b).as_slice(), &[6.0, 8.0, 10.0, 12.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+        assert_eq!(b.div(&a).as_slice(), &[5.0, 3.0, 7.0 / 3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        Tensor::zeros(2, 2).add(&Tensor::zeros(2, 3));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = t(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = t(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]); // 3x2
+        let b = t(&[vec![1.0, 0.5, 2.0], vec![0.0, 1.0, 3.0], vec![2.0, 2.0, 1.0]]); // 3x3
+        let expected = a.transpose().matmul(&b);
+        assert!(a.matmul_tn(&b).allclose(&expected, 1e-6));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = t(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]); // 2x3
+        let b = t(&[vec![1.0, 0.5, 2.0], vec![0.0, 1.0, 3.0]]); // 2x3
+        let expected = a.matmul(&b.transpose());
+        assert!(a.matmul_nt(&b).allclose(&expected, 1e-6));
+    }
+
+    #[test]
+    fn broadcast_add_row() {
+        let a = Tensor::zeros(2, 3);
+        let row = Tensor::row_vector(&[1.0, 2.0, 3.0]);
+        let out = a.add_row_broadcast(&row);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_add_col() {
+        let a = Tensor::zeros(2, 2);
+        let col = Tensor::col_vector(&[1.0, -1.0]);
+        let out = a.add_col_broadcast(&col);
+        assert_eq!(out.row(0), &[1.0, 1.0]);
+        assert_eq!(out.row(1), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn broadcast_mul_col() {
+        let a = Tensor::ones(2, 2);
+        let col = Tensor::col_vector(&[2.0, 3.0]);
+        let out = a.mul_col_broadcast(&col);
+        assert_eq!(out.row(0), &[2.0, 2.0]);
+        assert_eq!(out.row(1), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let a = t(&[vec![1.0, 2.0, 3.0], vec![-1.0, 0.0, 1.0]]);
+        let s = a.softmax_rows();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone: larger logits get larger probabilities.
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let a = Tensor::row_vector(&[1000.0, 1000.0]);
+        let s = a.softmax_rows();
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let a = Tensor::row_vector(&[0.3, -1.2, 2.0]);
+        let ls = a.log_softmax_rows();
+        let s = a.softmax_rows();
+        for j in 0..3 {
+            assert!((ls.get(0, j).exp() - s.get(0, j)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn activations() {
+        let a = Tensor::row_vector(&[-2.0, 0.0, 2.0]);
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 2.0]);
+        assert_eq!(a.leaky_relu(0.1).as_slice(), &[-0.2, 0.0, 2.0]);
+        let s = a.sigmoid();
+        assert!((s.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!(s.get(0, 0) < 0.5 && s.get(0, 2) > 0.5);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh approximation.
+        assert!((gelu_scalar(0.0)).abs() < 1e-6);
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu_scalar(-1.0) + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.7, 1.9] {
+            let eps = 1e-3;
+            let num = (gelu_scalar(x + eps) - gelu_scalar(x - eps)) / (2.0 * eps);
+            assert!(
+                (gelu_grad_scalar(x) - num).abs() < 1e-3,
+                "gelu'({x}) analytic {} vs numeric {num}",
+                gelu_grad_scalar(x)
+            );
+        }
+    }
+
+    #[test]
+    fn norm_and_dot() {
+        let a = Tensor::row_vector(&[3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        let b = Tensor::row_vector(&[1.0, 2.0]);
+        assert_eq!(a.dot(&b), 11.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(1, 3);
+        let b = Tensor::row_vector(&[1.0, 2.0, 3.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests over the tensor kernels.
+
+use crate::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a tensor with dims in `[1, max_dim]` and values in [-10, 10].
+fn arb_tensor(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data).expect("sized"))
+    })
+}
+
+/// Strategy: a pair of tensors with matching inner dims for matmul.
+fn arb_matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(r, k, c)| {
+        (
+            proptest::collection::vec(-5.0f32..5.0, r * k),
+            proptest::collection::vec(-5.0f32..5.0, k * c),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Tensor::from_vec(r, k, a).expect("sized"),
+                    Tensor::from_vec(k, c, b).expect("sized"),
+                )
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(t in arb_tensor(6)) {
+        let u = t.map(|v| v * 0.5 - 1.0);
+        prop_assert!(t.add(&u).allclose(&u.add(&t), 1e-6));
+    }
+
+    #[test]
+    fn add_zero_is_identity(t in arb_tensor(6)) {
+        let z = Tensor::zeros(t.rows(), t.cols());
+        prop_assert!(t.add(&z).allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(t in arb_tensor(5)) {
+        let u = t.map(|v| v + 1.0);
+        let lhs = t.add(&u).scale(2.0);
+        let rhs = t.scale(2.0).add(&u.scale(2.0));
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn transpose_is_involution(t in arb_tensor(6)) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in arb_matmul_pair()) {
+        // (A B)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_tn_nt_agree_with_naive((a, b) in arb_matmul_pair()) {
+        // a: r x k, b: k x c.
+        let tn = a.transpose().matmul_tn(&b); // (k x r)^T b = a b... sanity below
+        let naive = a.matmul(&b);
+        prop_assert!(tn.allclose(&naive, 1e-3));
+        let nt = a.matmul_nt(&b.transpose());
+        prop_assert!(nt.allclose(&naive, 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in arb_tensor(6)) {
+        let s = t.softmax_rows();
+        for i in 0..s.rows() {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(i).iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift(t in arb_tensor(5)) {
+        let shifted = t.add_scalar(3.7);
+        prop_assert!(t.softmax_rows().allclose(&shifted.softmax_rows(), 1e-4));
+    }
+
+    #[test]
+    fn sum_rows_then_sum_equals_sum(t in arb_tensor(6)) {
+        prop_assert!((t.sum_rows().sum() - t.sum()).abs() < 1e-3);
+        prop_assert!((t.sum_cols().sum() - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrip(t in arb_tensor(5)) {
+        let u = t.map(|v| v + 2.0);
+        let cat = Tensor::concat_cols(&[&t, &u]);
+        prop_assert!(cat.slice_cols(0, t.cols()).allclose(&t, 0.0));
+        prop_assert!(cat.slice_cols(t.cols(), u.cols()).allclose(&u, 0.0));
+        let vcat = Tensor::concat_rows(&[&t, &u]);
+        prop_assert!(vcat.slice_rows(t.rows(), u.rows()).allclose(&u, 0.0));
+    }
+
+    #[test]
+    fn gather_rows_picks_rows(t in arb_tensor(6), seed in 0usize..100) {
+        let idx = seed % t.rows();
+        let g = t.gather_rows(&[idx]);
+        prop_assert_eq!(g.row(0), t.row(idx));
+    }
+
+    #[test]
+    fn relu_is_idempotent(t in arb_tensor(6)) {
+        let r = t.relu();
+        prop_assert!(r.relu().allclose(&r, 0.0));
+        prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Reductions: sums, means, argmax, and row statistics.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Sums over rows, producing a `1 x cols` row vector.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols());
+        for i in 0..self.rows() {
+            let src = self.row(i);
+            for (o, v) in out.row_mut(0).iter_mut().zip(src) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sums over columns, producing a `rows x 1` column vector.
+    pub fn sum_cols(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows(), 1);
+        for i in 0..self.rows() {
+            out.set(i, 0, self.row(i).iter().sum());
+        }
+        out
+    }
+
+    /// Means over rows, producing a `1 x cols` row vector.
+    pub fn mean_rows(&self) -> Tensor {
+        assert!(self.rows() > 0, "mean_rows: empty tensor");
+        self.sum_rows().scale(1.0 / self.rows() as f32)
+    }
+
+    /// Index of the maximum element in row `r` (first on ties).
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Maximum element of the whole tensor.
+    pub fn max(&self) -> f32 {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element of the whole tensor.
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Per-row mean and (biased) variance; returned as two `rows x 1` vectors.
+    ///
+    /// Used by the fused layer-norm forward/backward in `hiergat-nn`.
+    pub fn row_moments(&self) -> (Tensor, Tensor) {
+        let c = self.cols() as f32;
+        let mut mean = Tensor::zeros(self.rows(), 1);
+        let mut var = Tensor::zeros(self.rows(), 1);
+        for i in 0..self.rows() {
+            let row = self.row(i);
+            let m = row.iter().sum::<f32>() / c;
+            let v = row.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / c;
+            mean.set(i, 0, m);
+            var.set(i, 0, v);
+        }
+        (mean, var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tensor {
+        Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn sums() {
+        assert_eq!(t().sum(), 21.0);
+        assert_eq!(t().sum_rows().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t().sum_cols().as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(t().mean(), 3.5);
+        assert_eq!(t().mean_rows().as_slice(), &[2.5, 3.5, 4.5]);
+        assert_eq!(Tensor::zeros(0, 0).mean(), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let a = Tensor::from_rows(&[vec![1.0, 3.0, 3.0]]);
+        assert_eq!(a.argmax_row(0), 1);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(t().max(), 6.0);
+        assert_eq!(t().min(), 1.0);
+    }
+
+    #[test]
+    fn moments() {
+        let (m, v) = t().row_moments();
+        assert_eq!(m.as_slice(), &[2.0, 5.0]);
+        // var of [1,2,3] = 2/3
+        assert!((v.get(0, 0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((v.get(1, 0) - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

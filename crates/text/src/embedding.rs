@@ -1,0 +1,157 @@
+//! FastText-style static word embeddings.
+//!
+//! DeepMatcher (§6.1 of the paper) uses fixed 300-dimensional FastText
+//! vectors; this module reproduces the mechanism at reduced dimension: each
+//! word's vector is the average of a whole-word hash-bucket vector and its
+//! character n-gram bucket vectors, so out-of-vocabulary words ("coolmax",
+//! "tp-link") still receive informative, compositional embeddings (§4.1).
+
+use crate::vocab::fnv1a;
+use hiergat_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Character n-grams of a word, padded with `<` and `>` like FastText.
+pub fn char_ngrams(word: &str, n_min: usize, n_max: usize) -> Vec<String> {
+    let padded: Vec<char> = std::iter::once('<')
+        .chain(word.chars())
+        .chain(std::iter::once('>'))
+        .collect();
+    let mut grams = Vec::new();
+    for n in n_min..=n_max {
+        if padded.len() < n {
+            break;
+        }
+        for start in 0..=padded.len() - n {
+            grams.push(padded[start..start + n].iter().collect());
+        }
+    }
+    grams
+}
+
+/// Deterministic hashed word + n-gram embedding table.
+pub struct StaticHashEmbedding {
+    dim: usize,
+    word_buckets: usize,
+    ngram_buckets: usize,
+    /// `(word_buckets + ngram_buckets) x dim`, seeded once and never trained.
+    table: Tensor,
+}
+
+impl StaticHashEmbedding {
+    /// Builds a table with the given bucket counts; `seed` fixes the vectors.
+    pub fn new(dim: usize, word_buckets: usize, ngram_buckets: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = Tensor::rand_normal(
+            word_buckets + ngram_buckets,
+            dim,
+            0.0,
+            1.0 / (dim as f32).sqrt(),
+            &mut rng,
+        );
+        Self { dim, word_buckets, ngram_buckets, table }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding of one word: whole-word vector averaged with its 3–5
+    /// character n-gram vectors.
+    pub fn embed(&self, word: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut count = 0usize;
+        let word_row = (fnv1a(word.as_bytes()) as usize) % self.word_buckets;
+        for (a, v) in acc.iter_mut().zip(self.table.row(word_row)) {
+            *a += v;
+        }
+        count += 1;
+        for gram in char_ngrams(word, 3, 5) {
+            let row =
+                self.word_buckets + (fnv1a(gram.as_bytes()) as usize) % self.ngram_buckets;
+            for (a, v) in acc.iter_mut().zip(self.table.row(row)) {
+                *a += v;
+            }
+            count += 1;
+        }
+        for a in &mut acc {
+            *a /= count as f32;
+        }
+        acc
+    }
+
+    /// Embeds a token sequence into an `n x dim` tensor.
+    pub fn embed_sequence(&self, tokens: &[String]) -> Tensor {
+        if tokens.is_empty() {
+            return Tensor::zeros(0, self.dim);
+        }
+        Tensor::stack_rows(tokens.len(), self.dim, |i| self.embed(&tokens[i]))
+    }
+
+    /// Cosine similarity of two word embeddings (diagnostics/tests).
+    pub fn cosine(&self, a: &str, b: &str) -> f32 {
+        let va = Tensor::row_vector(&self.embed(a));
+        let vb = Tensor::row_vector(&self.embed(b));
+        let denom = va.norm() * vb.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            va.dot(&vb) / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ngrams_are_padded() {
+        let grams = char_ngrams("cat", 3, 3);
+        assert_eq!(grams, vec!["<ca", "cat", "at>"]);
+    }
+
+    #[test]
+    fn ngrams_cover_requested_range() {
+        let grams = char_ngrams("spark", 3, 5);
+        assert!(grams.contains(&"<sp".to_string()));
+        assert!(grams.contains(&"spark".to_string()));
+        assert!(grams.contains(&"park>".to_string()));
+    }
+
+    #[test]
+    fn short_words_produce_some_ngrams() {
+        assert!(!char_ngrams("ab", 3, 5).is_empty()); // "<ab", "ab>", "<ab>"...
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e1 = StaticHashEmbedding::new(8, 64, 64, 7);
+        let e2 = StaticHashEmbedding::new(8, 64, 64, 7);
+        assert_eq!(e1.embed("photoshop"), e2.embed("photoshop"));
+    }
+
+    #[test]
+    fn morphologically_close_words_are_closer_than_random() {
+        let e = StaticHashEmbedding::new(16, 256, 256, 3);
+        let close = e.cosine("photoshop", "photoshopp");
+        let far = e.cosine("photoshop", "zebra");
+        assert!(close > far, "shared n-grams must pull vectors together ({close} vs {far})");
+    }
+
+    #[test]
+    fn sequence_embedding_shape() {
+        let e = StaticHashEmbedding::new(8, 64, 64, 1);
+        let toks: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(e.embed_sequence(&toks).shape(), (3, 8));
+        assert_eq!(e.embed_sequence(&[]).shape(), (0, 8));
+    }
+
+    #[test]
+    fn oov_words_get_nonzero_vectors() {
+        let e = StaticHashEmbedding::new(8, 64, 64, 2);
+        let v = e.embed("coolmax");
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+}

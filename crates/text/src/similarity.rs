@@ -1,0 +1,266 @@
+//! Classic string-similarity measures.
+//!
+//! These power the Magellan baseline (feature engineering over attribute
+//! pairs, §6.1 of the paper) and are also useful for blocking diagnostics.
+
+use std::collections::HashSet;
+
+/// Levenshtein (edit) distance between two strings, by characters.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity normalized into `[0, 1]`.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches += 1;
+                a_matched.push((i, j));
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let mut b_matches: Vec<usize> = a_matched.iter().map(|&(_, j)| j).collect();
+    let mut transpositions = 0usize;
+    let sorted = {
+        let mut s = b_matches.clone();
+        s.sort_unstable();
+        s
+    };
+    for (x, y) in b_matches.iter().zip(&sorted) {
+        if x != y {
+            transpositions += 1;
+        }
+    }
+    b_matches.sort_unstable();
+    let t = transpositions as f64 / 2.0;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard 0.1 prefix scale.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity over token sets.
+pub fn jaccard(a: &[String], b: &[String]) -> f64 {
+    let sa: HashSet<&str> = a.iter().map(String::as_str).collect();
+    let sb: HashSet<&str> = b.iter().map(String::as_str).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Overlap coefficient over token sets: `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap_coefficient(a: &[String], b: &[String]) -> f64 {
+    let sa: HashSet<&str> = a.iter().map(String::as_str).collect();
+    let sb: HashSet<&str> = b.iter().map(String::as_str).collect();
+    if sa.is_empty() || sb.is_empty() {
+        return if sa.len() == sb.len() { 1.0 } else { 0.0 };
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    inter / sa.len().min(sb.len()) as f64
+}
+
+/// Cosine similarity over token multisets (bag-of-words counts).
+pub fn cosine_tokens(a: &[String], b: &[String]) -> f64 {
+    use std::collections::HashMap;
+    let mut ca: HashMap<&str, f64> = HashMap::new();
+    let mut cb: HashMap<&str, f64> = HashMap::new();
+    for t in a {
+        *ca.entry(t).or_default() += 1.0;
+    }
+    for t in b {
+        *cb.entry(t).or_default() += 1.0;
+    }
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(k, va)| cb.get(k).map(|vb| va * vb))
+        .sum();
+    let na: f64 = ca.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return if na == nb { 1.0 } else { 0.0 };
+    }
+    dot / (na * nb)
+}
+
+/// Monge-Elkan similarity: mean over tokens of `a` of the best
+/// Jaro-Winkler match in `b`.
+pub fn monge_elkan(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() {
+        return if b.is_empty() { 1.0 } else { 0.0 };
+    }
+    if b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for ta in a {
+        let best = b
+            .iter()
+            .map(|tb| jaro_winkler(ta, tb))
+            .fold(0.0f64, f64::max);
+        total += best;
+    }
+    total / a.len() as f64
+}
+
+/// Absolute relative difference of two numbers parsed from strings, mapped
+/// to a similarity in `[0, 1]`; `None` if either fails to parse.
+pub fn numeric_sim(a: &str, b: &str) -> Option<f64> {
+    let fa: f64 = a.trim().parse().ok()?;
+    let fb: f64 = b.trim().parse().ok()?;
+    let denom = fa.abs().max(fb.abs());
+    if denom == 0.0 {
+        return Some(1.0);
+    }
+    Some((1.0 - (fa - fb).abs() / denom).max(0.0))
+}
+
+/// Exact-match indicator.
+pub fn exact(a: &str, b: &str) -> f64 {
+    f64::from(a == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_sim("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.9444).abs() < 1e-3);
+        assert!((jaro("dixon", "dicksonx") - 0.7667).abs() < 1e-3);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_common_prefix() {
+        let j = jaro("martha", "marhta");
+        let jw = jaro_winkler("martha", "marhta");
+        assert!(jw > j);
+        assert!((jw - 0.9611).abs() < 1e-3);
+    }
+
+    #[test]
+    fn jaccard_values() {
+        assert_eq!(jaccard(&toks("a b c"), &toks("a b c")), 1.0);
+        assert_eq!(jaccard(&toks("a b"), &toks("c d")), 0.0);
+        assert!((jaccard(&toks("a b c"), &toks("b c d")) - 0.5).abs() < 1e-9);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn overlap_values() {
+        assert_eq!(overlap_coefficient(&toks("a b"), &toks("a b c d")), 1.0);
+        assert_eq!(overlap_coefficient(&toks("a"), &toks("b")), 0.0);
+    }
+
+    #[test]
+    fn cosine_tokens_values() {
+        assert!((cosine_tokens(&toks("a a b"), &toks("a a b")) - 1.0).abs() < 1e-9);
+        assert_eq!(cosine_tokens(&toks("a"), &toks("b")), 0.0);
+        let mid = cosine_tokens(&toks("a b"), &toks("b c"));
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_rewards_fuzzy_token_matches() {
+        let a = toks("adobe photoshop");
+        let b = toks("adobee photoshopp");
+        assert!(monge_elkan(&a, &b) > 0.9);
+        assert_eq!(monge_elkan(&[], &[]), 1.0);
+        assert_eq!(monge_elkan(&toks("x"), &[]), 0.0);
+    }
+
+    #[test]
+    fn numeric_sim_values() {
+        assert_eq!(numeric_sim("10", "10"), Some(1.0));
+        assert!((numeric_sim("10", "5").unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(numeric_sim("abc", "5"), None);
+        assert_eq!(numeric_sim("0", "0"), Some(1.0));
+    }
+
+    #[test]
+    fn exact_indicator() {
+        assert_eq!(exact("a", "a"), 1.0);
+        assert_eq!(exact("a", "b"), 0.0);
+    }
+}

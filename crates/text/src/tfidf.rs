@@ -1,0 +1,270 @@
+//! TF-IDF vectorization with sparse cosine similarity.
+//!
+//! The collective-ER blocking protocol (§6.3 of the paper) ranks candidates
+//! by TF-IDF cosine similarity; this module provides the fitted vectorizer
+//! and an inverted-index-backed top-N query used by `hiergat-blocking`.
+
+use std::collections::HashMap;
+
+/// A sparse vector: sorted `(term id, weight)` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(usize, f32)>,
+}
+
+impl SparseVec {
+    /// Builds from unsorted pairs, merging duplicates.
+    pub fn from_pairs(mut pairs: Vec<(usize, f32)>) -> Self {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut entries: Vec<(usize, f32)> = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            match entries.last_mut() {
+                Some((last_id, last_w)) if *last_id == id => *last_w += w,
+                _ => entries.push((id, w)),
+            }
+        }
+        Self { entries }
+    }
+
+    /// Sorted entries.
+    pub fn entries(&self) -> &[(usize, f32)] {
+        &self.entries
+    }
+
+    /// Number of nonzero terms.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.entries.iter().map(|(_, w)| w * w).sum::<f32>().sqrt()
+    }
+
+    /// Dot product by sorted merge.
+    pub fn dot(&self, other: &SparseVec) -> f32 {
+        let (mut i, mut j) = (0, 0);
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.entries[i].1 * other.entries[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity.
+    pub fn cosine(&self, other: &SparseVec) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+}
+
+/// A fitted TF-IDF vectorizer.
+#[derive(Debug, Default)]
+pub struct TfIdf {
+    term_ids: HashMap<String, usize>,
+    idf: Vec<f32>,
+    n_docs: usize,
+}
+
+impl TfIdf {
+    /// Fits term ids and smoothed IDF weights on a corpus of token lists.
+    pub fn fit<S: AsRef<str>>(docs: &[Vec<S>]) -> Self {
+        let mut term_ids: HashMap<String, usize> = HashMap::new();
+        let mut doc_freq: Vec<usize> = Vec::new();
+        for doc in docs {
+            let mut seen: Vec<usize> = Vec::new();
+            for tok in doc {
+                let next_id = term_ids.len();
+                let id = *term_ids.entry(tok.as_ref().to_string()).or_insert(next_id);
+                if id == doc_freq.len() {
+                    doc_freq.push(0);
+                }
+                if !seen.contains(&id) {
+                    seen.push(id);
+                    doc_freq[id] += 1;
+                }
+            }
+        }
+        let n = docs.len().max(1);
+        let idf = doc_freq
+            .iter()
+            .map(|&df| ((1.0 + n as f32) / (1.0 + df as f32)).ln() + 1.0)
+            .collect();
+        Self { term_ids, idf, n_docs: docs.len() }
+    }
+
+    /// Transforms a token list to an L2-normalized TF-IDF sparse vector.
+    /// Unseen terms are ignored.
+    pub fn transform<S: AsRef<str>>(&self, doc: &[S]) -> SparseVec {
+        let mut counts: HashMap<usize, f32> = HashMap::new();
+        for tok in doc {
+            if let Some(&id) = self.term_ids.get(tok.as_ref()) {
+                *counts.entry(id).or_default() += 1.0;
+            }
+        }
+        let pairs: Vec<(usize, f32)> = counts
+            .into_iter()
+            .map(|(id, tf)| (id, tf * self.idf[id]))
+            .collect();
+        let v = SparseVec::from_pairs(pairs);
+        let norm = v.norm();
+        if norm == 0.0 {
+            v
+        } else {
+            SparseVec {
+                entries: v.entries.into_iter().map(|(id, w)| (id, w / norm)).collect(),
+            }
+        }
+    }
+
+    /// Vocabulary size after fitting.
+    pub fn vocab_size(&self) -> usize {
+        self.term_ids.len()
+    }
+
+    /// Number of documents the vectorizer was fitted on.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// The IDF weight of a term, if known.
+    pub fn idf_of(&self, term: &str) -> Option<f32> {
+        self.term_ids.get(term).map(|&id| self.idf[id])
+    }
+}
+
+/// Inverted index over normalized TF-IDF vectors for fast top-N cosine
+/// queries (vectors are unit-length, so cosine = dot product).
+pub struct CosineIndex {
+    postings: HashMap<usize, Vec<(usize, f32)>>,
+    n_docs: usize,
+}
+
+impl CosineIndex {
+    /// Builds an index over pre-transformed document vectors.
+    pub fn build(vectors: &[SparseVec]) -> Self {
+        let mut postings: HashMap<usize, Vec<(usize, f32)>> = HashMap::new();
+        for (doc, v) in vectors.iter().enumerate() {
+            for &(term, w) in v.entries() {
+                postings.entry(term).or_default().push((doc, w));
+            }
+        }
+        Self { postings, n_docs: vectors.len() }
+    }
+
+    /// Returns up to `n` document ids with the highest cosine similarity to
+    /// `query`, best first. Ties break toward the lower doc id so results
+    /// are deterministic.
+    pub fn top_n(&self, query: &SparseVec, n: usize) -> Vec<(usize, f32)> {
+        let mut scores: HashMap<usize, f32> = HashMap::new();
+        for &(term, qw) in query.entries() {
+            if let Some(posting) = self.postings.get(&term) {
+                for &(doc, dw) in posting {
+                    *scores.entry(doc).or_default() += qw * dw;
+                }
+            }
+        }
+        let mut ranked: Vec<(usize, f32)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn sparse_vec_merges_duplicates_and_sorts() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 1.5)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn sparse_dot_and_cosine() {
+        let a = SparseVec::from_pairs(vec![(0, 1.0), (2, 2.0)]);
+        let b = SparseVec::from_pairs(vec![(2, 3.0), (5, 1.0)]);
+        assert_eq!(a.dot(&b), 6.0);
+        let c = a.cosine(&b);
+        assert!(c > 0.0 && c < 1.0);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tfidf_downweights_common_terms() {
+        let docs = vec![toks("apple pie"), toks("apple tart"), toks("apple crumble")];
+        let tfidf = TfIdf::fit(&docs);
+        assert!(tfidf.idf_of("apple").unwrap() < tfidf.idf_of("pie").unwrap());
+        assert_eq!(tfidf.vocab_size(), 4);
+        assert_eq!(tfidf.n_docs(), 3);
+    }
+
+    #[test]
+    fn transform_is_unit_length() {
+        let docs = vec![toks("a b c"), toks("b c d")];
+        let tfidf = TfIdf::fit(&docs);
+        let v = tfidf.transform(&toks("a b b"));
+        assert!((v.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unseen_terms_are_ignored() {
+        let tfidf = TfIdf::fit(&[toks("a b")]);
+        let v = tfidf.transform(&toks("zzz yyy"));
+        assert_eq!(v.nnz(), 0);
+    }
+
+    #[test]
+    fn index_top_n_ranks_exact_match_first() {
+        let docs = vec![
+            toks("canon eos camera"),
+            toks("nikon dslr camera"),
+            toks("sony mirrorless camera"),
+        ];
+        let tfidf = TfIdf::fit(&docs);
+        let vecs: Vec<SparseVec> = docs.iter().map(|d| tfidf.transform(d)).collect();
+        let index = CosineIndex::build(&vecs);
+        let hits = index.top_n(&tfidf.transform(&toks("canon eos camera")), 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 0);
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn index_is_deterministic_on_ties() {
+        let docs = vec![toks("x y"), toks("x y")];
+        let tfidf = TfIdf::fit(&docs);
+        let vecs: Vec<SparseVec> = docs.iter().map(|d| tfidf.transform(d)).collect();
+        let index = CosineIndex::build(&vecs);
+        let hits = index.top_n(&tfidf.transform(&toks("x y")), 2);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Tokenization.
+//!
+//! Entity attribute values are free text ("Adobe Photoshop Elements 5.0 Win
+//! 32-bit", "$49.99"); the tokenizer lowercases and splits into alphanumeric
+//! runs, keeping digits and decimal points inside numbers so prices and model
+//! numbers survive as single discriminative tokens.
+
+/// Configurable whitespace/punctuation tokenizer.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Lowercase all tokens (default true).
+    pub lowercase: bool,
+    /// Maximum tokens to keep per text (0 = unlimited).
+    pub max_tokens: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self { lowercase: true, max_tokens: 0 }
+    }
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tokenizer that truncates to `max_tokens` tokens.
+    pub fn with_max_tokens(max_tokens: usize) -> Self {
+        Self { max_tokens, ..Self::default() }
+    }
+
+    /// Splits `text` into tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        let mut prev_is_digit = false;
+        for ch in text.chars() {
+            let is_word = ch.is_alphanumeric();
+            // Keep '.' and ',' inside numbers ("5.0", "1,299") but not words.
+            let is_numeric_joint = (ch == '.' || ch == ',') && prev_is_digit;
+            if is_word || is_numeric_joint {
+                if self.lowercase {
+                    current.extend(ch.to_lowercase());
+                } else {
+                    current.push(ch);
+                }
+                prev_is_digit = ch.is_ascii_digit();
+            } else {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                    if self.max_tokens > 0 && tokens.len() == self.max_tokens {
+                        return tokens;
+                    }
+                }
+                prev_is_digit = false;
+            }
+        }
+        if !current.is_empty() && (self.max_tokens == 0 || tokens.len() < self.max_tokens) {
+            // Trim a trailing numeric joiner ("5." -> "5").
+            while current.ends_with('.') || current.ends_with(',') {
+                current.pop();
+            }
+            if !current.is_empty() {
+                tokens.push(current);
+            }
+        }
+        tokens
+    }
+}
+
+/// Convenience: tokenize with default settings.
+pub fn tokenize(text: &str) -> Vec<String> {
+    Tokenizer::new().tokenize(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        assert_eq!(
+            tokenize("Adobe Photoshop, Elements!"),
+            vec!["adobe", "photoshop", "elements"]
+        );
+    }
+
+    #[test]
+    fn keeps_decimal_numbers_together() {
+        assert_eq!(tokenize("version 5.0 costs $49.99"), vec!["version", "5.0", "costs", "49.99"]);
+    }
+
+    #[test]
+    fn model_numbers_survive() {
+        assert_eq!(tokenize("TP-Link AC1750"), vec!["tp", "link", "ac1750"]);
+    }
+
+    #[test]
+    fn trailing_period_is_not_part_of_number() {
+        assert_eq!(tokenize("costs 49."), vec!["costs", "49"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn max_tokens_truncates() {
+        let t = Tokenizer::with_max_tokens(2);
+        assert_eq!(t.tokenize("a b c d"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        assert_eq!(tokenize("Café Crème"), vec!["café", "crème"]);
+    }
+
+    #[test]
+    fn case_preserving_mode() {
+        let t = Tokenizer { lowercase: false, max_tokens: 0 };
+        assert_eq!(t.tokenize("Adobe"), vec!["Adobe"]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Hash-bucket vocabulary with reserved special tokens.
+//!
+//! The miniature language models (`hiergat-lm`) cannot afford a 50k-entry
+//! WordPiece vocabulary, so tokens are mapped to a fixed number of hash
+//! buckets (feature hashing). Rare brand-specific tokens like "coolmax" or
+//! "tp-link" — which GloVe would collapse to `UNK` (§4.1 of the paper) —
+//! still receive distinct, stable embeddings with high probability.
+
+/// Special tokens occupying the first ids of every vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Special {
+    /// Padding (unused by the unbatched models but reserved for stability).
+    Pad = 0,
+    /// Classification token prepended to every serialized sequence.
+    Cls = 1,
+    /// Separator between segments, as in `[CLS] a [SEP] b [SEP]`.
+    Sep = 2,
+    /// Mask token for the masked-token pre-training objective.
+    Mask = 3,
+    /// Placeholder for missing attribute values (the paper fills missing
+    /// attributes with the literal word "NAN", §2).
+    Nan = 4,
+}
+
+/// Number of reserved special-token ids.
+pub const NUM_SPECIAL: usize = 5;
+
+/// FNV-1a 64-bit hash (stable across runs and platforms).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A hashing vocabulary: token -> bucket id in `[NUM_SPECIAL, size)`.
+#[derive(Debug, Clone)]
+pub struct HashVocab {
+    size: usize,
+}
+
+impl HashVocab {
+    /// Creates a vocabulary with `size` total ids (including the reserved
+    /// specials).
+    ///
+    /// # Panics
+    /// Panics if `size` does not leave room for the special tokens.
+    pub fn new(size: usize) -> Self {
+        assert!(size > NUM_SPECIAL * 2, "vocab size {size} too small");
+        Self { size }
+    }
+
+    /// Total number of ids.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Maps a token to its bucket id. The special word "nan" maps to the
+    /// reserved [`Special::Nan`] id.
+    pub fn id(&self, token: &str) -> usize {
+        if token.eq_ignore_ascii_case("nan") {
+            return Special::Nan as usize;
+        }
+        let h = fnv1a(token.as_bytes());
+        NUM_SPECIAL + (h as usize) % (self.size - NUM_SPECIAL)
+    }
+
+    /// Id of a special token.
+    pub fn special(&self, s: Special) -> usize {
+        s as usize
+    }
+
+    /// Maps every token of a slice.
+    pub fn ids(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_in_range() {
+        let v = HashVocab::new(1000);
+        let a = v.id("photoshop");
+        assert_eq!(a, v.id("photoshop"));
+        assert!(a >= NUM_SPECIAL && a < 1000);
+    }
+
+    #[test]
+    fn distinct_tokens_usually_get_distinct_ids() {
+        let v = HashVocab::new(1 << 14);
+        let words = ["adobe", "apple", "spark", "cluster", "coolmax", "tp", "link"];
+        let ids: std::collections::HashSet<_> = words.iter().map(|w| v.id(w)).collect();
+        assert_eq!(ids.len(), words.len());
+    }
+
+    #[test]
+    fn nan_maps_to_reserved_id() {
+        let v = HashVocab::new(100);
+        assert_eq!(v.id("NAN"), Special::Nan as usize);
+        assert_eq!(v.id("nan"), Special::Nan as usize);
+    }
+
+    #[test]
+    fn specials_are_distinct_and_leading() {
+        let v = HashVocab::new(100);
+        let all = [Special::Pad, Special::Cls, Special::Sep, Special::Mask, Special::Nan];
+        let ids: Vec<_> = all.iter().map(|&s| v.special(s)).collect();
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), all.len());
+        assert!(ids.iter().all(|&i| i < NUM_SPECIAL));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_vocab() {
+        HashVocab::new(6);
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("") must be the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Attention explanation (the paper's Figure 9): train HierGAT, then render
+//! which words and attributes the model attends to when judging a pair.
+//!
+//! ```bash
+//! cargo run --release --example explain_attention
+//! ```
+
+use hiergat::{explain_pair, train_pairwise, HierGat, HierGatConfig};
+use hiergat_data::MagellanDataset;
+use hiergat_lm::{corpus_from_entities, pretrain, LmTier, PretrainConfig};
+
+fn main() {
+    let dataset = MagellanDataset::AmazonGoogle.load(0.4);
+    let entities: Vec<_> = dataset
+        .train
+        .iter()
+        .flat_map(|p| [p.left.clone(), p.right.clone()])
+        .collect();
+    let corpus = corpus_from_entities(entities.iter());
+    let pretrained = pretrain(LmTier::MiniBase.config(), &corpus, &PretrainConfig::default());
+
+    let mut model = HierGat::new(HierGatConfig::pairwise().with_epochs(5), dataset.arity());
+    model.load_pretrained(&pretrained.store);
+    let report = train_pairwise(&mut model, &dataset);
+    println!("trained HierGAT on {} (test F1 {:.1})", dataset.name, report.test_f1 * 100.0);
+
+    for pair in dataset.test.iter().take(2) {
+        println!("\n===== {} pair =====", if pair.label { "matching" } else { "non-matching" });
+        println!("left:  {}", pair.left.serialize_ditto());
+        println!("right: {}", pair.right.serialize_ditto());
+        let explanation = explain_pair(&mut model, pair);
+        print!("{}", explanation.render());
+    }
+}

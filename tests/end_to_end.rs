@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! generation through blocking, pre-training, fine-tuning, and evaluation.
+
+use hiergat::{train_pairwise, HierGat, HierGatConfig};
+use hiergat_baselines::{train_pair_model, Ditto, DittoConfig, Magellan};
+use hiergat_blocking::{KeywordBlocker, TfIdfBlocker};
+use hiergat_data::MagellanDataset;
+use hiergat_lm::{corpus_from_entities, pretrain, LmTier, PretrainConfig};
+
+#[test]
+fn full_pairwise_pipeline_runs_end_to_end() {
+    // Data -> pretrain -> fine-tune -> evaluate, all deterministic.
+    let ds = MagellanDataset::FodorsZagats.load(0.4);
+    assert!(ds.train.len() > 20);
+
+    let entities: Vec<_> = ds
+        .train
+        .iter()
+        .flat_map(|p| [p.left.clone(), p.right.clone()])
+        .collect();
+    let corpus = corpus_from_entities(entities.iter());
+    let pre = pretrain(
+        LmTier::MiniDistil.config(),
+        &corpus,
+        &PretrainConfig { epochs: 1, pair_epochs: 1, ..Default::default() },
+    );
+
+    let mut model = HierGat::new(
+        HierGatConfig::pairwise()
+            .with_tier(LmTier::MiniDistil)
+            .with_epochs(4),
+        ds.arity(),
+    );
+    let copied = model.load_pretrained(&pre.store);
+    assert!(copied > 10, "pre-trained LM tensors must load");
+
+    let report = train_pairwise(&mut model, &ds);
+    assert!(
+        report.test_f1 > 0.45,
+        "HierGAT must learn the easy dataset, got {}",
+        report.test_f1
+    );
+}
+
+#[test]
+fn hiergat_beats_chance_on_heterogeneous_data() {
+    // On the heterogeneous Walmart-Amazon stand-in (attribute injection),
+    // a trained model must beat the naive all-positive baseline.
+    let ds = MagellanDataset::WalmartAmazon.load(0.8);
+    let all_positive_f1 = {
+        let pos = ds.test.iter().filter(|p| p.label).count() as f64;
+        2.0 * pos / (ds.test.len() as f64 + pos)
+    };
+    let entities: Vec<_> = ds
+        .train
+        .iter()
+        .flat_map(|p| [p.left.clone(), p.right.clone()])
+        .collect();
+    let corpus = corpus_from_entities(entities.iter());
+    let pre = pretrain(LmTier::MiniDistil.config(), &corpus, &PretrainConfig::default());
+    let mut model = HierGat::new(
+        HierGatConfig::pairwise()
+            .with_tier(LmTier::MiniDistil)
+            .with_epochs(8),
+        ds.arity(),
+    );
+    model.load_pretrained(&pre.store);
+    let report = train_pairwise(&mut model, &ds);
+    assert!(
+        report.test_f1 > all_positive_f1,
+        "HierGAT {} must beat the all-positive baseline {}",
+        report.test_f1,
+        all_positive_f1
+    );
+}
+
+#[test]
+fn ditto_pipeline_runs_end_to_end() {
+    let ds = MagellanDataset::DblpAcm.load(0.7);
+    let entities: Vec<_> = ds
+        .train
+        .iter()
+        .flat_map(|p| [p.left.clone(), p.right.clone()])
+        .collect();
+    let corpus = corpus_from_entities(entities.iter());
+    let pre = pretrain(LmTier::MiniDistil.config(), &corpus, &PretrainConfig::default());
+    let mut ditto = Ditto::new(DittoConfig {
+        lm_tier: LmTier::MiniDistil,
+        epochs: 8,
+        ..Default::default()
+    });
+    ditto.load_pretrained(&pre.store);
+    let report = train_pair_model(&mut ditto, &ds);
+    assert!(report.test_f1 > 0.4, "Ditto on clean citations: {}", report.test_f1);
+}
+
+#[test]
+fn magellan_baseline_runs_end_to_end() {
+    let ds = MagellanDataset::FodorsZagats.load(0.5);
+    let (model, report) = Magellan::train(&ds, 3);
+    assert!(report.test_f1 > 0.5, "Magellan on clean data: {}", report.test_f1);
+    // The trained matcher scores arbitrary pairs.
+    let s = model.score(&ds.test[0]);
+    assert!((0.0..=1.0).contains(&s));
+}
+
+#[test]
+fn blocking_integrates_with_generated_entities() {
+    let ds = MagellanDataset::AmazonGoogle.load(0.3);
+    let rights: Vec<_> = ds.train.iter().map(|p| p.right.clone()).collect();
+
+    let kw = KeywordBlocker::default();
+    let pairs: Vec<_> = ds.train.iter().cloned().collect();
+    let total = pairs.len();
+    let kept = kw.filter_pairs(pairs);
+    // Keyword blocking keeps nearly all true matches.
+    let kept_pos = kept.iter().filter(|p| p.label).count();
+    let total_pos = ds.train.iter().filter(|p| p.label).count();
+    assert!(kept.len() <= total);
+    assert!(
+        kept_pos * 10 >= total_pos * 8,
+        "keyword blocking lost too many positives: {kept_pos}/{total_pos}"
+    );
+
+    let tfidf = TfIdfBlocker::fit(&rights);
+    let hits = tfidf.top_n(&ds.train[0].left, 16);
+    assert!(!hits.is_empty());
+}
+
+#[test]
+fn deterministic_reproduction_across_runs() {
+    let run = || {
+        let ds = MagellanDataset::Beer.load(0.3);
+        let mut model = HierGat::new(
+            HierGatConfig::pairwise()
+                .with_tier(LmTier::MiniDistil)
+                .with_epochs(2),
+            ds.arity(),
+        );
+        train_pairwise(&mut model, &ds).test_f1
+    };
+    assert_eq!(run(), run(), "identical seeds must give identical F1");
+}
