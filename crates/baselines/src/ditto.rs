@@ -112,6 +112,14 @@ impl Ditto {
         };
         let u = pool(t, 1, first_sep.saturating_sub(1));
         let v = pool(t, first_sep + 1, n.saturating_sub(first_sep + 2).max(1));
+        // Mean-pooled raw embeddings are O(1/sqrt(d)) while the LayerNormed
+        // [CLS] row is O(1); normalize the segment vectors so the comparison
+        // features carry weight in the head from step one instead of being
+        // drowned out.
+        let ones = t.input(hiergat_tensor::Tensor::full(1, d_model, 1.0));
+        let zeros = t.input(hiergat_tensor::Tensor::zeros(1, d_model));
+        let u = t.layer_norm(u, ones, zeros, 1e-5);
+        let v = t.layer_norm(v, ones, zeros, 1e-5);
         let diff = {
             let d = t.sub(u, v);
             let pos = t.relu(d);

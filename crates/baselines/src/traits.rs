@@ -22,16 +22,15 @@ fn score_pairs_parallel<M: PairModel + Sync>(model: &M, pairs: &[EntityPair]) ->
         }
     } else {
         let chunk = pairs.len().div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, work) in scores.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (s, p) in slot.iter_mut().zip(work) {
                         *s = model.predict_pair(p);
                     }
                 });
             }
-        })
-        .expect("scoring threads");
+        });
     }
     scores
 }
@@ -181,16 +180,15 @@ pub fn train_collective_model<M: CollectiveErModel + Sync>(
             }
         } else {
             let chunk = split.len().div_ceil(workers);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (slot, work) in per_example.chunks_mut(chunk).zip(split.chunks(chunk)) {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (s, ex) in slot.iter_mut().zip(work) {
                             *s = model.predict_example(ex);
                         }
                     });
                 }
-            })
-            .expect("scoring threads");
+            });
         }
         let mut scores = Vec::new();
         let mut labels = Vec::new();

@@ -52,16 +52,15 @@ pub fn score_pairs(model: &HierGat, pairs: &[EntityPair]) -> (Vec<f32>, Vec<bool
         }
     } else {
         let chunk = pairs.len().div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, work) in scores.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (s, p) in slot.iter_mut().zip(work) {
                         *s = model.predict_pair(p);
                     }
                 });
             }
-        })
-        .expect("scoring threads");
+        });
     }
     let labels: Vec<bool> = pairs.iter().map(|p| p.label).collect();
     (scores, labels)
@@ -146,16 +145,15 @@ pub fn score_collective(
         }
     } else {
         let chunk = examples.len().div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, work) in per_example.chunks_mut(chunk).zip(examples.chunks(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (s, ex) in slot.iter_mut().zip(work) {
                         *s = model.predict_collective(ex);
                     }
                 });
             }
-        })
-        .expect("scoring threads");
+        });
     }
     let mut scores = Vec::new();
     let mut labels = Vec::new();

@@ -286,8 +286,9 @@ fn apply_token_noise(tokens: &mut Vec<String>, noise: &NoiseConfig, rng: &mut St
             }
         }
     }
-    // Filler insertion.
-    if noise.extra_filler > 0.0 {
+    // Filler insertion. Single-token attributes (brand, model) keep their
+    // identity under formatting noise, mirroring the drop guard above.
+    if noise.extra_filler > 0.0 && tokens.len() > 1 {
         let mut out = Vec::with_capacity(tokens.len() + 2);
         for t in tokens.drain(..) {
             out.push(t);

@@ -33,6 +33,12 @@ impl GraphAttn {
     pub fn attention(&self, t: &mut Tape, ps: &ParamStore, features: Var) -> Var {
         debug_assert_eq!(t.value(features).cols(), self.d_in, "GraphAttn: width mismatch");
         let projected = self.w.forward(t, ps, features);
+        // The nonlinearity must sit between the projection and the scalar
+        // collapse: `c^T tanh(W f)`. With the affine form `LeakyReLU(c^T W f)`
+        // a feature component that is constant across rows (the replicated
+        // entity context of Eq. 3) shifts every logit equally and cancels in
+        // the softmax, silencing the context input entirely.
+        let projected = t.tanh(projected);
         let cv = t.param(ps, self.c);
         let scores = t.matmul(projected, cv); // n x 1
         let scores = t.leaky_relu(scores, GAT_SLOPE);

@@ -3,12 +3,11 @@
 //! Two formats are provided:
 //!
 //! * **JSON** — human-inspectable, used for experiment manifests and tests.
-//! * **Binary** — compact little-endian encoding via `bytes`, used for the
-//!   pre-trained language-model checkpoints that the ER models load before
-//!   fine-tuning.
+//! * **Binary** — compact little-endian encoding over a plain byte buffer,
+//!   used for the pre-trained language-model checkpoints that the ER models
+//!   load before fine-tuning.
 
 use crate::params::ParamStore;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hiergat_tensor::Tensor;
 use std::fmt;
 use std::fs;
@@ -52,28 +51,64 @@ impl From<serde_json::Error> for CheckpointError {
 const MAGIC: u32 = 0x4847_4154; // "HGAT"
 const VERSION: u16 = 1;
 
+/// Big-endian header fields, little-endian tensor payloads — matching the
+/// original on-disk layout so old checkpoints keep loading.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().unwrap())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+}
+
 /// Serializes all parameters (names, shapes, values) into a compact binary
 /// buffer.
-pub fn to_bytes(store: &ParamStore) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_u32(MAGIC);
-    buf.put_u16(VERSION);
-    buf.put_u32(store.len() as u32);
+pub fn to_bytes(store: &ParamStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.extend_from_slice(&VERSION.to_be_bytes());
+    buf.extend_from_slice(&(store.len() as u32).to_be_bytes());
     for (_, name, value) in store.iter() {
         let name_bytes = name.as_bytes();
-        buf.put_u16(name_bytes.len() as u16);
-        buf.put_slice(name_bytes);
-        buf.put_u32(value.rows() as u32);
-        buf.put_u32(value.cols() as u32);
+        buf.extend_from_slice(&(name_bytes.len() as u16).to_be_bytes());
+        buf.extend_from_slice(name_bytes);
+        buf.extend_from_slice(&(value.rows() as u32).to_be_bytes());
+        buf.extend_from_slice(&(value.cols() as u32).to_be_bytes());
         for &v in value.as_slice() {
-            buf.put_f32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a binary checkpoint into a fresh [`ParamStore`].
-pub fn from_bytes(mut buf: Bytes) -> Result<ParamStore, CheckpointError> {
+pub fn from_bytes(buf: &[u8]) -> Result<ParamStore, CheckpointError> {
+    let mut buf = Reader::new(buf);
     if buf.remaining() < 10 {
         return Err(CheckpointError::Malformed("header too short"));
     }
@@ -93,7 +128,7 @@ pub fn from_bytes(mut buf: Bytes) -> Result<ParamStore, CheckpointError> {
         if buf.remaining() < name_len + 8 {
             return Err(CheckpointError::Malformed("truncated entry"));
         }
-        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+        let name = String::from_utf8(buf.take(name_len).to_vec())
             .map_err(|_| CheckpointError::Malformed("non-utf8 name"))?;
         let rows = buf.get_u32() as usize;
         let cols = buf.get_u32() as usize;
@@ -121,7 +156,7 @@ pub fn save_binary(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), Che
 /// Reads a binary checkpoint from disk.
 pub fn load_binary(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError> {
     let data = fs::read(path)?;
-    from_bytes(Bytes::from(data))
+    from_bytes(&data)
 }
 
 /// Writes a JSON checkpoint to disk.
@@ -156,7 +191,7 @@ mod tests {
     #[test]
     fn binary_roundtrip_preserves_everything() {
         let ps = sample_store();
-        let loaded = from_bytes(to_bytes(&ps)).expect("roundtrip");
+        let loaded = from_bytes(&to_bytes(&ps)).expect("roundtrip");
         assert_eq!(loaded.len(), ps.len());
         for (id, name, value) in ps.iter() {
             let _ = id;
@@ -167,10 +202,10 @@ mod tests {
 
     #[test]
     fn corrupt_magic_is_rejected() {
-        let mut raw = to_bytes(&sample_store()).to_vec();
+        let mut raw = to_bytes(&sample_store());
         raw[0] ^= 0xFF;
         assert!(matches!(
-            from_bytes(Bytes::from(raw)),
+            from_bytes(&raw),
             Err(CheckpointError::Malformed("bad magic"))
         ));
     }
@@ -178,7 +213,7 @@ mod tests {
     #[test]
     fn truncated_buffer_is_rejected() {
         let raw = to_bytes(&sample_store());
-        let truncated = raw.slice(0..raw.len() - 5);
+        let truncated = &raw[0..raw.len() - 5];
         assert!(from_bytes(truncated).is_err());
     }
 

@@ -1,0 +1,295 @@
+//! Strategies: composable random-value generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`crate::prop_oneof!`].
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from a non-empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// One parsed atom of the regex-literal subset: a character class plus a
+/// repetition count range.
+struct Atom {
+    chars: CharClass,
+    min: usize,
+    max: usize,
+}
+
+enum CharClass {
+    /// `.` — printable characters (ASCII plus a few exotic ones, so tests
+    /// exercising Unicode normalization still see interesting inputs).
+    Any,
+    /// `[...]` — an explicit set.
+    Set(Vec<char>),
+}
+
+/// Characters `.` can produce. Includes uppercase, whitespace-adjacent and
+/// non-ASCII letters (e.g. U+1D400 which has no lowercase mapping).
+const ANY_EXTRA: &[char] = &['é', 'Ü', 'ß', '中', '\u{1D400}', 'Σ', 'ж'];
+
+fn parse_class(bytes: &[u8], i: &mut usize) -> CharClass {
+    match bytes[*i] {
+        b'.' => {
+            *i += 1;
+            CharClass::Any
+        }
+        b'[' => {
+            *i += 1;
+            let mut set = Vec::new();
+            while bytes[*i] != b']' {
+                let c = if bytes[*i] == b'\\' {
+                    *i += 1;
+                    match bytes[*i] {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    }
+                } else {
+                    bytes[*i] as char
+                };
+                *i += 1;
+                if bytes[*i] == b'-' && bytes[*i + 1] != b']' {
+                    *i += 1;
+                    let hi = bytes[*i] as char;
+                    *i += 1;
+                    for x in c..=hi {
+                        set.push(x);
+                    }
+                } else {
+                    set.push(c);
+                }
+            }
+            *i += 1; // ']'
+            assert!(!set.is_empty(), "regex strategy: empty character class");
+            CharClass::Set(set)
+        }
+        other => {
+            *i += 1;
+            CharClass::Set(vec![other as char])
+        }
+    }
+}
+
+fn parse_quant(bytes: &[u8], i: &mut usize) -> (usize, usize) {
+    if *i >= bytes.len() || bytes[*i] != b'{' {
+        return (1, 1);
+    }
+    *i += 1;
+    let mut min = 0usize;
+    while bytes[*i].is_ascii_digit() {
+        min = min * 10 + usize::from(bytes[*i] - b'0');
+        *i += 1;
+    }
+    let max = if bytes[*i] == b',' {
+        *i += 1;
+        let mut m = 0usize;
+        while bytes[*i].is_ascii_digit() {
+            m = m * 10 + usize::from(bytes[*i] - b'0');
+            *i += 1;
+        }
+        m
+    } else {
+        min
+    };
+    assert!(bytes[*i] == b'}', "regex strategy: unterminated quantifier");
+    *i += 1;
+    (min, max)
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let bytes = pattern.as_bytes();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let chars = parse_class(bytes, &mut i);
+        let (min, max) = parse_quant(bytes, &mut i);
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+/// String-literal regex strategies for the subset the workspace uses:
+/// classes (`[a-z0-9]`, `[ -~\n]`), `.`, and `{m,n}` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                match &atom.chars {
+                    CharClass::Any => {
+                        // Mostly printable ASCII, occasionally exotic.
+                        if rng.gen_bool(0.15) {
+                            out.push(ANY_EXTRA[rng.gen_range(0..ANY_EXTRA.len())]);
+                        } else {
+                            out.push(rng.gen_range(0x20u8..0x7F) as char);
+                        }
+                    }
+                    CharClass::Set(set) => out.push(set[rng.gen_range(0..set.len())]),
+                }
+            }
+        }
+        out
+    }
+}

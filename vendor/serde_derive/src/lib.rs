@@ -1,0 +1,341 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes this
+//! workspace serializes:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * tuple structs (newtypes serialize transparently, wider ones as arrays),
+//! * enums whose variants are all unit variants (serialized as strings).
+//!
+//! Anything else (generics, data-carrying enums) produces a compile error
+//! rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named { name: String, fields: Vec<Field> },
+    Tuple { name: String, arity: usize },
+    Unit { name: String },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens")
+}
+
+/// Returns `true` if an attribute group's tokens are `serde(skip)`.
+fn is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(head)), Some(TokenTree::Group(args))) => {
+            head.to_string() == "serde"
+                && args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skips `#[...]` attributes at `i`, returning whether any was `serde(skip)`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            skip |= is_serde_skip(g);
+        }
+        *i += 2;
+    }
+    skip
+}
+
+/// Skips `pub` / `pub(...)` at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected ':' after field `{name}`")),
+        }
+        // Consume the type up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    for t in body.stream() {
+        saw_any = true;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    // Trailing comma would overcount by design; none of our types use one.
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_enum_variants(body: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; the vendored serde derive only supports unit variants"
+                ))
+            }
+            Some(other) => return Err(format!("unexpected token after variant `{name}`: {other}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}` is generic; the vendored serde derive only supports concrete types"));
+    }
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Named { name, fields: parse_named_fields(g)? })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Shape::Tuple { name, arity: count_tuple_fields(g) })
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Ok(Shape::Unit { name }),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Enum { name, variants: parse_enum_variants(g)? })
+        }
+        _ => Err(format!("unsupported shape for `{name}`")),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Object(::std::vec![{entries}])
+                    }}
+                }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{
+                    ::serde::Serialize::to_value(&self.0)
+                }}
+            }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let entries: String =
+                (0..arity).map(|k| format!("::serde::Serialize::to_value(&self.{k}),")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Array(::std::vec![{entries}])
+                    }}
+                }}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+            }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),", f.name)
+                    } else {
+                        format!(
+                            "{0}: match ::serde::Value::get_field(fields, \"{0}\") {{
+                                ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,
+                                ::std::option::Option::None => return ::std::result::Result::Err(
+                                    ::serde::DeError::custom(\"{name}: missing field `{0}`\")),
+                            }},",
+                            f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        let fields = v.as_object().ok_or_else(|| ::serde::DeError::custom(\"{name}: expected object\"))?;
+                        ::std::result::Result::Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                    ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))
+                }}
+            }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let inits: String = (0..arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        match v {{
+                            ::serde::Value::Array(items) if items.len() == {arity} =>
+                                ::std::result::Result::Ok({name}({inits})),
+                            _ => ::std::result::Result::Err(::serde::DeError::custom(\"{name}: expected {arity}-array\")),
+                        }}
+                    }}
+                }}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                    ::std::result::Result::Ok({name})
+                }}
+            }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        match v {{
+                            ::serde::Value::Str(s) => match s.as_str() {{
+                                {arms}
+                                other => ::std::result::Result::Err(::serde::DeError::custom(
+                                    ::std::format!(\"{name}: unknown variant `{{other}}`\"))),
+                            }},
+                            _ => ::std::result::Result::Err(::serde::DeError::custom(\"{name}: expected string\")),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl")
+}
