@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Workspace lint gate: formatting, clippy (warnings are errors), release
+# build, and the full test suite. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> ci gate passed"

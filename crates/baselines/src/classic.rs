@@ -121,10 +121,10 @@ impl DecisionTree {
                 if lt == 0 || rt == 0 {
                     continue;
                 }
-                let weighted = (lt as f64 * gini(lp, lt) + rt as f64 * gini(rp, rt))
-                    / idx.len() as f64;
+                let weighted =
+                    (lt as f64 * gini(lp, lt) + rt as f64 * gini(rp, rt)) / idx.len() as f64;
                 let gain = parent_gini - weighted;
-                if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-9 {
+                if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-9 {
                     best = Some((f, threshold, gain));
                 }
             }
@@ -133,8 +133,10 @@ impl DecisionTree {
             self.nodes.push(TreeNode::Leaf { pos_rate });
             return node_id;
         };
-        let left_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][feature] <= threshold).collect();
-        let right_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][feature] > threshold).collect();
+        let left_idx: Vec<usize> =
+            idx.iter().copied().filter(|&i| x[i][feature] <= threshold).collect();
+        let right_idx: Vec<usize> =
+            idx.iter().copied().filter(|&i| x[i][feature] > threshold).collect();
         // Reserve the split node, then grow children.
         self.nodes.push(TreeNode::Leaf { pos_rate });
         let left = self.grow(x, y, &left_idx, cfg, depth + 1, rng);
@@ -309,19 +311,13 @@ mod tests {
     /// Linearly separable data: positive iff x0 > 0.5.
     fn separable(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let x: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let y: Vec<bool> = x.iter().map(|r| r[0] > 0.5).collect();
         (x, y)
     }
 
     fn accuracy(c: &dyn Classifier, x: &[Vec<f64>], y: &[bool]) -> f64 {
-        let correct = x
-            .iter()
-            .zip(y)
-            .filter(|(xi, &yi)| c.predict(xi) == yi)
-            .count();
+        let correct = x.iter().zip(y).filter(|(xi, &yi)| c.predict(xi) == yi).count();
         correct as f64 / x.len() as f64
     }
 

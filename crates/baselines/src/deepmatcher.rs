@@ -56,8 +56,14 @@ impl DeepMatcher {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut ps = ParamStore::new();
         let gru = GruCell::new(&mut ps, "dm.gru", cfg.d_emb, cfg.d_hidden, &mut rng);
-        let cls_hidden =
-            Linear::new(&mut ps, "dm.cls_hidden", 4 * cfg.d_hidden * arity, cfg.d_hidden, true, &mut rng);
+        let cls_hidden = Linear::new(
+            &mut ps,
+            "dm.cls_hidden",
+            4 * cfg.d_hidden * arity,
+            cfg.d_hidden,
+            true,
+            &mut rng,
+        );
         let cls_out = Linear::new(&mut ps, "dm.cls_out", cfg.d_hidden, 2, true, &mut rng);
         let emb = StaticHashEmbedding::new(cfg.d_emb, 4096, 2048, cfg.seed ^ 0xfa57);
         let opt = Adam::new(cfg.lr);
@@ -79,8 +85,8 @@ impl DeepMatcher {
     fn forward(&self, t: &mut Tape, pair: &EntityPair) -> Var {
         let mut comparisons = Vec::with_capacity(self.arity);
         for k in 0..self.arity {
-            let lv = pair.left.attrs.get(k).map(|(_, v)| v.as_str()).unwrap_or("");
-            let key = pair.left.attrs.get(k).map(|(k, _)| k.as_str()).unwrap_or("");
+            let lv = pair.left.attrs.get(k).map_or("", |(_, v)| v.as_str());
+            let key = pair.left.attrs.get(k).map_or("", |(k, _)| k.as_str());
             let rv = pair.right.attr(key).unwrap_or("");
             let hl = self.encode_value(t, lv);
             let hr = self.encode_value(t, rv);
@@ -101,6 +107,16 @@ impl DeepMatcher {
         let h = t.relu(h);
         self.cls_out.forward(t, &self.ps, h)
     }
+
+    /// Statically analyzes the training graph for `pair` on a shape-only
+    /// tape (no kernels run): shape inference, parameter reachability, and
+    /// node liveness.
+    pub fn analyze(&self, pair: &EntityPair) -> hiergat_nn::GraphReport {
+        let mut t = Tape::shape_only();
+        let logits = self.forward(&mut t, pair);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
+        hiergat_nn::analyze_graph(&t, loss, &self.ps)
+    }
 }
 
 impl PairModel for DeepMatcher {
@@ -111,8 +127,7 @@ impl PairModel for DeepMatcher {
     fn train_pair_weighted(&mut self, pair: &EntityPair, weight: f32) -> f32 {
         let mut t = Tape::new();
         let logits = self.forward(&mut t, pair);
-        let loss =
-            t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[weight]);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[weight]);
         let val = t.value(loss).item();
         t.backward(loss, &mut self.ps);
         self.ps.clip_grad_norm(5.0);
@@ -181,12 +196,18 @@ mod tests {
     #[test]
     fn learns_a_small_clean_dataset() {
         let ds = MagellanDataset::FodorsZagats.load(0.3);
-        let mut dm = DeepMatcher::new(
-            DeepMatcherConfig { epochs: 4, ..Default::default() },
-            ds.arity(),
-        );
+        let mut dm =
+            DeepMatcher::new(DeepMatcherConfig { epochs: 4, ..Default::default() }, ds.arity());
         let report = train_pair_model(&mut dm, &ds);
         assert!(report.test_f1 > 0.3, "F1 {}", report.test_f1);
+    }
+
+    #[test]
+    fn analyzer_reports_clean_graph() {
+        let dm = DeepMatcher::new(DeepMatcherConfig::default(), 1);
+        let report = dm.analyze(&pair(true));
+        assert!(report.is_clean(), "{report}");
+        assert!(report.node_count > 0);
     }
 
     #[test]

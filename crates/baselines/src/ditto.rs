@@ -56,8 +56,14 @@ impl Ditto {
         // segments). Full-size BERT carries comparison circuits from its
         // pre-training; the miniature LM gets the comparison primitive in
         // the head instead (see DESIGN.md).
-        let head_hidden =
-            Linear::new(&mut ps, "ditto.head_hidden", 5 * lm_cfg.d_model, lm_cfg.d_model, true, &mut rng);
+        let head_hidden = Linear::new(
+            &mut ps,
+            "ditto.head_hidden",
+            5 * lm_cfg.d_model,
+            lm_cfg.d_model,
+            true,
+            &mut rng,
+        );
         let head_out = Linear::new(&mut ps, "ditto.head_out", lm_cfg.d_model, 2, true, &mut rng);
         let opt = Adam::new(cfg.lr);
         Self { cfg, ps, lm, head_hidden, head_out, opt, rng }
@@ -93,12 +99,8 @@ impl Ditto {
         // comparison primitive full-size BERT brings from pre-training.
         // Segment boundary: first [SEP] in [CLS] left [SEP] right [SEP].
         let sep_id = self.lm.vocab().special(hiergat_text::Special::Sep);
-        let first_sep = ids
-            .iter()
-            .take(n)
-            .position(|&i| i == sep_id)
-            .unwrap_or(n.saturating_sub(1))
-            .max(1);
+        let first_sep =
+            ids.iter().take(n).position(|&i| i == sep_id).unwrap_or(n.saturating_sub(1)).max(1);
         let raw = self.lm.embed_ids(t, &self.ps, &ids);
         let d_model = self.lm.config().d_model;
         let pool = |t: &mut Tape, start: usize, len: usize| -> Var {
@@ -138,6 +140,17 @@ impl Ditto {
     pub fn num_parameters(&self) -> usize {
         self.ps.num_scalars()
     }
+
+    /// Statically analyzes the training graph for `pair` on a shape-only
+    /// tape (no kernels run): shape inference, parameter reachability, and
+    /// node liveness.
+    pub fn analyze(&self, pair: &EntityPair) -> hiergat_nn::GraphReport {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x51);
+        let mut t = Tape::shape_only();
+        let logits = self.forward_rng(&mut t, pair, true, &mut rng);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
+        hiergat_nn::analyze_graph(&t, loss, &self.ps)
+    }
 }
 
 impl PairModel for Ditto {
@@ -148,8 +161,7 @@ impl PairModel for Ditto {
     fn train_pair_weighted(&mut self, pair: &EntityPair, weight: f32) -> f32 {
         let mut t = Tape::new();
         let logits = self.forward(&mut t, pair, true);
-        let loss =
-            t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[weight]);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[weight]);
         let val = t.value(loss).item();
         t.backward(loss, &mut self.ps);
         self.ps.clip_grad_norm(5.0);
@@ -197,7 +209,10 @@ mod tests {
             ),
             Entity::new(
                 "r",
-                vec![("title".into(), "apache spark cluster".into()), ("price".into(), "12".into())],
+                vec![
+                    ("title".into(), "apache spark cluster".into()),
+                    ("price".into(), "12".into()),
+                ],
             ),
             label,
         )
@@ -212,7 +227,8 @@ mod tests {
 
     #[test]
     fn loss_decreases_on_repeated_example() {
-        let mut ditto = Ditto::new(DittoConfig { lm_tier: LmTier::MiniDistil, ..Default::default() });
+        let mut ditto =
+            Ditto::new(DittoConfig { lm_tier: LmTier::MiniDistil, ..Default::default() });
         let ex = pair(true);
         let first = ditto.train_pair(&ex);
         let mut last = first;
@@ -232,6 +248,14 @@ mod tests {
         });
         let report = train_pair_model(&mut ditto, &ds);
         assert!(report.test_f1 > 0.3, "F1 {}", report.test_f1);
+    }
+
+    #[test]
+    fn analyzer_reports_clean_graph() {
+        let ditto = Ditto::new(DittoConfig { lm_tier: LmTier::MiniDistil, ..Default::default() });
+        let report = ditto.analyze(&pair(true));
+        assert!(report.is_clean(), "{report}");
+        assert!(report.node_count > 0);
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl DmPlus {
         let scores = t.matmul(l, rt_t); // n x m
         let att = t.softmax(scores);
         let aligned = t.matmul(att, r); // n x d
-        // Elementwise comparison |L - aligned| averaged over tokens.
+                                        // Elementwise comparison |L - aligned| averaged over tokens.
         let diff = {
             let d = t.sub(l, aligned);
             let pos = t.relu(d);
@@ -102,12 +102,8 @@ impl DmPlus {
     fn forward(&self, t: &mut Tape, pair: &EntityPair) -> Var {
         let mut comps = Vec::with_capacity(self.arity);
         for k in 0..self.arity {
-            let (key, lv) = pair
-                .left
-                .attrs
-                .get(k)
-                .map(|(k, v)| (k.as_str(), v.as_str()))
-                .unwrap_or(("", ""));
+            let (key, lv) =
+                pair.left.attrs.get(k).map_or(("", ""), |(k, v)| (k.as_str(), v.as_str()));
             let rv = pair.right.attr(key).unwrap_or("");
             comps.push(self.compare_attr(t, lv, rv));
         }
@@ -128,8 +124,7 @@ impl PairModel for DmPlus {
     fn train_pair_weighted(&mut self, pair: &EntityPair, weight: f32) -> f32 {
         let mut t = Tape::new();
         let logits = self.forward(&mut t, pair);
-        let loss =
-            t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[weight]);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[weight]);
         let val = t.value(loss).item();
         t.backward(loss, &mut self.ps);
         self.ps.clip_grad_norm(5.0);

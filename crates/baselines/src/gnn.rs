@@ -162,7 +162,8 @@ impl GnnCollective {
                     .iter()
                     .map(|e| {
                         let idx: Vec<usize> = (0..e.attr_nodes.len()).collect();
-                        let rows: Vec<Var> = idx.iter().map(|&i| attr_rows[e.attr_nodes[i]]).collect();
+                        let rows: Vec<Var> =
+                            idx.iter().map(|&i| attr_rows[e.attr_nodes[i]]).collect();
                         let stacked = t.concat_rows(&rows);
                         let sum = t.sum_rows(stacked);
                         t.scale(sum, 1.0 / rows.len().max(1) as f32)
@@ -214,6 +215,23 @@ impl GnnCollective {
         }
         t.concat_rows(&rows)
     }
+
+    /// Statically analyzes the training graph for `ex` on a shape-only tape
+    /// (no kernels run): shape inference, parameter reachability, node
+    /// liveness, plus HHG builder validation.
+    pub fn analyze(&self, ex: &CollectiveExample) -> hiergat_nn::GraphReport {
+        let mut t = Tape::shape_only();
+        let logits = self.forward(&mut t, ex);
+        let targets: Vec<usize> = ex.labels.iter().map(|&l| usize::from(l)).collect();
+        let weights = vec![1.0; targets.len()];
+        let loss = t.weighted_cross_entropy_logits(logits, &targets, &weights);
+        let mut report = hiergat_nn::analyze_graph(&t, loss, &self.ps);
+        let mut entities = Vec::with_capacity(1 + ex.candidates.len());
+        entities.push(ex.query.clone());
+        entities.extend(ex.candidates.iter().cloned());
+        report.graph_issues.extend(Hhg::from_entities(&entities).validate());
+        report
+    }
 }
 
 impl CollectiveErModel for GnnCollective {
@@ -225,11 +243,7 @@ impl CollectiveErModel for GnnCollective {
         let mut t = Tape::new();
         let logits = self.forward(&mut t, ex);
         let targets: Vec<usize> = ex.labels.iter().map(|&l| usize::from(l)).collect();
-        let weights: Vec<f32> = ex
-            .labels
-            .iter()
-            .map(|&l| if l { weight } else { 1.0 })
-            .collect();
+        let weights: Vec<f32> = ex.labels.iter().map(|&l| if l { weight } else { 1.0 }).collect();
         let loss = t.weighted_cross_entropy_logits(logits, &targets, &weights);
         let val = t.value(loss).item();
         t.backward(loss, &mut self.ps);
@@ -243,9 +257,7 @@ impl CollectiveErModel for GnnCollective {
         let mut t = Tape::new();
         let logits = self.forward(&mut t, ex);
         let probs = t.softmax(logits);
-        (0..ex.candidates.len())
-            .map(|i| t.value(probs).get(i, 1))
-            .collect()
+        (0..ex.candidates.len()).map(|i| t.value(probs).get(i, 1)).collect()
     }
 
     fn params(&self) -> &ParamStore {
@@ -299,6 +311,16 @@ mod tests {
                 last = m.train_example(&ex);
             }
             assert!(last < first, "{}: {first} -> {last}", kind.name());
+        }
+    }
+
+    #[test]
+    fn analyzer_reports_clean_graph_for_all_kinds() {
+        for kind in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Hgat] {
+            let m = GnnCollective::new(kind, GnnConfig::default());
+            let report = m.analyze(&example());
+            assert!(report.is_clean(), "{}: {report}", kind.name());
+            assert!(report.node_count > 0);
         }
     }
 

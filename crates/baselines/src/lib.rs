@@ -22,7 +22,9 @@ pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
 pub use ditto::{Ditto, DittoConfig};
 pub use dmplus::{DmPlus, DmPlusConfig};
 pub use gnn::{GnnCollective, GnnConfig, GnnKind};
-pub use magellan::{pair_features, Magellan, MagellanReport, SelectedClassifier, FEATURES_PER_ATTR};
+pub use magellan::{
+    pair_features, Magellan, MagellanReport, SelectedClassifier, FEATURES_PER_ATTR,
+};
 pub use traits::{
     flatten_collective, train_collective_model, train_pair_model, BaselineReport,
     CollectiveErModel, PairModel,

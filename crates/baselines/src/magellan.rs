@@ -81,10 +81,7 @@ impl Magellan {
     /// Trains all five classifiers and keeps the best by validation F1.
     pub fn train(ds: &PairDataset, seed: u64) -> (Self, MagellanReport) {
         let fx = |pairs: &[EntityPair]| -> (Vec<Vec<f64>>, Vec<bool>) {
-            (
-                pairs.iter().map(pair_features).collect(),
-                pairs.iter().map(|p| p.label).collect(),
-            )
+            (pairs.iter().map(pair_features).collect(), pairs.iter().map(|p| p.label).collect())
         };
         let (train_x, train_y) = fx(&ds.train);
         let (valid_x, valid_y) = fx(&ds.valid);
@@ -114,7 +111,7 @@ impl Magellan {
         for (kind, model) in candidates {
             let scores: Vec<f32> = valid_x.iter().map(|x| model.score(x) as f32).collect();
             let (threshold, f1) = best_threshold(&scores, &valid_y);
-            if best.as_ref().map_or(true, |(bf, ..)| f1 > *bf) {
+            if best.as_ref().is_none_or(|(bf, ..)| f1 > *bf) {
                 best = Some((f1, threshold, kind, model));
             }
         }

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 fn n_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(8)
 }
 
 /// Parallel pair scoring over worker threads.
@@ -163,8 +163,7 @@ pub fn train_collective_model<M: CollectiveErModel + Sync>(
     ds: &CollectiveDataset,
 ) -> BaselineReport {
     let epochs = model.epochs();
-    let pos_weight =
-        pos_weight_of(ds.train.iter().flat_map(|ex| ex.labels.iter().copied()));
+    let pos_weight = pos_weight_of(ds.train.iter().flat_map(|ex| ex.labels.iter().copied()));
     let mut rng = StdRng::seed_from_u64(model.seed() ^ 0x7262);
     let mut order: Vec<usize> = (0..ds.train.len()).collect();
     let mut best_valid = -1.0f64;
@@ -256,7 +255,7 @@ mod tests {
             .iter()
             .chain(&ds.valid)
             .chain(&ds.test)
-            .map(|e| e.n_positive())
+            .map(CollectiveExample::n_positive)
             .sum();
         assert_eq!(flat.n_positive(), pos_collective);
     }
@@ -305,9 +304,8 @@ mod tests {
     #[test]
     fn train_loop_runs_and_reports() {
         let e = Entity::new("e", vec![("t".into(), "x".into())]);
-        let pairs: Vec<EntityPair> = (0..20)
-            .map(|i| EntityPair::new(e.clone(), e.clone(), i % 2 == 0))
-            .collect();
+        let pairs: Vec<EntityPair> =
+            (0..20).map(|i| EntityPair::new(e.clone(), e.clone(), i % 2 == 0)).collect();
         let ds = PairDataset::split_3_1_1("d", pairs, 1);
         let mut m = Dummy::new();
         let report = train_pair_model(&mut m, &ds);

@@ -8,9 +8,7 @@
 //! harness reproduces.
 
 use hiergat::{train_collective, train_pairwise, HierGat, HierGatConfig};
-use hiergat_baselines::{
-    train_pair_model, DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig,
-};
+use hiergat_baselines::{train_pair_model, DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig};
 use hiergat_bench::*;
 use hiergat_data::MagellanDataset;
 use hiergat_lm::LmTier;
@@ -32,14 +30,12 @@ fn main() {
         let ds = kind.load(scale);
         let volume = ds.len() as f64 * ds.avg_token_len();
 
-        let mut dm = DeepMatcher::new(DeepMatcherConfig { epochs: 2, ..Default::default() }, ds.arity());
+        let mut dm =
+            DeepMatcher::new(DeepMatcherConfig { epochs: 2, ..Default::default() }, ds.arity());
         let dm_t = mean_epoch(&train_pair_model(&mut dm, &ds).per_epoch_seconds);
 
-        let mut ditto = Ditto::new(DittoConfig {
-            lm_tier: LmTier::MiniBase,
-            epochs: 2,
-            ..Default::default()
-        });
+        let mut ditto =
+            Ditto::new(DittoConfig { lm_tier: LmTier::MiniBase, epochs: 2, ..Default::default() });
         let ditto_t = mean_epoch(&train_pair_model(&mut ditto, &ds).per_epoch_seconds);
 
         let mut hg = HierGat::new(HierGatConfig::pairwise().with_epochs(2), ds.arity());
@@ -51,9 +47,10 @@ fn main() {
         } else {
             Some(kind.load_collective(scale * 0.5))
         };
-        let overhead = cds
-            .map(|cds| {
-                let arity = hiergat_bench::collective_arity(&cds);
+        let overhead = cds.map_or_else(
+            || "-".to_string(),
+            |cds| {
+                let arity = collective_arity(&cds);
                 let mut plain = HierGat::new(
                     HierGatConfig { use_alignment: false, ..HierGatConfig::collective() }
                         .with_epochs(2),
@@ -62,10 +59,9 @@ fn main() {
                 let t_plain = mean_epoch(&train_collective(&mut plain, &cds).per_epoch_seconds);
                 let mut plus = HierGat::new(HierGatConfig::collective().with_epochs(2), arity);
                 let t_plus = mean_epoch(&train_collective(&mut plus, &cds).per_epoch_seconds);
-                ((t_plus / t_plain) - 1.0) * 100.0
-            })
-            .map(|o| format!("{o:+.1}"))
-            .unwrap_or_else(|| "-".to_string());
+                format!("{:+.1}", ((t_plus / t_plain) - 1.0) * 100.0)
+            },
+        );
 
         println!(
             "  {:<16} {:>10.0} {:>8.2} {:>8.2} {:>8.2} {:>9}",

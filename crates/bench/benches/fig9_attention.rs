@@ -14,10 +14,7 @@ fn main() {
     banner("Figure 9 — HierGAT attention visualization (Amazon-Google)");
     let ds = MagellanDataset::AmazonGoogle.load(bench_scale());
     let pre = pretrain_for(&ds, LmTier::MiniBase);
-    let mut hg = HierGat::new(
-        HierGatConfig::pairwise().with_epochs(bench_epochs()),
-        ds.arity(),
-    );
+    let mut hg = HierGat::new(HierGatConfig::pairwise().with_epochs(bench_epochs()), ds.arity());
     hg.load_pretrained(&pre);
     let report = train_pairwise(&mut hg, &ds);
     println!("trained HierGAT, test F1 = {:.1}", report.test_f1 * 100.0);

@@ -37,11 +37,7 @@ fn run_block(rows: &[(MagellanDataset, [(f64, f64); 3])], dirty: bool) {
         for (tier, (p_ditto, p_hg)) in LmTier::all().into_iter().zip(paper) {
             let pre = pretrain_for(&ds, tier);
             let ditto = run_ditto(&ds, tier, Some(&pre));
-            let hg = run_hiergat(
-                &ds,
-                HierGatConfig::pairwise().with_tier(tier),
-                Some(&pre),
-            );
+            let hg = run_hiergat(&ds, HierGatConfig::pairwise().with_tier(tier), Some(&pre));
             row(&format!("{} Ditto", tier.name()), p_ditto, ditto);
             row(&format!("{} HierGAT", tier.name()), p_hg, hg);
         }

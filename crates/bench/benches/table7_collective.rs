@@ -23,13 +23,83 @@ struct PaperRow {
 }
 
 const PAPER: &[PaperRow] = &[
-    PaperRow { name: "I-A", mg: Some(50.0), dmp: 55.9, gcn: 36.1, gat: 36.7, hgat: 64.6, ditto: 58.6, hg: 59.3, hg_plus: 64.7 },
-    PaperRow { name: "D-A", mg: Some(94.7), dmp: 98.4, gcn: 97.4, gat: 97.5, hgat: 98.2, ditto: 98.8, hg: 98.9, hg_plus: 99.6 },
-    PaperRow { name: "A-G", mg: Some(28.5), dmp: 69.0, gcn: 64.5, gat: 63.6, hgat: 75.5, ditto: 77.6, hg: 78.0, hg_plus: 83.1 },
-    PaperRow { name: "W-A", mg: Some(58.0), dmp: 72.5, gcn: 67.7, gat: 54.8, hgat: 76.7, ditto: 85.2, hg: 85.9, hg_plus: 92.3 },
-    PaperRow { name: "A-B", mg: Some(52.2), dmp: 62.1, gcn: 57.6, gat: 55.7, hgat: 68.9, ditto: 89.3, hg: 89.5, hg_plus: 93.2 },
-    PaperRow { name: "camera", mg: None, dmp: 98.0, gcn: 82.1, gat: 88.2, hgat: 89.5, ditto: 99.0, hg: 99.1, hg_plus: 99.4 },
-    PaperRow { name: "monitor", mg: None, dmp: 99.1, gcn: 78.8, gat: 84.0, hgat: 84.6, ditto: 98.8, hg: 99.2, hg_plus: 99.6 },
+    PaperRow {
+        name: "I-A",
+        mg: Some(50.0),
+        dmp: 55.9,
+        gcn: 36.1,
+        gat: 36.7,
+        hgat: 64.6,
+        ditto: 58.6,
+        hg: 59.3,
+        hg_plus: 64.7,
+    },
+    PaperRow {
+        name: "D-A",
+        mg: Some(94.7),
+        dmp: 98.4,
+        gcn: 97.4,
+        gat: 97.5,
+        hgat: 98.2,
+        ditto: 98.8,
+        hg: 98.9,
+        hg_plus: 99.6,
+    },
+    PaperRow {
+        name: "A-G",
+        mg: Some(28.5),
+        dmp: 69.0,
+        gcn: 64.5,
+        gat: 63.6,
+        hgat: 75.5,
+        ditto: 77.6,
+        hg: 78.0,
+        hg_plus: 83.1,
+    },
+    PaperRow {
+        name: "W-A",
+        mg: Some(58.0),
+        dmp: 72.5,
+        gcn: 67.7,
+        gat: 54.8,
+        hgat: 76.7,
+        ditto: 85.2,
+        hg: 85.9,
+        hg_plus: 92.3,
+    },
+    PaperRow {
+        name: "A-B",
+        mg: Some(52.2),
+        dmp: 62.1,
+        gcn: 57.6,
+        gat: 55.7,
+        hgat: 68.9,
+        ditto: 89.3,
+        hg: 89.5,
+        hg_plus: 93.2,
+    },
+    PaperRow {
+        name: "camera",
+        mg: None,
+        dmp: 98.0,
+        gcn: 82.1,
+        gat: 88.2,
+        hgat: 89.5,
+        ditto: 99.0,
+        hg: 99.1,
+        hg_plus: 99.4,
+    },
+    PaperRow {
+        name: "monitor",
+        mg: None,
+        dmp: 99.1,
+        gcn: 78.8,
+        gat: 84.0,
+        hgat: 84.6,
+        ditto: 98.8,
+        hg: 99.2,
+        hg_plus: 99.6,
+    },
 ];
 
 fn run_dataset(name: &str, ds: &CollectiveDataset, paper: &PaperRow) {
@@ -42,15 +112,11 @@ fn run_dataset(name: &str, ds: &CollectiveDataset, paper: &PaperRow) {
         row("MG", p_mg, run_magellan(&flat));
     }
     row("DM+", paper.dmp, run_dmplus(&flat));
-    for (kind, p) in [
-        (GnnKind::Gcn, paper.gcn),
-        (GnnKind::Gat, paper.gat),
-        (GnnKind::Hgat, paper.hgat),
-    ] {
-        let mut model = GnnCollective::new(
-            kind,
-            GnnConfig { epochs: bench_epochs(), ..Default::default() },
-        );
+    for (kind, p) in
+        [(GnnKind::Gcn, paper.gcn), (GnnKind::Gat, paper.gat), (GnnKind::Hgat, paper.hgat)]
+    {
+        let mut model =
+            GnnCollective::new(kind, GnnConfig { epochs: bench_epochs(), ..Default::default() });
         row(kind.name(), p, run_collective_baseline(&mut model, ds));
     }
     row("Ditto", paper.ditto, run_ditto(&flat, LmTier::MiniBase, Some(&pre)));

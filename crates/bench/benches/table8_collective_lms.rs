@@ -7,8 +7,11 @@ use hiergat_bench::*;
 use hiergat_data::MagellanDataset;
 use hiergat_lm::LmTier;
 
-/// `(dataset, per-tier (paper Ditto, HG, HG+))` in tier order.
-const PAPER: &[(MagellanDataset, [(f64, f64, f64); 3])] = &[
+/// Paper F1 for one tier: `(Ditto, HierGAT, HierGAT+)`.
+type TierF1 = (f64, f64, f64);
+
+/// `(dataset, per-tier paper F1)` in tier order.
+const PAPER: &[(MagellanDataset, [TierF1; 3])] = &[
     (MagellanDataset::ItunesAmazon, [(47.5, 57.1, 58.2), (7.1, 11.1, 54.2), (58.8, 61.8, 65.6)]),
     (MagellanDataset::DblpAcm, [(98.8, 98.9, 99.2), (98.2, 98.8, 99.4), (98.9, 99.1, 99.6)]),
     (MagellanDataset::AmazonGoogle, [(75.6, 76.4, 81.5), (77.6, 78.0, 83.0), (78.3, 80.7, 86.9)]),
@@ -27,11 +30,7 @@ fn main() {
         for (tier, (p_ditto, p_hg, p_hgp)) in LmTier::all().into_iter().zip(paper) {
             let pre = pretrain_for(&flat, tier);
             let ditto = run_ditto(&flat, tier, Some(&pre));
-            let hg = run_hiergat(
-                &flat,
-                HierGatConfig::pairwise().with_tier(tier),
-                Some(&pre),
-            );
+            let hg = run_hiergat(&flat, HierGatConfig::pairwise().with_tier(tier), Some(&pre));
             let hgp = run_hiergat_collective(
                 &ds,
                 HierGatConfig::collective().with_tier(tier),

@@ -18,19 +18,13 @@ use hiergat_nn::ParamStore;
 /// `HIERGAT_BENCH_SCALE` environment variable (default 1.0). Lower it to
 /// smoke-test the whole suite quickly.
 pub fn bench_scale() -> f64 {
-    std::env::var("HIERGAT_BENCH_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0)
+    std::env::var("HIERGAT_BENCH_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
 }
 
 /// Training epochs for benchmark runs, from `HIERGAT_BENCH_EPOCHS`
 /// (default 6; the paper uses 10 — see EXPERIMENTS.md).
 pub fn bench_epochs() -> usize {
-    std::env::var("HIERGAT_BENCH_EPOCHS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(6)
+    std::env::var("HIERGAT_BENCH_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(6)
 }
 
 /// Prints a table banner.
@@ -48,11 +42,8 @@ pub fn row(name: &str, paper: f64, measured: f64) {
 
 /// Pre-trains a miniature LM on a pairwise dataset's training corpus.
 pub fn pretrain_for(ds: &PairDataset, tier: LmTier) -> ParamStore {
-    let entities: Vec<_> = ds
-        .train
-        .iter()
-        .flat_map(|p| [p.left.clone(), p.right.clone()])
-        .collect();
+    let entities: Vec<_> =
+        ds.train.iter().flat_map(|p| [p.left.clone(), p.right.clone()]).collect();
     let corpus = corpus_from_entities(entities.iter());
     pretrain(tier.config(), &corpus, &PretrainConfig::default()).store
 }
@@ -62,9 +53,7 @@ pub fn pretrain_for_collective(ds: &CollectiveDataset, tier: LmTier) -> ParamSto
     let entities: Vec<_> = ds
         .train
         .iter()
-        .flat_map(|ex| {
-            std::iter::once(ex.query.clone()).chain(ex.candidates.iter().cloned())
-        })
+        .flat_map(|ex| std::iter::once(ex.query.clone()).chain(ex.candidates.iter().cloned()))
         .collect();
     let corpus = corpus_from_entities(entities.iter());
     pretrain(tier.config(), &corpus, &PretrainConfig::default()).store
@@ -97,11 +86,8 @@ pub fn run_dmplus(ds: &PairDataset) -> f64 {
 /// Trains + evaluates Ditto with an optional pre-trained LM; returns
 /// test F1 (percent).
 pub fn run_ditto(ds: &PairDataset, tier: LmTier, pre: Option<&ParamStore>) -> f64 {
-    let mut ditto = Ditto::new(DittoConfig {
-        lm_tier: tier,
-        epochs: bench_epochs(),
-        ..Default::default()
-    });
+    let mut ditto =
+        Ditto::new(DittoConfig { lm_tier: tier, epochs: bench_epochs(), ..Default::default() });
     if let Some(pre) = pre {
         ditto.load_pretrained(pre);
     }
@@ -148,11 +134,7 @@ pub fn run_pair_baseline<M: PairModel + Sync>(model: &mut M, ds: &PairDataset) -
 
 /// Arity of a collective dataset (from the first query).
 pub fn collective_arity(ds: &CollectiveDataset) -> usize {
-    ds.train
-        .first()
-        .or(ds.valid.first())
-        .or(ds.test.first())
-        .map_or(1, |ex| ex.query.arity())
+    ds.train.first().or(ds.valid.first()).or(ds.test.first()).map_or(1, |ex| ex.query.arity())
 }
 
 #[cfg(test)]

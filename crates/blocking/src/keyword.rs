@@ -27,10 +27,7 @@ impl KeywordBlocker {
     }
 
     fn token_set(&self, e: &Entity) -> HashSet<String> {
-        tokenize(&e.full_text())
-            .into_iter()
-            .filter(|t| t.len() >= self.min_token_len)
-            .collect()
+        tokenize(&e.full_text()).into_iter().filter(|t| t.len() >= self.min_token_len).collect()
     }
 
     /// Number of qualifying shared tokens between two entities.
@@ -47,10 +44,7 @@ impl KeywordBlocker {
 
     /// Filters a pair list, keeping survivors.
     pub fn filter_pairs(&self, pairs: Vec<EntityPair>) -> Vec<EntityPair> {
-        pairs
-            .into_iter()
-            .filter(|p| self.keep(&p.left, &p.right))
-            .collect()
+        pairs.into_iter().filter(|p| self.keep(&p.left, &p.right)).collect()
     }
 
     /// Blocks the full cross product of two collections, returning index

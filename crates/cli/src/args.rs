@@ -52,10 +52,7 @@ impl Args {
 
     /// Parses the value of `--key` into `T`, if present.
     pub fn get_parsed<T: FromStr>(&self, key: &str) -> Option<Result<T, String>> {
-        self.get(key).map(|v| {
-            v.parse()
-                .map_err(|_| format!("invalid value '{v}' for --{key}"))
-        })
+        self.get(key).map(|v| v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")))
     }
 
     /// `true` if the bare flag `--key` was given.
@@ -69,7 +66,7 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Result<Args, String> {
-        Args::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        Args::parse(&tokens.iter().map(ToString::to_string).collect::<Vec<_>>())
     }
 
     #[test]

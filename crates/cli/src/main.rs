@@ -12,8 +12,18 @@
 //!   TF-IDF top-N candidate generation between two entity tables.
 //! * `demo    [--dataset amazon-google] [--scale 0.5]`
 //!   trains on a bundled synthetic benchmark (no files needed).
+//! * `analyze [--dataset amazon-google] [--scale 0.5]`
+//!   runs the static tape analyzer (shape inference, gradient
+//!   reachability, node liveness, HHG validation) over the training
+//!   graphs of HierGAT, HierGAT+, and every baseline — no kernels run.
+//!
+//! `train` and `demo` also accept `--analyze` to run the same static
+//! check on the model being trained before epoch 0.
 
 use hiergat::{load_model, save_model, train_pairwise, HierGat, HierGatConfig};
+use hiergat_baselines::{
+    DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig, GnnCollective, GnnConfig, GnnKind,
+};
 use hiergat_data::io::{read_entity_table, read_pairs};
 use hiergat_data::{MagellanDataset, PairDataset};
 use hiergat_lm::{corpus_from_entities, pretrain, LmTier, PretrainConfig};
@@ -41,9 +51,11 @@ const USAGE: &str = "\
 usage:
   hiergat train   --train FILE --valid FILE --test FILE --model DIR
                   [--tier dbert|roberta|lroberta] [--epochs N] [--no-pretrain]
+                  [--analyze]
   hiergat predict --model DIR --pairs FILE [--threshold T]
   hiergat block   --left FILE --right FILE [--top N]
-  hiergat demo    [--dataset NAME] [--scale S] [--epochs N]";
+  hiergat demo    [--dataset NAME] [--scale S] [--epochs N]
+  hiergat analyze [--dataset NAME] [--scale S]";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
@@ -53,6 +65,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "predict" => cmd_predict(&args),
         "block" => cmd_block(&args),
         "demo" => cmd_demo(&args),
+        "analyze" => cmd_analyze(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -73,12 +86,17 @@ fn train_on(ds: &PairDataset, args: &Args) -> Result<HierGat, String> {
         HierGatConfig::pairwise().with_tier(tier).with_epochs(epochs),
         ds.arity().max(1),
     );
+    if args.has_flag("analyze") {
+        let pair = ds.train.first().ok_or("dataset has no training pairs")?;
+        let report = model.analyze_pair(pair);
+        eprintln!("static analysis of the training graph:\n{report}");
+        if !report.is_clean() {
+            return Err("static analysis found issues; aborting before training".into());
+        }
+    }
     if !args.has_flag("no-pretrain") {
-        let entities: Vec<_> = ds
-            .train
-            .iter()
-            .flat_map(|p| [p.left.clone(), p.right.clone()])
-            .collect();
+        let entities: Vec<_> =
+            ds.train.iter().flat_map(|p| [p.left.clone(), p.right.clone()]).collect();
         let corpus = corpus_from_entities(entities.iter());
         eprintln!("pre-training {} LM on {} sentences...", tier.name(), corpus.len());
         let pre = pretrain(tier.config(), &corpus, &PretrainConfig::default());
@@ -143,23 +161,20 @@ fn cmd_block(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_demo(args: &Args) -> Result<(), String> {
+fn dataset_of(args: &Args) -> Result<MagellanDataset, String> {
     let name = args.get("dataset").unwrap_or("amazon-google");
-    let by_name: HashMap<String, MagellanDataset> = MagellanDataset::all()
-        .into_iter()
-        .map(|d| (d.name().to_lowercase(), d))
-        .collect();
-    let kind = by_name
-        .get(&name.to_lowercase())
-        .copied()
-        .ok_or_else(|| {
-            format!(
-                "unknown dataset '{name}'; one of: {}",
-                MagellanDataset::all()
-                    .map(|d| d.name().to_lowercase())
-                    .join(", ")
-            )
-        })?;
+    let by_name: HashMap<String, MagellanDataset> =
+        MagellanDataset::all().into_iter().map(|d| (d.name().to_lowercase(), d)).collect();
+    by_name.get(&name.to_lowercase()).copied().ok_or_else(|| {
+        format!(
+            "unknown dataset '{name}'; one of: {}",
+            MagellanDataset::all().map(|d| d.name().to_lowercase()).join(", ")
+        )
+    })
+}
+
+fn cmd_demo(args: &Args) -> Result<(), String> {
+    let kind = dataset_of(args)?;
     let scale: f64 = args.get_parsed("scale").unwrap_or(Ok(0.5))?;
     let ds = kind.load(scale);
     eprintln!("demo on {} ({} pairs)", ds.name, ds.len());
@@ -171,13 +186,58 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let kind = dataset_of(args)?;
+    let scale: f64 = args.get_parsed("scale").unwrap_or(Ok(0.5))?;
+    let tier = tier_of(args)?;
+    let ds = kind.load(scale);
+    let pair = ds.train.first().ok_or("dataset has no training pairs")?;
+    let arity = ds.arity().max(1);
+
+    let mut dirty = 0usize;
+    let mut show = |name: &str, report: &hiergat_nn::GraphReport| {
+        println!("== {name} ==");
+        println!("{report}");
+        if !report.is_clean() {
+            dirty += 1;
+        }
+    };
+
+    let hiergat = HierGat::new(HierGatConfig::pairwise().with_tier(tier), arity);
+    show("HierGAT (pairwise)", &hiergat.analyze_pair(pair));
+
+    let ds_c = kind.load_collective(scale);
+    let ex = ds_c.train.first().ok_or("collective dataset has no training examples")?;
+    let plus =
+        HierGat::new(HierGatConfig::collective().with_tier(tier), ex.query.attrs.len().max(1));
+    show("HierGAT+ (collective)", &plus.analyze_collective(ex));
+
+    let ditto = Ditto::new(DittoConfig { lm_tier: tier, ..Default::default() });
+    show("Ditto", &ditto.analyze(pair));
+
+    let dm = DeepMatcher::new(DeepMatcherConfig::default(), arity);
+    show("DeepMatcher", &dm.analyze(pair));
+
+    for gk in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Hgat] {
+        let m = GnnCollective::new(gk, GnnConfig::default());
+        show(&format!("{} (collective)", gk.name()), &m.analyze(ex));
+    }
+
+    if dirty > 0 {
+        Err(format!("{dirty} model graph(s) reported static-analysis issues"))
+    } else {
+        println!("all model graphs analyze clean");
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn usage_lists_all_subcommands() {
-        for cmd in ["train", "predict", "block", "demo"] {
+        for cmd in ["train", "predict", "block", "demo", "analyze"] {
             assert!(USAGE.contains(cmd));
         }
     }
@@ -229,37 +289,56 @@ mod tests {
     }
 
     #[test]
+    fn analyze_reports_clean_graphs_for_all_models() {
+        let argv: Vec<String> =
+            ["analyze", "--dataset", "fodors-zagats", "--scale", "0.2", "--tier", "dbert"]
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+        run(&argv).expect("analyze");
+    }
+
+    #[test]
     fn train_save_predict_roundtrip_via_csv() {
         let dir = std::env::temp_dir().join("hiergat-cli-roundtrip");
         std::fs::create_dir_all(&dir).expect("tmp");
         // Generate a tiny dataset and write the DeepMatcher-style files.
         let ds = MagellanDataset::FodorsZagats.load(0.2);
-        let paths: Vec<_> = ["train", "valid", "test"].iter().map(|s| dir.join(format!("{s}.csv"))).collect();
+        let paths: Vec<_> =
+            ["train", "valid", "test"].iter().map(|s| dir.join(format!("{s}.csv"))).collect();
         hiergat_data::io::write_pairs(&paths[0], &ds.train).expect("w");
         hiergat_data::io::write_pairs(&paths[1], &ds.valid).expect("w");
         hiergat_data::io::write_pairs(&paths[2], &ds.test).expect("w");
         let model_dir = dir.join("model");
         let argv: Vec<String> = [
             "train",
-            "--train", paths[0].to_str().unwrap(),
-            "--valid", paths[1].to_str().unwrap(),
-            "--test", paths[2].to_str().unwrap(),
-            "--model", model_dir.to_str().unwrap(),
-            "--tier", "dbert",
-            "--epochs", "1",
+            "--train",
+            paths[0].to_str().unwrap(),
+            "--valid",
+            paths[1].to_str().unwrap(),
+            "--test",
+            paths[2].to_str().unwrap(),
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--tier",
+            "dbert",
+            "--epochs",
+            "1",
             "--no-pretrain",
         ]
         .iter()
-        .map(|s| s.to_string())
+        .map(ToString::to_string)
         .collect();
         run(&argv).expect("train");
         let argv: Vec<String> = [
             "predict",
-            "--model", model_dir.to_str().unwrap(),
-            "--pairs", paths[2].to_str().unwrap(),
+            "--model",
+            model_dir.to_str().unwrap(),
+            "--pairs",
+            paths[2].to_str().unwrap(),
         ]
         .iter()
-        .map(|s| s.to_string())
+        .map(ToString::to_string)
         .collect();
         run(&argv).expect("predict");
     }

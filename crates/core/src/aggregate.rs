@@ -97,10 +97,12 @@ fn lm_encode_with_attn(
 }
 
 /// Entity summarization (§5.1.2 / Algorithm 1): computes every attribute
-/// embedding of every entity in the HHG and concatenates per entity.
+/// embedding of every entity in the HHG.
 ///
-/// Returns `(per-entity attribute embeddings, per-entity concatenated
-/// embedding)`; the concatenation has width `arity x d`.
+/// Returns the per-entity attribute embeddings; use [`concat_entities`] for
+/// the per-entity concatenation (width `arity x d`) when the configuration
+/// actually consumes it — recording it unconditionally leaves dead nodes on
+/// the tape in the Non-Sum / Non-Align ablations.
 pub fn entity_embeddings(
     t: &mut Tape,
     ps: &ParamStore,
@@ -109,22 +111,24 @@ pub fn entity_embeddings(
     wpc: Var,
     train: bool,
     rng: &mut impl Rng,
-) -> (Vec<Vec<Var>>, Vec<Var>) {
-    let mut per_entity_attrs = Vec::with_capacity(g.n_entities());
-    let mut per_entity_concat = Vec::with_capacity(g.n_entities());
-    for e in &g.entities {
-        let attrs: Vec<Var> = e
-            .attr_nodes
-            .iter()
-            .map(|&ai| {
-                attribute_embedding(t, ps, lm, wpc, &g.attributes[ai].token_seq, train, rng)
-            })
-            .collect();
-        let concat = t.concat_cols(&attrs);
-        per_entity_attrs.push(attrs);
-        per_entity_concat.push(concat);
-    }
-    (per_entity_attrs, per_entity_concat)
+) -> Vec<Vec<Var>> {
+    g.entities
+        .iter()
+        .map(|e| {
+            e.attr_nodes
+                .iter()
+                .map(|&ai| {
+                    attribute_embedding(t, ps, lm, wpc, &g.attributes[ai].token_seq, train, rng)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Concatenates each entity's attribute embeddings into one `1 x (arity d)`
+/// row (the summarized entity embedding of Algorithm 1).
+pub fn concat_entities(t: &mut Tape, per_entity_attrs: &[Vec<Var>]) -> Vec<Var> {
+    per_entity_attrs.iter().map(|attrs| t.concat_cols(attrs)).collect()
 }
 
 /// Aligns two entities' attribute-embedding lists to the model's declared
@@ -177,7 +181,8 @@ mod tests {
         let (ps, lm, g, mut rng) = setup();
         let mut t = Tape::new();
         let wpc = wpc_of(&mut t, &ps, &lm, &g);
-        let emb = attribute_embedding(&mut t, &ps, &lm, wpc, &g.attributes[0].token_seq, false, &mut rng);
+        let emb =
+            attribute_embedding(&mut t, &ps, &lm, wpc, &g.attributes[0].token_seq, false, &mut rng);
         assert_eq!(t.value(emb).shape(), (1, 32));
     }
 
@@ -195,9 +200,10 @@ mod tests {
         let (ps, lm, g, mut rng) = setup();
         let mut t = Tape::new();
         let wpc = wpc_of(&mut t, &ps, &lm, &g);
-        let (attrs, concats) = entity_embeddings(&mut t, &ps, &lm, &g, wpc, false, &mut rng);
+        let attrs = entity_embeddings(&mut t, &ps, &lm, &g, wpc, false, &mut rng);
         assert_eq!(attrs.len(), 2);
         assert_eq!(attrs[0].len(), 2);
+        let concats = concat_entities(&mut t, &attrs);
         assert_eq!(t.value(concats[0]).shape(), (1, 64)); // 2 attrs x 32
     }
 
@@ -206,8 +212,14 @@ mod tests {
         let (ps, lm, g, mut rng) = setup();
         let mut t = Tape::new();
         let wpc = wpc_of(&mut t, &ps, &lm, &g);
-        let (_, w) =
-            attribute_embedding_with_attention(&mut t, &ps, &lm, wpc, &g.attributes[0].token_seq, &mut rng);
+        let (_, w) = attribute_embedding_with_attention(
+            &mut t,
+            &ps,
+            &lm,
+            wpc,
+            &g.attributes[0].token_seq,
+            &mut rng,
+        );
         assert_eq!(w.len(), 3);
         let sum: f32 = w.iter().sum();
         assert!((sum - 1.0).abs() < 1e-4, "weights sum {sum}");

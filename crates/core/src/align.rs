@@ -28,7 +28,7 @@ impl AlignLayer {
     /// Registers parameters. `d_entity` is the entity embedding width
     /// (`arity x d_model`).
     pub fn new(ps: &mut ParamStore, prefix: &str, d_entity: usize, rng: &mut impl Rng) -> Self {
-        let hidden = d_entity.min(64).max(8);
+        let hidden = d_entity.clamp(8, 64);
         Self {
             w_att: Linear::new(ps, &format!("{prefix}.w_att"), 2 * d_entity, hidden, false, rng),
             c: ps.add(format!("{prefix}.c"), Tensor::rand_normal(hidden, 1, 0.0, 0.3, rng)),
@@ -101,9 +101,8 @@ mod tests {
     fn preserves_shapes_and_count() {
         let (ps, layer, mut rng) = setup();
         let mut t = Tape::new();
-        let embs: Vec<Var> = (0..4)
-            .map(|_| t.input(Tensor::rand_normal(1, 16, 0.0, 1.0, &mut rng)))
-            .collect();
+        let embs: Vec<Var> =
+            (0..4).map(|_| t.input(Tensor::rand_normal(1, 16, 0.0, 1.0, &mut rng))).collect();
         let edges = vec![(0, 1), (0, 2), (0, 3)];
         let aligned = layer.align(&mut t, &ps, &embs, &edges);
         assert_eq!(aligned.len(), 4);
@@ -117,9 +116,8 @@ mod tests {
     fn isolated_entities_pass_through() {
         let (ps, layer, mut rng) = setup();
         let mut t = Tape::new();
-        let embs: Vec<Var> = (0..3)
-            .map(|_| t.input(Tensor::rand_normal(1, 16, 0.0, 1.0, &mut rng)))
-            .collect();
+        let embs: Vec<Var> =
+            (0..3).map(|_| t.input(Tensor::rand_normal(1, 16, 0.0, 1.0, &mut rng))).collect();
         let aligned = layer.align(&mut t, &ps, &embs, &[(0, 1)]);
         // Entity 2 has no edges: unchanged.
         assert!(t.value(aligned[2]).allclose(t.value(embs[2]), 0.0));

@@ -216,16 +216,13 @@ mod tests {
 
     #[test]
     fn all_combiners_produce_same_shape() {
-        for combiner in [
-            ViewCombiner::ViewAverage,
-            ViewCombiner::SharedSpace,
-            ViewCombiner::WeightAverage,
-        ] {
+        for combiner in
+            [ViewCombiner::ViewAverage, ViewCombiner::SharedSpace, ViewCombiner::WeightAverage]
+        {
             let (ps, _, cmp, mut rng) = setup(combiner);
             let mut t = Tape::new();
-            let sims: Vec<_> = (0..3)
-                .map(|_| t.input(Tensor::rand_normal(1, 32, 0.0, 1.0, &mut rng)))
-                .collect();
+            let sims: Vec<_> =
+                (0..3).map(|_| t.input(Tensor::rand_normal(1, 32, 0.0, 1.0, &mut rng))).collect();
             let ctx = t.input(Tensor::rand_normal(1, 2 * 3 * 32, 0.0, 1.0, &mut rng));
             let out = cmp.combine(&mut t, &ps, &sims, Some(ctx));
             assert_eq!(t.value(out).shape(), (1, 32), "{combiner:?}");
@@ -246,9 +243,8 @@ mod tests {
     fn weight_average_without_ctx_uses_plain_attention() {
         let (ps, _, cmp, mut rng) = setup(ViewCombiner::WeightAverage);
         let mut t = Tape::new();
-        let sims: Vec<_> = (0..4)
-            .map(|_| t.input(Tensor::rand_normal(1, 32, 0.0, 1.0, &mut rng)))
-            .collect();
+        let sims: Vec<_> =
+            (0..4).map(|_| t.input(Tensor::rand_normal(1, 32, 0.0, 1.0, &mut rng))).collect();
         let out = cmp.combine(&mut t, &ps, &sims, None);
         assert_eq!(t.value(out).shape(), (1, 32));
         let weights = cmp.attribute_weights(&mut t, &ps, &sims, None);

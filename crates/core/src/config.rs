@@ -79,11 +79,7 @@ impl HierGatConfig {
 
     /// A reduced configuration for unit tests (small LM, few epochs).
     pub fn fast_test() -> Self {
-        Self {
-            lm_tier: LmTier::MiniDistil,
-            epochs: 3,
-            ..Self::default()
-        }
+        Self { lm_tier: LmTier::MiniDistil, epochs: 3, ..Self::default() }
     }
 
     /// Applies a tier override, returning the updated config.
@@ -128,10 +124,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = HierGatConfig::pairwise()
-            .with_tier(LmTier::MiniLarge)
-            .with_seed(7)
-            .with_epochs(2);
+        let c = HierGatConfig::pairwise().with_tier(LmTier::MiniLarge).with_seed(7).with_epochs(2);
         assert_eq!(c.lm_tier, LmTier::MiniLarge);
         assert_eq!(c.seed, 7);
         assert_eq!(c.epochs, 2);

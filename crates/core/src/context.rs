@@ -182,21 +182,19 @@ impl ContextModule {
             };
             key_embs.push(emb);
         }
-        let v_bar = t.concat_rows(&key_embs); // K x d
+        // Eq. 3 contrasts each key's redundant context against the other
+        // unique attributes; with a single key the softmax would assign
+        // weight 1 and subtract v̄ exactly, cancelling the attribute context
+        // (and its gradients) to zero. Skip removal when K = 1 — and only
+        // stack V̄ (K x d) when removal actually runs, so no dead node is
+        // recorded when entity context is off.
+        let v_bar = (cfg.use_entity_context && keys.len() >= 2).then(|| t.concat_rows(&key_embs));
 
         let mut out = Vec::with_capacity(keys.len());
         let common = g.common_tokens();
         for (ki, key) in keys.iter().enumerate() {
-            let mut ctx = if cfg.use_attr_context {
-                Some(key_embs[ki])
-            } else {
-                None
-            };
-            // Eq. 3 contrasts this key's redundant context against the other
-            // unique attributes; with a single key the softmax would assign
-            // weight 1 and subtract v̄ exactly, cancelling the attribute
-            // context (and its gradients) to zero. Skip removal when K = 1.
-            if cfg.use_entity_context && keys.len() >= 2 {
+            let mut ctx = if cfg.use_attr_context { Some(key_embs[ki]) } else { None };
+            if let Some(v_bar) = v_bar {
                 // Common tokens appearing under this key (Ṽ of Eq. 2).
                 let mut shared: Vec<usize> = Vec::new();
                 for &ai in &g.attrs_with_key(key) {
@@ -209,7 +207,7 @@ impl ContextModule {
                 if !shared.is_empty() {
                     let v_shared = t.gather_rows(token_emb, &shared);
                     let c_a = self.red_ctx.forward(t, ps, v_shared); // Eq. 2, 1 x d
-                    // Eq. 3: attention features (V̄^a || C_j^a), values V̄^a.
+                                                                     // Eq. 3: attention features (V̄^a || C_j^a), values V̄^a.
                     let k = keys.len();
                     let ones = t.input(Tensor::ones(k, 1));
                     let c_a_rows = t.matmul(ones, c_a); // K x d broadcast

@@ -68,7 +68,7 @@ impl PairExplanation {
         }
         for (side, attrs) in [("left", &self.left), ("right", &self.right)] {
             out.push_str(&format!("{side} entity token attention:\n"));
-            for a in attrs.iter() {
+            for a in attrs {
                 out.push_str(&format!("  [{}] ", a.key));
                 for (tok, w) in &a.tokens {
                     out.push_str(&format!("{tok}({w:.2}) "));
@@ -115,7 +115,7 @@ pub fn explain_pair(model: &mut HierGat, pair: &EntityPair) -> PairExplanation {
     let left = sides.pop().expect("two entities");
 
     // Attribute-level structural attention (Eq. 4 weights).
-    let (attr_embs, concats) = entity_embeddings(&mut t, ps, lm, &g, wpc, false, &mut rng);
+    let attr_embs = entity_embeddings(&mut t, ps, lm, &g, wpc, false, &mut rng);
     let (l_attrs, r_attrs) = attribute_similarity_inputs(&attr_embs[0], &attr_embs[1], arity);
     let sims: Vec<_> = l_attrs
         .iter()
@@ -123,18 +123,15 @@ pub fn explain_pair(model: &mut HierGat, pair: &EntityPair) -> PairExplanation {
         .map(|(&a, &b)| comparer.similarity(&mut t, ps, lm, a, b, false, &mut rng))
         .collect();
     let entity_ctx = if cfg.use_entity_summarization {
+        let concats = crate::aggregate::concat_entities(&mut t, &attr_embs);
         Some(t.concat_cols(&[concats[0], concats[1]]))
     } else {
         None
     };
     let weights = cmp.attribute_weights(&mut t, ps, &sims, entity_ctx);
     let keys: Vec<String> = pair.left.keys().map(str::to_string).collect();
-    let attribute_weights = keys
-        .into_iter()
-        .chain(std::iter::repeat("?".to_string()))
-        .zip(weights)
-        .map(|(k, w)| (k, w))
-        .collect();
+    let attribute_weights =
+        keys.into_iter().chain(std::iter::repeat("?".to_string())).zip(weights).collect();
 
     PairExplanation { left, right, attribute_weights, probability }
 }

@@ -48,5 +48,6 @@ pub use model::HierGat;
 pub use persist::{load_model, save_model, PersistError};
 pub use schema_align::{align_pairs, align_schemas, project_entity, SchemaAlignment};
 pub use train::{
-    score_collective, score_pairs, train_collective, train_pairwise, TrainReport,
+    preflight_collective, preflight_pairwise, score_collective, score_pairs, train_collective,
+    train_pairwise, TrainReport,
 };

@@ -1,9 +1,9 @@
 //! The HierGAT / HierGAT+ model (§3-§5 of the paper).
 
+use crate::aggregate::{attribute_similarity_inputs, concat_entities, entity_embeddings};
 use crate::align::AlignLayer;
-use crate::aggregate::{attribute_similarity_inputs, entity_embeddings};
 use crate::compare::{AttributeComparer, EntityComparison};
-use crate::config::HierGatConfig;
+use crate::config::{HierGatConfig, ViewCombiner};
 use crate::context::ContextModule;
 use hiergat_data::{CollectiveExample, EntityPair};
 use hiergat_graph::Hhg;
@@ -50,6 +50,38 @@ impl HierGat {
         let cls_hidden = Linear::new(&mut ps, "hg.cls_hidden", d, d, true, &mut rng);
         let cls_out = Linear::new(&mut ps, "hg.cls_out", d, 2, true, &mut rng);
         let opt = Adam::new(cfg.lr);
+        // Submodules switched off by the config never appear on a tape, so
+        // their parameters can never receive gradients. Freeze them: the
+        // optimizer skips them and the static analyzer counts them as
+        // intentionally gradient-dead instead of flagging wiring bugs.
+        if !cfg.use_token_context {
+            ps.freeze_prefix("hg.ctx.gate_token");
+        }
+        if !cfg.use_attr_context && !cfg.use_entity_context {
+            ps.freeze_prefix("hg.ctx.attr_ctx.");
+            ps.freeze_prefix("hg.ctx.gate_phi");
+        }
+        if !cfg.use_entity_context {
+            ps.freeze_prefix("hg.ctx.red_ctx.");
+            ps.freeze_prefix("hg.ctx.red_rm.");
+        }
+        if cfg.combiner != ViewCombiner::SharedSpace {
+            ps.freeze_prefix("hg.cmp.shared.");
+        }
+        if cfg.combiner != ViewCombiner::WeightAverage || !cfg.use_entity_summarization {
+            ps.freeze_prefix("hg.cmp.attn_ctx.");
+        }
+        if cfg.combiner != ViewCombiner::WeightAverage || cfg.use_entity_summarization {
+            ps.freeze_prefix("hg.cmp.attn_plain.");
+        }
+        // Alignment refines the summarized entity rows, which only the
+        // weight-average combiner's entity context consumes.
+        if !(cfg.use_alignment
+            && cfg.use_entity_summarization
+            && cfg.combiner == ViewCombiner::WeightAverage)
+        {
+            ps.freeze_prefix("hg.align.");
+        }
         Self { cfg, ps, lm, ctx, cmp, comparer, align, cls_hidden, cls_out, opt, rng, arity, d }
     }
 
@@ -79,6 +111,12 @@ impl HierGat {
         self.ps.num_scalars()
     }
 
+    /// Whether the forward pass feeds the summarized-entity context into the
+    /// comparison layer (only the weight-average combiner consumes it).
+    fn uses_entity_ctx(&self) -> bool {
+        self.cfg.use_entity_summarization && self.cfg.combiner == ViewCombiner::WeightAverage
+    }
+
     fn classify(&self, t: &mut Tape, sim: Var) -> Var {
         let h = self.cls_hidden.forward(t, &self.ps, sim);
         let h = t.relu(h);
@@ -103,7 +141,7 @@ impl HierGat {
     ) -> Var {
         let g = Hhg::from_pair(pair);
         let wpc = self.ctx.wpc(t, &self.ps, &g, &self.lm, &self.cfg, train, rng);
-        let (attrs, concats) = entity_embeddings(t, &self.ps, &self.lm, &g, wpc, train, rng);
+        let attrs = entity_embeddings(t, &self.ps, &self.lm, &g, wpc, train, rng);
         let (left_attrs, right_attrs) =
             attribute_similarity_inputs(&attrs[0], &attrs[1], self.arity);
         let sims: Vec<Var> = left_attrs
@@ -111,7 +149,8 @@ impl HierGat {
             .zip(&right_attrs)
             .map(|(&a, &b)| self.comparer.similarity(t, &self.ps, &self.lm, a, b, train, rng))
             .collect();
-        let entity_ctx = if self.cfg.use_entity_summarization {
+        let entity_ctx = if self.uses_entity_ctx() {
+            let concats = concat_entities(t, &attrs);
             Some(t.concat_cols(&[concats[0], concats[1]]))
         } else {
             None
@@ -140,8 +179,7 @@ impl HierGat {
     pub fn train_pair_weighted(&mut self, pair: &EntityPair, weight: f32) -> f32 {
         let mut t = Tape::new();
         let logits = self.forward_pair(&mut t, pair, true);
-        let loss =
-            t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[weight]);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[weight]);
         let loss_val = t.value(loss).item();
         t.backward(loss, &mut self.ps);
         self.ps.clip_grad_norm(5.0);
@@ -152,12 +190,7 @@ impl HierGat {
 
     /// Forward pass over a collective example; returns `N x 2` logits, one
     /// row per candidate.
-    pub fn forward_collective(
-        &mut self,
-        t: &mut Tape,
-        ex: &CollectiveExample,
-        train: bool,
-    ) -> Var {
+    pub fn forward_collective(&mut self, t: &mut Tape, ex: &CollectiveExample, train: bool) -> Var {
         let mut rng = self.rng.clone();
         let out = self.forward_collective_rng(t, ex, train, &mut rng);
         self.rng = rng;
@@ -178,11 +211,20 @@ impl HierGat {
         entities.extend(ex.candidates.iter().cloned());
         let g = Hhg::from_entities(&entities);
         let wpc = self.ctx.wpc(t, &self.ps, &g, &self.lm, &self.cfg, train, rng);
-        let (attrs, concats) = entity_embeddings(t, &self.ps, &self.lm, &g, wpc, train, rng);
-        let aligned = if self.cfg.use_alignment {
-            self.align.align(t, &self.ps, &concats, &g.entity_edges)
+        let attrs = entity_embeddings(t, &self.ps, &self.lm, &g, wpc, train, rng);
+        // The summarized entity rows (and their aligned refinement, Eq. 5)
+        // feed only the weight-average combiner's entity context; skip them
+        // in the Non-Sum / other-combiner ablations so no dead nodes are
+        // recorded.
+        let aligned = if self.uses_entity_ctx() {
+            let concats = concat_entities(t, &attrs);
+            if self.cfg.use_alignment {
+                self.align.align(t, &self.ps, &concats, &g.entity_edges)
+            } else {
+                concats
+            }
         } else {
-            concats
+            Vec::new()
         };
         let mut rows = Vec::with_capacity(ex.candidates.len());
         for ci in 0..ex.candidates.len() {
@@ -191,11 +233,9 @@ impl HierGat {
             let sims: Vec<Var> = q_attrs
                 .iter()
                 .zip(&c_attrs)
-                .map(|(&a, &b)| {
-                    self.comparer.similarity(t, &self.ps, &self.lm, a, b, train, rng)
-                })
+                .map(|(&a, &b)| self.comparer.similarity(t, &self.ps, &self.lm, a, b, train, rng))
                 .collect();
-            let entity_ctx = if self.cfg.use_entity_summarization {
+            let entity_ctx = if self.uses_entity_ctx() {
                 Some(t.concat_cols(&[aligned[0], aligned[ci + 1]]))
             } else {
                 None
@@ -213,9 +253,7 @@ impl HierGat {
         let mut t = Tape::new();
         let logits = self.forward_collective_rng(&mut t, ex, false, &mut rng);
         let probs = t.softmax(logits);
-        (0..ex.candidates.len())
-            .map(|i| t.value(probs).get(i, 1))
-            .collect()
+        (0..ex.candidates.len()).map(|i| t.value(probs).get(i, 1)).collect()
     }
 
     /// One training step on a collective example (the batch is the
@@ -229,11 +267,7 @@ impl HierGat {
         let mut t = Tape::new();
         let logits = self.forward_collective(&mut t, ex, true);
         let targets: Vec<usize> = ex.labels.iter().map(|&l| usize::from(l)).collect();
-        let weights: Vec<f32> = ex
-            .labels
-            .iter()
-            .map(|&l| if l { weight } else { 1.0 })
-            .collect();
+        let weights: Vec<f32> = ex.labels.iter().map(|&l| if l { weight } else { 1.0 }).collect();
         let loss = t.weighted_cross_entropy_logits(logits, &targets, &weights);
         let loss_val = t.value(loss).item();
         t.backward(loss, &mut self.ps);
@@ -241,6 +275,36 @@ impl HierGat {
         self.opt.step(&mut self.ps);
         self.ps.zero_grad();
         loss_val
+    }
+
+    /// Statically analyzes the pairwise training graph: records the forward
+    /// pass and loss on a shape-only tape (no kernels execute) and runs
+    /// shape inference, dead-gradient, and sentinel passes over it. Also
+    /// surfaces HHG builder-invariant violations as shape violations.
+    pub fn analyze_pair(&self, pair: &EntityPair) -> hiergat_nn::GraphReport {
+        let mut t = Tape::shape_only();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let logits = self.forward_pair_rng(&mut t, pair, true, &mut rng);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
+        let mut report = hiergat_nn::analyze_graph(&t, loss, &self.ps);
+        graph_issues_into(&Hhg::from_pair(pair), &mut report);
+        report
+    }
+
+    /// Collective-mode counterpart of [`Self::analyze_pair`].
+    pub fn analyze_collective(&self, ex: &CollectiveExample) -> hiergat_nn::GraphReport {
+        let mut t = Tape::shape_only();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let logits = self.forward_collective_rng(&mut t, ex, true, &mut rng);
+        let targets: Vec<usize> = ex.labels.iter().map(|&l| usize::from(l)).collect();
+        let weights = vec![1.0; targets.len()];
+        let loss = t.weighted_cross_entropy_logits(logits, &targets, &weights);
+        let mut report = hiergat_nn::analyze_graph(&t, loss, &self.ps);
+        let mut entities = Vec::with_capacity(1 + ex.candidates.len());
+        entities.push(ex.query.clone());
+        entities.extend(ex.candidates.iter().cloned());
+        graph_issues_into(&Hhg::from_entities(&entities), &mut report);
+        report
     }
 
     /// The underlying language model (for explanation tooling).
@@ -251,16 +315,15 @@ impl HierGat {
     /// Internal access for the explanation module.
     pub(crate) fn parts(
         &mut self,
-    ) -> (
-        &ContextModule,
-        &MiniLm,
-        &EntityComparison,
-        &AttributeComparer,
-        &HierGatConfig,
-        &ParamStore,
-    ) {
+    ) -> (&ContextModule, &MiniLm, &EntityComparison, &AttributeComparer, &HierGatConfig, &ParamStore)
+    {
         (&self.ctx, &self.lm, &self.cmp, &self.comparer, &self.cfg, &self.ps)
     }
+}
+
+/// Copies HHG builder-invariant violations into a graph report.
+fn graph_issues_into(g: &Hhg, report: &mut hiergat_nn::GraphReport) {
+    report.graph_issues.extend(g.validate());
 }
 
 #[cfg(test)]
@@ -342,10 +405,8 @@ mod tests {
     #[test]
     fn parameter_count_grows_with_tier() {
         let small = HierGat::new(HierGatConfig::fast_test(), 2);
-        let large = HierGat::new(
-            HierGatConfig::fast_test().with_tier(hiergat_lm::LmTier::MiniLarge),
-            2,
-        );
+        let large =
+            HierGat::new(HierGatConfig::fast_test().with_tier(hiergat_lm::LmTier::MiniLarge), 2);
         assert!(large.num_parameters() > small.num_parameters());
         assert_eq!(small.arity(), 2);
         assert_eq!(small.d_model(), 32);
@@ -355,5 +416,60 @@ mod tests {
     #[should_panic(expected = "arity must be positive")]
     fn zero_arity_rejected() {
         HierGat::new(HierGatConfig::fast_test(), 0);
+    }
+
+    #[test]
+    fn analyzer_accepts_pairwise_forward_graph() {
+        let m = HierGat::new(HierGatConfig::fast_test(), 2);
+        let report = m.analyze_pair(&pair(true));
+        assert!(report.is_clean(), "pairwise graph must analyze clean:\n{report}");
+        assert!(report.node_count > 0);
+    }
+
+    #[test]
+    fn analyzer_accepts_collective_forward_graph() {
+        let m = HierGat::new(
+            HierGatConfig { epochs: 1, ..HierGatConfig::collective() }
+                .with_tier(hiergat_lm::LmTier::MiniDistil),
+            2,
+        );
+        let ex = CollectiveExample::new(
+            pair(true).left,
+            vec![pair(true).right, pair(false).right],
+            vec![true, false],
+        );
+        let report = m.analyze_collective(&ex);
+        assert!(report.is_clean(), "collective graph must analyze clean:\n{report}");
+    }
+
+    #[test]
+    fn analyzer_flags_orphaned_parameter() {
+        let mut m = HierGat::new(HierGatConfig::fast_test(), 2);
+        m.ps.add("stray.w", hiergat_tensor::Tensor::ones(1, 1));
+        let report = m.analyze_pair(&pair(false));
+        assert!(!report.is_clean());
+        assert!(
+            report.dead_params.iter().any(|d| d.name == "stray.w" && !d.frozen && !d.on_tape),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn ablation_configs_analyze_clean_via_freezing() {
+        // Every Table 9-11 switch leaves some submodule off the tape; the
+        // constructor must freeze exactly those so the analyzer stays clean.
+        let base = HierGatConfig::fast_test();
+        let configs = [
+            HierGatConfig { use_token_context: false, ..base },
+            HierGatConfig { use_attr_context: false, use_entity_context: false, ..base },
+            HierGatConfig { use_entity_summarization: false, ..base },
+            HierGatConfig { combiner: ViewCombiner::ViewAverage, ..base },
+            HierGatConfig { combiner: ViewCombiner::SharedSpace, ..base },
+        ];
+        for cfg in configs {
+            let m = HierGat::new(cfg, 2);
+            let report = m.analyze_pair(&pair(true));
+            assert!(report.is_clean(), "config {cfg:?} not clean:\n{report}");
+        }
     }
 }

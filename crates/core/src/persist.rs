@@ -63,11 +63,8 @@ const FORMAT_VERSION: u32 = 1;
 pub fn save_model(model: &HierGat, dir: impl AsRef<Path>) -> Result<(), PersistError> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
-    let manifest = Manifest {
-        config: *model.config(),
-        arity: model.arity(),
-        format_version: FORMAT_VERSION,
-    };
+    let manifest =
+        Manifest { config: *model.config(), arity: model.arity(), format_version: FORMAT_VERSION };
     fs::write(dir.join("manifest.json"), serde_json::to_string_pretty(&manifest)?)?;
     checkpoint::save_binary(&model.ps, dir.join("weights.bin"))?;
     Ok(())
@@ -77,8 +74,7 @@ pub fn save_model(model: &HierGat, dir: impl AsRef<Path>) -> Result<(), PersistE
 /// the manifest, then the weights are copied in by name.
 pub fn load_model(dir: impl AsRef<Path>) -> Result<HierGat, PersistError> {
     let dir = dir.as_ref();
-    let manifest: Manifest =
-        serde_json::from_str(&fs::read_to_string(dir.join("manifest.json"))?)?;
+    let manifest: Manifest = serde_json::from_str(&fs::read_to_string(dir.join("manifest.json"))?)?;
     let weights = checkpoint::load_binary(dir.join("weights.bin"))?;
     let mut model = HierGat::new(manifest.config, manifest.arity);
     let copied = model.ps.load_matching(&weights);

@@ -53,11 +53,7 @@ fn key_similarity(a: &str, b: &str) -> f64 {
 /// columns are both overwhelmingly numeric).
 fn column_similarity(left: &[Entity], lk: &str, right: &[Entity], rk: &str) -> f64 {
     fn values<'a>(entities: &'a [Entity], key: &str) -> Vec<&'a str> {
-        entities
-            .iter()
-            .filter_map(|e| e.attr(key))
-            .filter(|v| *v != MISSING)
-            .collect()
+        entities.iter().filter_map(|e| e.attr(key)).filter(|v| *v != MISSING).collect()
     }
     let lv = values(left, lk);
     let rv = values(right, rk);
@@ -67,16 +63,11 @@ fn column_similarity(left: &[Entity], lk: &str, right: &[Entity], rk: &str) -> f
     let bag = |vals: &[&str]| -> Vec<String> { vals.iter().flat_map(|v| tokenize(v)).collect() };
     let cosine = cosine_tokens(&bag(&lv), &bag(&rv));
     let numeric_fraction = |vals: &[&str]| -> f64 {
-        vals.iter()
-            .filter(|v| v.trim().trim_end_matches('%').parse::<f64>().is_ok())
-            .count() as f64
+        vals.iter().filter(|v| v.trim().trim_end_matches('%').parse::<f64>().is_ok()).count() as f64
             / vals.len() as f64
     };
-    let type_floor = if numeric_fraction(&lv) > 0.7 && numeric_fraction(&rv) > 0.7 {
-        0.5
-    } else {
-        0.0
-    };
+    let type_floor =
+        if numeric_fraction(&lv) > 0.7 && numeric_fraction(&rv) > 0.7 { 0.5 } else { 0.0 };
     cosine.max(type_floor)
 }
 
@@ -88,14 +79,10 @@ pub fn align_schemas(
     right_sample: &[Entity],
     key_weight: f64,
 ) -> SchemaAlignment {
-    let left_keys: Vec<String> = left_sample
-        .first()
-        .map(|e| e.keys().map(str::to_string).collect())
-        .unwrap_or_default();
-    let right_keys: Vec<String> = right_sample
-        .first()
-        .map(|e| e.keys().map(str::to_string).collect())
-        .unwrap_or_default();
+    let left_keys: Vec<String> =
+        left_sample.first().map(|e| e.keys().map(str::to_string).collect()).unwrap_or_default();
+    let right_keys: Vec<String> =
+        right_sample.first().map(|e| e.keys().map(str::to_string).collect()).unwrap_or_default();
 
     // Score every (left, right) key pair.
     let mut scored: Vec<(usize, usize, f64)> = Vec::new();
@@ -144,9 +131,7 @@ pub fn align_pairs(pairs: &[EntityPair], key_weight: f64) -> (SchemaAlignment, V
     let alignment = align_schemas(&left_sample, &right_sample, key_weight);
     let rewritten = pairs
         .iter()
-        .map(|p| {
-            EntityPair::new(p.left.clone(), project_entity(&p.right, &alignment), p.label)
-        })
+        .map(|p| EntityPair::new(p.left.clone(), project_entity(&p.right, &alignment), p.label))
         .collect();
     (alignment, rewritten)
 }
@@ -230,9 +215,8 @@ mod tests {
 
     #[test]
     fn align_pairs_end_to_end_is_trainable_shape() {
-        let pairs: Vec<EntityPair> = (0..10)
-            .map(|i| EntityPair::new(left_entity(i), right_entity(i), i % 2 == 0))
-            .collect();
+        let pairs: Vec<EntityPair> =
+            (0..10).map(|i| EntityPair::new(left_entity(i), right_entity(i), i % 2 == 0)).collect();
         let (alignment, rewritten) = align_pairs(&pairs, 0.4);
         assert_eq!(alignment.n_aligned(), 3);
         for p in &rewritten {

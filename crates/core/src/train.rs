@@ -14,7 +14,7 @@ use std::time::Instant;
 
 /// Number of worker threads for parallel scoring.
 fn n_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(8)
 }
 
 /// Outcome of a training run.
@@ -66,6 +66,32 @@ pub fn score_pairs(model: &HierGat, pairs: &[EntityPair]) -> (Vec<f32>, Vec<bool
     (scores, labels)
 }
 
+/// Pre-flight static analysis: records one training example's graph in
+/// shape-only mode and reports wiring problems (shape violations, dead
+/// parameters, unused nodes) to stderr before any kernel runs. Returns the
+/// report so callers (CLI `--analyze`, tests) can inspect it.
+pub fn preflight_pairwise(model: &HierGat, ds: &PairDataset) -> Option<hiergat_nn::GraphReport> {
+    let pair = ds.train.first()?;
+    let report = model.analyze_pair(pair);
+    if !report.is_clean() {
+        eprintln!("[preflight] {}: static analysis found issues\n{report}", ds.name);
+    }
+    Some(report)
+}
+
+/// Collective-mode counterpart of [`preflight_pairwise`].
+pub fn preflight_collective(
+    model: &HierGat,
+    ds: &CollectiveDataset,
+) -> Option<hiergat_nn::GraphReport> {
+    let ex = ds.train.first()?;
+    let report = model.analyze_collective(ex);
+    if !report.is_clean() {
+        eprintln!("[preflight] {}: static analysis found issues\n{report}", ds.name);
+    }
+    Some(report)
+}
+
 /// Positive-class weight derived from a split's label balance
 /// (`n_neg / n_pos`, clamped to `[1, 8]`).
 pub fn pos_weight_of(labels: impl Iterator<Item = bool>) -> f32 {
@@ -88,6 +114,7 @@ pub fn pos_weight_of(labels: impl Iterator<Item = bool>) -> f32 {
 /// Trains HierGAT on a pairwise dataset with validation-based selection.
 pub fn train_pairwise(model: &mut HierGat, ds: &PairDataset) -> TrainReport {
     let epochs = model.config().epochs;
+    preflight_pairwise(model, ds);
     let pos_weight = pos_weight_of(ds.train.iter().map(|p| p.label));
     let mut shuffle_rng = StdRng::seed_from_u64(model.config().seed ^ 0x7261);
     let mut order: Vec<usize> = (0..ds.train.len()).collect();
@@ -133,10 +160,7 @@ pub fn train_pairwise(model: &mut HierGat, ds: &PairDataset) -> TrainReport {
 }
 
 /// Scores every candidate pair of a collective split (parallel).
-pub fn score_collective(
-    model: &HierGat,
-    examples: &[CollectiveExample],
-) -> (Vec<f32>, Vec<bool>) {
+pub fn score_collective(model: &HierGat, examples: &[CollectiveExample]) -> (Vec<f32>, Vec<bool>) {
     let workers = n_workers();
     let mut per_example: Vec<Vec<f32>> = vec![Vec::new(); examples.len()];
     if examples.len() < 2 * workers {
@@ -167,9 +191,8 @@ pub fn score_collective(
 /// Trains HierGAT+ on a collective dataset (batch = candidate set, §6.3).
 pub fn train_collective(model: &mut HierGat, ds: &CollectiveDataset) -> TrainReport {
     let epochs = model.config().epochs;
-    let pos_weight = pos_weight_of(
-        ds.train.iter().flat_map(|ex| ex.labels.iter().copied()),
-    );
+    preflight_collective(model, ds);
+    let pos_weight = pos_weight_of(ds.train.iter().flat_map(|ex| ex.labels.iter().copied()));
     let mut shuffle_rng = StdRng::seed_from_u64(model.config().seed ^ 0x7262);
     let mut order: Vec<usize> = (0..ds.train.len()).collect();
     let mut best_valid = -1.0f64;
@@ -219,7 +242,8 @@ mod tests {
     #[test]
     fn pairwise_training_learns_an_easy_dataset() {
         // A clean, tiny dataset must be learnable well above chance.
-        let world = hiergat_data::synth::World::generate(&hiergat_data::lexicon::SOFTWARE, 40, 2, 3);
+        let world =
+            hiergat_data::synth::World::generate(&hiergat_data::lexicon::SOFTWARE, 40, 2, 3);
         let schema = MagellanDataset::AmazonGoogle.schema();
         let cfg = PairGenConfig {
             n_pairs: 60,
@@ -232,11 +256,7 @@ mod tests {
         let ds = hiergat_data::generate_pair_dataset("easy", &world, schema, &cfg);
         let mut model = HierGat::new(HierGatConfig::fast_test().with_epochs(4), 3);
         let report = train_pairwise(&mut model, &ds);
-        assert!(
-            report.test_f1 > 0.6,
-            "clean data must be learnable, got F1 {}",
-            report.test_f1
-        );
+        assert!(report.test_f1 > 0.6, "clean data must be learnable, got F1 {}", report.test_f1);
         assert_eq!(report.epochs_run, 4);
         assert_eq!(report.per_epoch_seconds.len(), 4);
         assert!(report.total_seconds() > 0.0);

@@ -120,9 +120,8 @@ mod tests {
 
     #[test]
     fn make_dirty_preserves_labels_and_counts() {
-        let pairs: Vec<EntityPair> = (0..50)
-            .map(|i| EntityPair::new(entity(), entity(), i % 3 == 0))
-            .collect();
+        let pairs: Vec<EntityPair> =
+            (0..50).map(|i| EntityPair::new(entity(), entity(), i % 3 == 0)).collect();
         let ds = PairDataset::split_3_1_1("X", pairs, 1);
         let dirty = make_dirty(&ds, &DirtyConfig::default(), 9);
         assert_eq!(dirty.name, "Dirty-X");
@@ -136,12 +135,8 @@ mod tests {
             (0..40).map(|_| EntityPair::new(entity(), entity(), false)).collect();
         let ds = PairDataset::split_3_1_1("X", pairs, 2);
         let dirty = make_dirty(&ds, &DirtyConfig { entity_rate: 1.0, max_injections: 1 }, 3);
-        let changed = dirty
-            .train
-            .iter()
-            .zip(&ds.train)
-            .filter(|(d, o)| d.left.attrs != o.left.attrs)
-            .count();
+        let changed =
+            dirty.train.iter().zip(&ds.train).filter(|(d, o)| d.left.attrs != o.left.attrs).count();
         assert!(changed > ds.train.len() / 2, "corruption too rare: {changed}");
     }
 

@@ -62,12 +62,7 @@ impl PairDataset {
 
     /// Number of positive pairs across all splits.
     pub fn n_positive(&self) -> usize {
-        self.train
-            .iter()
-            .chain(&self.valid)
-            .chain(&self.test)
-            .filter(|p| p.label)
-            .count()
+        self.train.iter().chain(&self.valid).chain(&self.test).filter(|p| p.label).count()
     }
 
     /// Positive rate across all splits.
@@ -188,9 +183,8 @@ mod tests {
     fn split_is_stratified() {
         // 25% positives overall; every split must hold positives.
         let ds = PairDataset::split_3_1_1("x", pairs(100), 1);
-        let rate = |ps: &[EntityPair]| {
-            ps.iter().filter(|p| p.label).count() as f64 / ps.len() as f64
-        };
+        let rate =
+            |ps: &[EntityPair]| ps.iter().filter(|p| p.label).count() as f64 / ps.len() as f64;
         assert!((rate(&ds.train) - 0.25).abs() < 0.05, "train {}", rate(&ds.train));
         assert!((rate(&ds.valid) - 0.25).abs() < 0.06, "valid {}", rate(&ds.valid));
         assert!((rate(&ds.test) - 0.25).abs() < 0.06, "test {}", rate(&ds.test));
@@ -203,11 +197,7 @@ mod tests {
         assert_eq!(a.train[0].left.id, b.train[0].left.id);
         let c = PairDataset::split_3_1_1("x", pairs(50), 8);
         // Overwhelmingly likely to differ.
-        let same = a
-            .train
-            .iter()
-            .zip(&c.train)
-            .all(|(x, y)| x.left.id == y.left.id);
+        let same = a.train.iter().zip(&c.train).all(|(x, y)| x.left.id == y.left.id);
         assert!(!same);
     }
 

@@ -113,8 +113,7 @@ pub fn load_di2kg(category: Di2kgCategory, scale: f64) -> CollectiveDataset {
     }
 
     // TF-IDF index over all records.
-    let docs: Vec<Vec<String>> =
-        records.iter().map(|(_, _, e)| tokenize(&e.full_text())).collect();
+    let docs: Vec<Vec<String>> = records.iter().map(|(_, _, e)| tokenize(&e.full_text())).collect();
     let tfidf = TfIdf::fit(&docs);
     let vectors: Vec<_> = docs.iter().map(|d| tfidf.transform(d)).collect();
     let index = CosineIndex::build(&vectors);
@@ -123,7 +122,7 @@ pub fn load_di2kg(category: Di2kgCategory, scale: f64) -> CollectiveDataset {
     let mut order: Vec<usize> = (0..records.len()).collect();
     order.shuffle(&mut rng);
     let mut examples = Vec::new();
-    for &ri in order.iter() {
+    for &ri in &order {
         if examples.len() >= n_queries {
             break;
         }
@@ -184,13 +183,8 @@ mod tests {
     fn most_queries_have_a_match_in_candidates() {
         let ds = load_di2kg(Di2kgCategory::Monitor, 0.3);
         let total = ds.n_queries();
-        let with_match: usize = ds
-            .train
-            .iter()
-            .chain(&ds.valid)
-            .chain(&ds.test)
-            .filter(|e| e.n_positive() > 0)
-            .count();
+        let with_match: usize =
+            ds.train.iter().chain(&ds.valid).chain(&ds.test).filter(|e| e.n_positive() > 0).count();
         assert!(with_match * 10 >= total * 5, "{with_match}/{total} queries with matches");
     }
 

@@ -32,18 +32,12 @@ impl Entity {
 
     /// Looks up an attribute value by key (first occurrence).
     pub fn attr(&self, key: &str) -> Option<&str> {
-        self.attrs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// Mutable access to an attribute value by key.
     pub fn attr_mut(&mut self, key: &str) -> Option<&mut String> {
-        self.attrs
-            .iter_mut()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        self.attrs.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
     /// Number of attributes.
@@ -82,11 +76,7 @@ impl Entity {
     /// Concatenation of all attribute values (used by single-text models
     /// and TF-IDF blocking).
     pub fn full_text(&self) -> String {
-        self.attrs
-            .iter()
-            .map(|(_, v)| v.as_str())
-            .collect::<Vec<_>>()
-            .join(" ")
+        self.attrs.iter().map(|(_, v)| v.as_str()).collect::<Vec<_>>().join(" ")
     }
 
     /// `true` if the attribute is missing or the NAN placeholder.
@@ -117,11 +107,7 @@ impl EntityPair {
 
     /// The shared attribute keys of the two entities, in left-schema order.
     pub fn common_keys(&self) -> Vec<String> {
-        self.left
-            .keys()
-            .filter(|k| self.right.attr(k).is_some())
-            .map(str::to_string)
-            .collect()
+        self.left.keys().filter(|k| self.right.attr(k).is_some()).map(str::to_string).collect()
     }
 }
 

@@ -120,11 +120,7 @@ pub fn entities_from_csv(text: &str) -> Result<Vec<Entity>, CsvError> {
                 reason: format!("expected {} fields, got {}", header.len(), row.len()),
             });
         }
-        let attrs = keys
-            .iter()
-            .zip(&row[1..])
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
+        let attrs = keys.iter().zip(&row[1..]).map(|(k, v)| (k.clone(), v.clone())).collect();
         out.push(Entity::new(row[0].clone(), attrs));
     }
     Ok(out)
@@ -205,12 +201,7 @@ pub fn pairs_from_csv(text: &str) -> Result<Vec<EntityPair>, CsvError> {
         }
         let label = matches!(row[label_col].trim(), "1" | "true" | "True");
         let build = |cols: &[(usize, String)], id: String| {
-            Entity::new(
-                id,
-                cols.iter()
-                    .map(|(ci, k)| (k.clone(), row[*ci].clone()))
-                    .collect(),
-            )
+            Entity::new(id, cols.iter().map(|(ci, k)| (k.clone(), row[*ci].clone())).collect())
         };
         out.push(EntityPair::new(
             build(&left_cols, format!("l{i}")),
@@ -281,8 +272,14 @@ mod tests {
         fs::create_dir_all(&dir).expect("tmpdir");
         let path = dir.join("tableA.csv");
         let entities = vec![
-            Entity::new("1", vec![("title".into(), "canon, eos".into()), ("price".into(), "9.99".into())]),
-            Entity::new("2", vec![("title".into(), "say \"hi\"".into()), ("price".into(), "".into())]),
+            Entity::new(
+                "1",
+                vec![("title".into(), "canon, eos".into()), ("price".into(), "9.99".into())],
+            ),
+            Entity::new(
+                "2",
+                vec![("title".into(), "say \"hi\"".into()), ("price".into(), "".into())],
+            ),
         ];
         write_entity_table(&path, &entities).expect("write");
         let loaded = read_entity_table(&path).expect("read");

@@ -39,13 +39,46 @@ pub const SOFTWARE: DomainLexicon = DomainLexicon {
     name: "software",
     categories: &["office", "graphics", "security", "data", "os"],
     nouns: &[
-        "software", "suite", "server", "framework", "cluster", "database", "editor", "studio",
-        "manager", "toolkit", "platform", "engine", "compiler", "analyzer", "backup", "antivirus",
-        "firewall", "spreadsheet", "processor", "designer",
+        "software",
+        "suite",
+        "server",
+        "framework",
+        "cluster",
+        "database",
+        "editor",
+        "studio",
+        "manager",
+        "toolkit",
+        "platform",
+        "engine",
+        "compiler",
+        "analyzer",
+        "backup",
+        "antivirus",
+        "firewall",
+        "spreadsheet",
+        "processor",
+        "designer",
     ],
     modifiers: &[
-        "professional", "enterprise", "home", "academic", "upgrade", "retail", "license", "user",
-        "big", "data", "cloud", "desktop", "windows", "mac", "linux", "bit", "32", "64",
+        "professional",
+        "enterprise",
+        "home",
+        "academic",
+        "upgrade",
+        "retail",
+        "license",
+        "user",
+        "big",
+        "data",
+        "cloud",
+        "desktop",
+        "windows",
+        "mac",
+        "linux",
+        "bit",
+        "32",
+        "64",
     ],
 };
 
@@ -58,8 +91,21 @@ pub const MUSIC: DomainLexicon = DomainLexicon {
         "light", "rain", "summer", "midnight", "soul", "angel", "moon", "story", "home", "train",
     ],
     modifiers: &[
-        "remix", "live", "acoustic", "feat", "deluxe", "remastered", "single", "album", "version",
-        "radio", "explicit", "bonus", "track", "original", "mix",
+        "remix",
+        "live",
+        "acoustic",
+        "feat",
+        "deluxe",
+        "remastered",
+        "single",
+        "album",
+        "version",
+        "radio",
+        "explicit",
+        "bonus",
+        "track",
+        "original",
+        "mix",
     ],
 };
 
@@ -68,8 +114,22 @@ pub const RESTAURANT: DomainLexicon = DomainLexicon {
     name: "restaurant",
     categories: &["italian", "french", "asian", "american", "mexican"],
     nouns: &[
-        "grill", "cafe", "bistro", "kitchen", "house", "garden", "palace", "corner", "room",
-        "tavern", "diner", "bar", "steakhouse", "trattoria", "brasserie", "cantina",
+        "grill",
+        "cafe",
+        "bistro",
+        "kitchen",
+        "house",
+        "garden",
+        "palace",
+        "corner",
+        "room",
+        "tavern",
+        "diner",
+        "bar",
+        "steakhouse",
+        "trattoria",
+        "brasserie",
+        "cantina",
     ],
     modifiers: &[
         "golden", "royal", "little", "blue", "old", "grand", "silver", "red", "green", "east",
@@ -82,13 +142,42 @@ pub const CITATION: DomainLexicon = DomainLexicon {
     name: "citation",
     categories: &["database", "systems", "learning", "theory", "web"],
     nouns: &[
-        "query", "optimization", "index", "transaction", "stream", "graph", "mining", "learning",
-        "model", "network", "algorithm", "system", "storage", "cache", "join", "schema",
-        "integration", "resolution", "entity", "knowledge",
+        "query",
+        "optimization",
+        "index",
+        "transaction",
+        "stream",
+        "graph",
+        "mining",
+        "learning",
+        "model",
+        "network",
+        "algorithm",
+        "system",
+        "storage",
+        "cache",
+        "join",
+        "schema",
+        "integration",
+        "resolution",
+        "entity",
+        "knowledge",
     ],
     modifiers: &[
-        "efficient", "scalable", "distributed", "parallel", "adaptive", "incremental", "approximate",
-        "online", "robust", "deep", "probabilistic", "semantic", "hierarchical", "attention",
+        "efficient",
+        "scalable",
+        "distributed",
+        "parallel",
+        "adaptive",
+        "incremental",
+        "approximate",
+        "online",
+        "robust",
+        "deep",
+        "probabilistic",
+        "semantic",
+        "hierarchical",
+        "attention",
     ],
 };
 
@@ -97,13 +186,46 @@ pub const ELECTRONICS: DomainLexicon = DomainLexicon {
     name: "electronics",
     categories: &["audio", "video", "computing", "mobile", "gaming"],
     nouns: &[
-        "headphones", "speaker", "monitor", "keyboard", "mouse", "router", "charger", "cable",
-        "adapter", "camera", "tablet", "laptop", "drive", "memory", "battery", "screen", "printer",
-        "projector", "console", "controller",
+        "headphones",
+        "speaker",
+        "monitor",
+        "keyboard",
+        "mouse",
+        "router",
+        "charger",
+        "cable",
+        "adapter",
+        "camera",
+        "tablet",
+        "laptop",
+        "drive",
+        "memory",
+        "battery",
+        "screen",
+        "printer",
+        "projector",
+        "console",
+        "controller",
     ],
     modifiers: &[
-        "wireless", "bluetooth", "portable", "rechargeable", "hd", "4k", "usb", "hdmi", "gaming",
-        "ergonomic", "compact", "slim", "inch", "gb", "tb", "black", "white", "silver",
+        "wireless",
+        "bluetooth",
+        "portable",
+        "rechargeable",
+        "hd",
+        "4k",
+        "usb",
+        "hdmi",
+        "gaming",
+        "ergonomic",
+        "compact",
+        "slim",
+        "inch",
+        "gb",
+        "tb",
+        "black",
+        "white",
+        "silver",
     ],
 };
 
@@ -112,13 +234,44 @@ pub const PRODUCT: DomainLexicon = DomainLexicon {
     name: "product",
     categories: &["home", "kitchen", "outdoor", "fitness", "office"],
     nouns: &[
-        "blender", "toaster", "vacuum", "heater", "fan", "lamp", "chair", "desk", "grill",
-        "cooker", "mixer", "kettle", "iron", "scale", "purifier", "humidifier", "dehumidifier",
-        "treadmill", "bike", "tent",
+        "blender",
+        "toaster",
+        "vacuum",
+        "heater",
+        "fan",
+        "lamp",
+        "chair",
+        "desk",
+        "grill",
+        "cooker",
+        "mixer",
+        "kettle",
+        "iron",
+        "scale",
+        "purifier",
+        "humidifier",
+        "dehumidifier",
+        "treadmill",
+        "bike",
+        "tent",
     ],
     modifiers: &[
-        "stainless", "steel", "electric", "digital", "automatic", "adjustable", "folding", "heavy",
-        "duty", "cordless", "compact", "quiet", "speed", "watt", "quart", "piece",
+        "stainless",
+        "steel",
+        "electric",
+        "digital",
+        "automatic",
+        "adjustable",
+        "folding",
+        "heavy",
+        "duty",
+        "cordless",
+        "compact",
+        "quiet",
+        "speed",
+        "watt",
+        "quart",
+        "piece",
     ],
 };
 
@@ -127,14 +280,44 @@ pub const COMPANY: DomainLexicon = DomainLexicon {
     name: "company",
     categories: &["tech", "finance", "retail", "energy", "health"],
     nouns: &[
-        "company", "corporation", "group", "holdings", "solutions", "services", "technologies",
-        "industries", "partners", "ventures", "systems", "labs", "global", "international",
-        "consulting", "logistics", "capital", "media", "networks", "dynamics",
+        "company",
+        "corporation",
+        "group",
+        "holdings",
+        "solutions",
+        "services",
+        "technologies",
+        "industries",
+        "partners",
+        "ventures",
+        "systems",
+        "labs",
+        "global",
+        "international",
+        "consulting",
+        "logistics",
+        "capital",
+        "media",
+        "networks",
+        "dynamics",
     ],
     modifiers: &[
-        "founded", "headquartered", "leading", "provider", "customers", "worldwide", "products",
-        "revenue", "employees", "markets", "innovative", "acquired", "subsidiary", "publicly",
-        "traded", "privately",
+        "founded",
+        "headquartered",
+        "leading",
+        "provider",
+        "customers",
+        "worldwide",
+        "products",
+        "revenue",
+        "employees",
+        "markets",
+        "innovative",
+        "acquired",
+        "subsidiary",
+        "publicly",
+        "traded",
+        "privately",
     ],
 };
 
@@ -157,12 +340,38 @@ pub const CAMERA: DomainLexicon = DomainLexicon {
     name: "camera",
     categories: &["dslr", "mirrorless", "compact", "action", "film"],
     nouns: &[
-        "camera", "lens", "body", "kit", "zoom", "sensor", "flash", "tripod", "viewfinder",
-        "shutter", "aperture", "megapixel", "stabilizer", "battery", "strap",
+        "camera",
+        "lens",
+        "body",
+        "kit",
+        "zoom",
+        "sensor",
+        "flash",
+        "tripod",
+        "viewfinder",
+        "shutter",
+        "aperture",
+        "megapixel",
+        "stabilizer",
+        "battery",
+        "strap",
     ],
     modifiers: &[
-        "digital", "full", "frame", "wide", "angle", "telephoto", "prime", "macro", "optical",
-        "black", "silver", "mm", "f1.8", "f2.8", "waterproof",
+        "digital",
+        "full",
+        "frame",
+        "wide",
+        "angle",
+        "telephoto",
+        "prime",
+        "macro",
+        "optical",
+        "black",
+        "silver",
+        "mm",
+        "f1.8",
+        "f2.8",
+        "waterproof",
     ],
 };
 
@@ -171,12 +380,37 @@ pub const WATCH: DomainLexicon = DomainLexicon {
     name: "watch",
     categories: &["dive", "dress", "chrono", "smart", "field"],
     nouns: &[
-        "watch", "chronograph", "dial", "strap", "bracelet", "bezel", "movement", "crystal",
-        "case", "band", "clasp", "crown", "calendar", "alarm",
+        "watch",
+        "chronograph",
+        "dial",
+        "strap",
+        "bracelet",
+        "bezel",
+        "movement",
+        "crystal",
+        "case",
+        "band",
+        "clasp",
+        "crown",
+        "calendar",
+        "alarm",
     ],
     modifiers: &[
-        "automatic", "quartz", "stainless", "leather", "sapphire", "water", "resistant", "mens",
-        "womens", "gold", "rose", "blue", "mm", "swiss", "luminous",
+        "automatic",
+        "quartz",
+        "stainless",
+        "leather",
+        "sapphire",
+        "water",
+        "resistant",
+        "mens",
+        "womens",
+        "gold",
+        "rose",
+        "blue",
+        "mm",
+        "swiss",
+        "luminous",
     ],
 };
 
@@ -189,8 +423,21 @@ pub const SHOE: DomainLexicon = DomainLexicon {
         "sole", "cushion", "mesh", "laces", "heel", "toe",
     ],
     modifiers: &[
-        "mens", "womens", "kids", "lightweight", "breathable", "waterproof", "leather", "knit",
-        "black", "white", "red", "blue", "size", "wide", "trail",
+        "mens",
+        "womens",
+        "kids",
+        "lightweight",
+        "breathable",
+        "waterproof",
+        "leather",
+        "knit",
+        "black",
+        "white",
+        "red",
+        "blue",
+        "size",
+        "wide",
+        "trail",
     ],
 };
 
@@ -199,12 +446,37 @@ pub const COMPUTER: DomainLexicon = DomainLexicon {
     name: "computer",
     categories: &["laptop", "desktop", "workstation", "server", "mini"],
     nouns: &[
-        "laptop", "desktop", "notebook", "workstation", "processor", "ram", "ssd", "graphics",
-        "display", "motherboard", "tower", "chassis", "cooler", "keyboard",
+        "laptop",
+        "desktop",
+        "notebook",
+        "workstation",
+        "processor",
+        "ram",
+        "ssd",
+        "graphics",
+        "display",
+        "motherboard",
+        "tower",
+        "chassis",
+        "cooler",
+        "keyboard",
     ],
     modifiers: &[
-        "intel", "core", "i5", "i7", "ryzen", "ghz", "gb", "tb", "inch", "gaming", "business",
-        "touchscreen", "backlit", "slim", "refurbished",
+        "intel",
+        "core",
+        "i5",
+        "i7",
+        "ryzen",
+        "ghz",
+        "gb",
+        "tb",
+        "inch",
+        "gaming",
+        "business",
+        "touchscreen",
+        "backlit",
+        "slim",
+        "refurbished",
     ],
 };
 
@@ -213,12 +485,36 @@ pub const MONITOR: DomainLexicon = DomainLexicon {
     name: "monitor",
     categories: &["office", "gaming", "professional", "ultrawide", "portable"],
     nouns: &[
-        "monitor", "display", "screen", "panel", "stand", "mount", "bezel", "backlight",
-        "resolution", "refresh", "contrast", "brightness", "pixel",
+        "monitor",
+        "display",
+        "screen",
+        "panel",
+        "stand",
+        "mount",
+        "bezel",
+        "backlight",
+        "resolution",
+        "refresh",
+        "contrast",
+        "brightness",
+        "pixel",
     ],
     modifiers: &[
-        "led", "lcd", "ips", "curved", "ultrawide", "4k", "1080p", "144hz", "60hz", "hdmi",
-        "displayport", "inch", "anti", "glare", "adjustable",
+        "led",
+        "lcd",
+        "ips",
+        "curved",
+        "ultrawide",
+        "4k",
+        "1080p",
+        "144hz",
+        "60hz",
+        "hdmi",
+        "displayport",
+        "inch",
+        "anti",
+        "glare",
+        "adjustable",
     ],
 };
 
@@ -249,8 +545,19 @@ pub fn model_code(rng: &mut StdRng) -> String {
 
 /// All lexicons, for enumeration in tests.
 pub const ALL_LEXICONS: &[&DomainLexicon] = &[
-    &SOFTWARE, &MUSIC, &RESTAURANT, &CITATION, &ELECTRONICS, &PRODUCT, &COMPANY, &BEER, &CAMERA,
-    &WATCH, &SHOE, &COMPUTER, &MONITOR,
+    &SOFTWARE,
+    &MUSIC,
+    &RESTAURANT,
+    &CITATION,
+    &ELECTRONICS,
+    &PRODUCT,
+    &COMPANY,
+    &BEER,
+    &CAMERA,
+    &WATCH,
+    &SHOE,
+    &COMPUTER,
+    &MONITOR,
 ];
 
 #[cfg(test)]
@@ -281,7 +588,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let m = model_code(&mut rng);
         assert!(m.len() >= 5);
-        assert!(m.chars().take(2).all(|c| c.is_alphabetic()));
+        assert!(m.chars().take(2).all(char::is_alphabetic));
         assert!(m.chars().skip(2).all(|c| c.is_ascii_digit()));
     }
 

@@ -153,13 +153,7 @@ impl MagellanDataset {
     /// The five datasets with public raw tables used for collective ER
     /// (Table 5 of the paper).
     pub fn collective_capable() -> [Self; 5] {
-        [
-            Self::ItunesAmazon,
-            Self::DblpAcm,
-            Self::AmazonGoogle,
-            Self::WalmartAmazon,
-            Self::AbtBuy,
-        ]
+        [Self::ItunesAmazon, Self::DblpAcm, Self::AmazonGoogle, Self::WalmartAmazon, Self::AbtBuy]
     }
 
     /// Canonical dataset name.

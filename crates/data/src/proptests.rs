@@ -111,7 +111,7 @@ proptest! {
         let dir = std::env::temp_dir().join("hiergat-prop-csv");
         std::fs::create_dir_all(&dir).expect("tmp");
         let path = dir.join("prop.csv");
-        crate::io::write_pairs(&path, &[pair.clone()]).expect("write");
+        crate::io::write_pairs(&path, std::slice::from_ref(&pair)).expect("write");
         let text = std::fs::read_to_string(&path).expect("read");
         let loaded = pairs_from_csv(&text).expect("parse");
         prop_assert_eq!(loaded.len(), 1);

@@ -181,11 +181,7 @@ impl World {
                     model: model_code(&mut rng),
                     name_words: name_words.clone(),
                     desc_words,
-                    person: format!(
-                        "{} {}",
-                        pseudo_word(&mut rng, 2),
-                        pseudo_word(&mut rng, 3)
-                    ),
+                    person: format!("{} {}", pseudo_word(&mut rng, 2), pseudo_word(&mut rng, 3)),
                     price: (rng.gen_range(5.0..2000.0f64) * 100.0).round() / 100.0,
                     year: rng.gen_range(1995..2022),
                 });
@@ -198,10 +194,7 @@ impl World {
 
     /// Siblings of a product (same family, different uid).
     pub fn family_siblings(&self, p: &Product) -> Vec<&Product> {
-        self.products
-            .iter()
-            .filter(|q| q.family == p.family && q.uid != p.uid)
-            .collect()
+        self.products.iter().filter(|q| q.family == p.family && q.uid != p.uid).collect()
     }
 }
 
@@ -504,7 +497,8 @@ mod tests {
     fn render_produces_schema_attrs() {
         let w = World::generate(&SOFTWARE, 4, 2, 2);
         let mut rng = StdRng::seed_from_u64(3);
-        let e = render_entity(&w.products[0], w.lexicon, &SCHEMA, &NoiseConfig::clean(), "a", &mut rng);
+        let e =
+            render_entity(&w.products[0], w.lexicon, &SCHEMA, &NoiseConfig::clean(), "a", &mut rng);
         assert_eq!(e.arity(), 3);
         assert!(e.attr("title").expect("title").contains(&w.products[0].brand));
         assert!(e.attr("price").expect("price").parse::<f64>().is_ok());

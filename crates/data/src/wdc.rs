@@ -159,12 +159,7 @@ pub fn load_wdc(domain: WdcDomain, size: WdcSize, scale: f64) -> PairDataset {
     }
     train.shuffle(&mut rng);
     valid.shuffle(&mut rng);
-    PairDataset {
-        name: format!("wdc-{}-{}", domain.name(), size.name()),
-        train,
-        valid,
-        test,
-    }
+    PairDataset { name: format!("wdc-{}-{}", domain.name(), size.name()), train, valid, test }
 }
 
 /// Loads the multi-domain "all" dataset: the union of the four domains at

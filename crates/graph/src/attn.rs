@@ -23,7 +23,13 @@ pub struct GraphAttn {
 impl GraphAttn {
     /// Registers parameters. `d_in` is the feature width of the attended
     /// rows; attention logits are computed in the projected `d_out` space.
-    pub fn new(ps: &mut ParamStore, prefix: &str, d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        prefix: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let w = Linear::new(ps, &format!("{prefix}.w"), d_in, d_out, false, rng);
         let c = ps.add(format!("{prefix}.c"), Tensor::rand_normal(d_out, 1, 0.0, 0.3, rng));
         Self { w, c, d_in }

@@ -57,6 +57,7 @@ impl Hhg {
         for i in 1..g.entities.len() {
             g.entity_edges.push((0, i));
         }
+        debug_assert_eq!(g.validate(), Vec::<String>::new(), "Hhg builder invariant");
         g
     }
 
@@ -79,10 +80,7 @@ impl Hhg {
         let entity_id = self.entities.len();
         let mut attr_nodes = Vec::with_capacity(e.arity());
         for (key, val) in &e.attrs {
-            let token_seq: Vec<usize> = tokenize(val)
-                .iter()
-                .map(|t| self.token_node(t))
-                .collect();
+            let token_seq: Vec<usize> = tokenize(val).iter().map(|t| self.token_node(t)).collect();
             let attr_id = self.attributes.len();
             self.attributes.push(AttrNode { key: key.clone(), entity: entity_id, token_seq });
             attr_nodes.push(attr_id);
@@ -130,12 +128,7 @@ impl Hhg {
 
     /// Attribute node indices sharing `key`.
     pub fn attrs_with_key(&self, key: &str) -> Vec<usize> {
-        self.attributes
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.key == key)
-            .map(|(i, _)| i)
-            .collect()
+        self.attributes.iter().enumerate().filter(|(_, a)| a.key == key).map(|(i, _)| i).collect()
     }
 
     /// Attribute node indices that contain token node `tok`.
@@ -163,12 +156,65 @@ impl Hhg {
                 }
             }
         }
-        common
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c)
-            .map(|(i, _)| i)
-            .collect()
+        common.iter().enumerate().filter(|(_, &c)| c).map(|(i, _)| i).collect()
+    }
+
+    /// Checks the structural invariants of the three-layer graph and
+    /// returns one message per violation (empty = valid): every attribute's
+    /// token ids and owning entity must be in range, entity→attribute links
+    /// must agree with the attribute's back-pointer, the token index must
+    /// mirror `tokens`, and entity-entity edges must reference distinct
+    /// in-range entities.
+    ///
+    /// The builders uphold these invariants by construction
+    /// (`debug_assert`ed); the check exists for graphs assembled or mutated
+    /// by hand and for the pre-flight analysis pass.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        for (ai, a) in self.attributes.iter().enumerate() {
+            if a.entity >= self.n_entities() {
+                errs.push(format!("attr #{ai} ({}): entity {} out of range", a.key, a.entity));
+            } else if !self.entities[a.entity].attr_nodes.contains(&ai) {
+                errs.push(format!("attr #{ai} ({}): not listed by its entity {}", a.key, a.entity));
+            }
+            for &t in &a.token_seq {
+                if t >= self.n_tokens() {
+                    errs.push(format!("attr #{ai} ({}): token {t} out of range", a.key));
+                }
+            }
+        }
+        for (ei, e) in self.entities.iter().enumerate() {
+            for &ai in &e.attr_nodes {
+                if ai >= self.n_attributes() {
+                    errs.push(format!("entity #{ei} ({}): attr {ai} out of range", e.id));
+                } else if self.attributes[ai].entity != ei {
+                    errs.push(format!(
+                        "entity #{ei} ({}): attr {ai} owned by another entity",
+                        e.id
+                    ));
+                }
+            }
+        }
+        if self.token_index.len() != self.tokens.len() {
+            errs.push(format!(
+                "token index has {} entries for {} token nodes",
+                self.token_index.len(),
+                self.tokens.len()
+            ));
+        }
+        for (tok, &id) in &self.token_index {
+            if self.tokens.get(id).map(String::as_str) != Some(tok.as_str()) {
+                errs.push(format!("token index maps {tok:?} to mismatched node {id}"));
+            }
+        }
+        for &(x, y) in &self.entity_edges {
+            if x >= self.n_entities() || y >= self.n_entities() {
+                errs.push(format!("entity edge ({x}, {y}) out of range"));
+            } else if x == y {
+                errs.push(format!("entity edge ({x}, {y}) is a self-loop"));
+            }
+        }
+        errs
     }
 
     /// Flattens the HHG into an undirected homogeneous adjacency (neighbor
@@ -203,10 +249,7 @@ mod tests {
     use super::*;
 
     fn entity(id: &str, attrs: &[(&str, &str)]) -> Entity {
-        Entity::new(
-            id,
-            attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
-        )
+        Entity::new(id, attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect())
     }
 
     fn sample_pair() -> EntityPair {
@@ -296,5 +339,33 @@ mod tests {
     fn nan_values_become_token_nodes() {
         let g = Hhg::from_entities(&[entity("e", &[("x", "NAN")])]);
         assert!(g.token_id("nan").is_some());
+    }
+
+    #[test]
+    fn built_graphs_validate_clean() {
+        assert_eq!(Hhg::from_pair(&sample_pair()).validate(), Vec::<String>::new());
+        assert_eq!(Hhg::default().validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validate_catches_hand_assembled_corruption() {
+        let mut g = Hhg::from_pair(&sample_pair());
+        g.attributes[0].token_seq.push(9999); // dangling token id
+        g.entity_edges.push((0, 0)); // self-loop
+        g.entity_edges.push((5, 0)); // out of range
+        let errs = g.validate();
+        assert_eq!(errs.len(), 3, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("token 9999")));
+        assert!(errs.iter().any(|e| e.contains("self-loop")));
+        assert!(errs.iter().any(|e| e.contains("out of range")));
+    }
+
+    #[test]
+    fn validate_catches_broken_ownership() {
+        let mut g = Hhg::from_pair(&sample_pair());
+        g.attributes[0].entity = 1; // disagrees with entity 0's attr list
+        let errs = g.validate();
+        assert!(!errs.is_empty());
+        assert!(errs.iter().any(|e| e.contains("owned by another entity")), "{errs:?}");
     }
 }

@@ -14,7 +14,13 @@ pub struct GcnLayer {
 
 impl GcnLayer {
     /// Registers the layer's projection.
-    pub fn new(ps: &mut ParamStore, prefix: &str, d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        prefix: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         Self { w: Linear::new(ps, &format!("{prefix}.w"), d_in, d_out, true, rng) }
     }
 
@@ -29,8 +35,8 @@ impl GcnLayer {
             }
         }
         let mut deg = vec![0.0f32; n];
-        for u in 0..n {
-            deg[u] = a.row(u).iter().sum::<f32>().max(1.0);
+        for (u, d) in deg.iter_mut().enumerate() {
+            *d = a.row(u).iter().sum::<f32>().max(1.0);
         }
         for u in 0..n {
             for v in 0..n {
@@ -67,7 +73,13 @@ pub struct GatLayer {
 
 impl GatLayer {
     /// Registers the layer parameters.
-    pub fn new(ps: &mut ParamStore, prefix: &str, d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        prefix: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let w = Linear::new(ps, &format!("{prefix}.w"), d_in, d_out, false, rng);
         let a_src = ps.add(format!("{prefix}.a_src"), Tensor::rand_normal(d_out, 1, 0.0, 0.3, rng));
         let a_dst = ps.add(format!("{prefix}.a_dst"), Tensor::rand_normal(d_out, 1, 0.0, 0.3, rng));
@@ -85,13 +97,13 @@ impl GatLayer {
         let s = t.matmul(wh, a_src); // n x 1
         let d = t.matmul(wh, a_dst); // n x 1
         let mut out_rows = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, adj_i) in adj.iter().enumerate().take(n) {
             // Neighborhood incl. self.
             let mut nbrs = vec![i];
-            nbrs.extend(adj[i].iter().copied());
+            nbrs.extend(adj_i.iter().copied());
             let si = t.row(s, i); // 1 x 1
             let dj = t.gather_rows(d, &nbrs); // k x 1
-            // logits_j = LeakyReLU(s_i + d_j)
+                                              // logits_j = LeakyReLU(s_i + d_j)
             let si_broadcast = {
                 let ones = t.input(Tensor::ones(nbrs.len(), 1));
                 t.matmul(ones, si)

@@ -12,4 +12,4 @@ mod pretrain;
 
 pub use config::{LmConfig, LmTier};
 pub use model::MiniLm;
-pub use pretrain::{corpus_from_entities, pretrain, Pretrained, PretrainConfig};
+pub use pretrain::{corpus_from_entities, pretrain, PretrainConfig, Pretrained};

@@ -144,11 +144,7 @@ impl MiniLm {
         rng: &mut impl Rng,
     ) -> Var {
         let n = t.value(x).rows();
-        let x = if n > self.config.max_len {
-            t.slice_rows(x, 0, self.config.max_len)
-        } else {
-            x
-        };
+        let x = if n > self.config.max_len { t.slice_rows(x, 0, self.config.max_len) } else { x };
         self.encoder.forward(t, ps, x, train, rng)
     }
 
@@ -164,11 +160,7 @@ impl MiniLm {
         attn_out: &mut Vec<Tensor>,
     ) -> Var {
         let n = t.value(x).rows();
-        let x = if n > self.config.max_len {
-            t.slice_rows(x, 0, self.config.max_len)
-        } else {
-            x
-        };
+        let x = if n > self.config.max_len { t.slice_rows(x, 0, self.config.max_len) } else { x };
         self.encoder.forward_with_attn(t, ps, x, train, rng, attn_out)
     }
 

@@ -68,11 +68,7 @@ pub struct Pretrained {
 /// Creates a token-noised copy of a sentence (drops and swaps), simulating
 /// the cross-source formatting differences of a matching pair.
 fn noisy_copy(sent: &[String], rng: &mut StdRng) -> Vec<String> {
-    let mut out: Vec<String> = sent
-        .iter()
-        .filter(|_| !rng.gen_bool(0.25))
-        .cloned()
-        .collect();
+    let mut out: Vec<String> = sent.iter().filter(|_| !rng.gen_bool(0.25)).cloned().collect();
     if out.is_empty() {
         out.push(sent[0].clone());
     }
@@ -90,7 +86,8 @@ pub fn pretrain(config: LmConfig, corpus: &[Vec<String>], pcfg: &PretrainConfig)
     let mut ps = ParamStore::new();
     let lm = MiniLm::new(&mut ps, config, &mut rng);
     // Output head predicting the original id at each masked position.
-    let head = Linear::new(&mut ps, "pretrain.head", config.d_model, config.vocab_size, true, &mut rng);
+    let head =
+        Linear::new(&mut ps, "pretrain.head", config.d_model, config.vocab_size, true, &mut rng);
     // Sentence-pair discrimination head (same/different from [CLS]).
     let pair_head = Linear::new(&mut ps, "pretrain.pair_head", config.d_model, 2, true, &mut rng);
     let mut opt = Adam::new(pcfg.lr);
@@ -198,10 +195,7 @@ mod tests {
             "canon eos digital camera body",
             "nikon digital camera lens kit",
         ];
-        sentences
-            .iter()
-            .map(|s| s.split_whitespace().map(str::to_string).collect())
-            .collect()
+        sentences.iter().map(|s| s.split_whitespace().map(str::to_string).collect()).collect()
     }
 
     #[test]

@@ -75,11 +75,8 @@ impl Confusion {
     /// Precision/recall/F1. Degenerate cases (no predicted or no actual
     /// positives) yield zeros rather than NaN.
     pub fn pr_f1(&self) -> PrF1 {
-        let precision = if self.tp + self.fp == 0 {
-            0.0
-        } else {
-            self.tp as f64 / (self.tp + self.fp) as f64
-        };
+        let precision =
+            if self.tp + self.fp == 0 { 0.0 } else { self.tp as f64 / (self.tp + self.fp) as f64 };
         let recall = if self.tp + self.fn_ == 0 {
             0.0
         } else {

@@ -18,11 +18,7 @@ pub struct PrPoint {
 pub fn pr_curve(scores: &[f32], labels: &[bool]) -> Vec<PrPoint> {
     assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
     let total_pos = labels.iter().filter(|&&l| l).count();
     if total_pos == 0 {
         return Vec::new();

@@ -204,10 +204,7 @@ mod tests {
     fn corrupt_magic_is_rejected() {
         let mut raw = to_bytes(&sample_store());
         raw[0] ^= 0xFF;
-        assert!(matches!(
-            from_bytes(&raw),
-            Err(CheckpointError::Malformed("bad magic"))
-        ));
+        assert!(matches!(from_bytes(&raw), Err(CheckpointError::Malformed("bad magic"))));
     }
 
     #[test]

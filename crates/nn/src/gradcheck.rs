@@ -43,12 +43,13 @@ pub fn check_gradients(
     tape.backward(loss, store);
 
     let ids: Vec<_> = store.ids().collect();
-    let analytic: Vec<Vec<f32>> = ids.iter().map(|&id| store.grad(id).as_slice().to_vec()).collect();
+    let analytic: Vec<Vec<f32>> =
+        ids.iter().map(|&id| store.grad(id).as_slice().to_vec()).collect();
 
     let mut mismatches = Vec::new();
     for (pi, &id) in ids.iter().enumerate() {
         let n = store.value(id).len();
-        for j in 0..n {
+        for (j, &a) in analytic[pi].iter().enumerate().take(n) {
             let orig = store.value(id).as_slice()[j];
 
             store.value_mut(id).as_mut_slice()[j] = orig + eps;
@@ -64,7 +65,6 @@ pub fn check_gradients(
             store.value_mut(id).as_mut_slice()[j] = orig;
 
             let numeric = (f_plus - f_minus) / (2.0 * eps);
-            let a = analytic[pi][j];
             let denom = 1.0f32.max(a.abs()).max(numeric.abs());
             if (a - numeric).abs() / denom > tol {
                 mismatches.push(GradMismatch {
@@ -298,7 +298,7 @@ mod tests {
                 flip += 1;
                 let wv = t.param(ps, w);
                 // Alternate the loss function between calls.
-                let k = if flip % 2 == 0 { 1.0 } else { 5.0 };
+                let k = if flip.is_multiple_of(2) { 1.0 } else { 5.0 };
                 let y = t.scale(wv, k);
                 let m = t.mul(y, y);
                 t.sum_all(m)

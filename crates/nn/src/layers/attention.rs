@@ -29,7 +29,10 @@ impl MultiHeadSelfAttention {
         heads: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(heads > 0 && d_model % heads == 0, "d_model {d_model} not divisible by heads {heads}");
+        assert!(
+            heads > 0 && d_model.is_multiple_of(heads),
+            "d_model {d_model} not divisible by heads {heads}"
+        );
         Self {
             wq: Linear::new(ps, &format!("{prefix}.wq"), d_model, d_model, true, rng),
             wk: Linear::new(ps, &format!("{prefix}.wk"), d_model, d_model, true, rng),

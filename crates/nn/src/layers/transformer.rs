@@ -127,10 +127,8 @@ impl TransformerEncoder {
                 )
             })
             .collect();
-        let pos = ps.add(
-            format!("{prefix}.pos"),
-            Tensor::rand_normal(max_len, d_model, 0.0, 0.02, rng),
-        );
+        let pos =
+            ps.add(format!("{prefix}.pos"), Tensor::rand_normal(max_len, d_model, 0.0, 0.02, rng));
         Self { layers, pos, max_len, d_model }
     }
 

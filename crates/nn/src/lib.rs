@@ -11,6 +11,7 @@
 //! checker itself is exported in [`gradcheck`] so downstream crates can
 //! verify composite models.
 
+pub mod analyze;
 pub mod checkpoint;
 pub mod gradcheck;
 mod layers;
@@ -21,9 +22,11 @@ mod tape;
 #[cfg(test)]
 mod proptests;
 
+pub use analyze::{
+    analyze_graph, finite_audit, DeadParam, GraphReport, SentinelHit, ShapeViolation, UnusedNode,
+};
 pub use layers::{
-    GruCell, LayerNorm, Linear, MultiHeadSelfAttention, TransformerEncoder,
-    TransformerEncoderLayer,
+    GruCell, LayerNorm, Linear, MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer,
 };
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};

@@ -115,11 +115,8 @@ impl Optimizer for Adam {
             let grad = store.grad(id).clone();
             let m = &mut self.m[i];
             let v = &mut self.v[i];
-            for ((mv, vv), gv) in m
-                .as_mut_slice()
-                .iter_mut()
-                .zip(v.as_mut_slice())
-                .zip(grad.as_slice())
+            for ((mv, vv), gv) in
+                m.as_mut_slice().iter_mut().zip(v.as_mut_slice()).zip(grad.as_slice())
             {
                 let g = *gv;
                 *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;

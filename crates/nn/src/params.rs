@@ -8,6 +8,13 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ParamId(pub(crate) usize);
 
+impl ParamId {
+    /// Registration index of this parameter in its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 #[derive(Serialize, Deserialize)]
 struct ParamEntry {
     name: String,
@@ -43,10 +50,7 @@ impl ParamStore {
     /// unique prefixes.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let name = name.into();
-        assert!(
-            !self.by_name.contains_key(&name),
-            "ParamStore: duplicate parameter name {name:?}"
-        );
+        assert!(!self.by_name.contains_key(&name), "ParamStore: duplicate parameter name {name:?}");
         let id = self.params.len();
         let grad = Tensor::zeros(value.rows(), value.cols());
         self.by_name.insert(name.clone(), id);
@@ -62,6 +66,21 @@ impl ParamStore {
     /// Whether a parameter is frozen.
     pub fn is_frozen(&self, id: ParamId) -> bool {
         self.params[id.0].frozen
+    }
+
+    /// Freezes every parameter whose name starts with `prefix`; returns the
+    /// number frozen. Used to mark config-disabled submodules as
+    /// intentionally gradient-dead (the static analyzer skips frozen
+    /// parameters in its dead-gradient report).
+    pub fn freeze_prefix(&mut self, prefix: &str) -> usize {
+        let mut n = 0;
+        for p in &mut self.params {
+            if p.name.starts_with(prefix) {
+                p.frozen = true;
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Looks a parameter up by name.
@@ -147,10 +166,7 @@ impl ParamStore {
 
     /// Iterates over `(ParamId, name, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
-        self.params
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (ParamId(i), p.name.as_str(), &p.value))
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p.name.as_str(), &p.value))
     }
 
     /// All parameter ids, in registration order.
@@ -178,12 +194,7 @@ impl ParamStore {
 
     /// Rebuilds the name index after deserialization.
     pub fn rebuild_index(&mut self) {
-        self.by_name = self
-            .params
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.name.clone(), i))
-            .collect();
+        self.by_name = self.params.iter().enumerate().map(|(i, p)| (p.name.clone(), i)).collect();
     }
 
     /// Copies values from `other` for every parameter with a matching name

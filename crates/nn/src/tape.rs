@@ -6,9 +6,16 @@
 //! propagating adjoints and accumulating parameter gradients into the
 //! [`ParamStore`].
 //!
+//! A tape can also be created with [`Tape::shape_only`]: recording then
+//! skips every kernel, derives output shapes from the pure rules in
+//! [`crate::analyze`], and collects shape-constraint failures as
+//! diagnostics instead of panicking — the substrate for pre-flight static
+//! analysis of a model's graph.
+//!
 //! Every op's backward rule is validated against finite differences by the
 //! `gradcheck` test module.
 
+use crate::analyze::{self, ShapeViolation};
 use crate::params::{ParamId, ParamStore};
 use hiergat_tensor::{gelu_grad_scalar, Tensor};
 use rand::Rng;
@@ -17,7 +24,18 @@ use rand::Rng;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(usize);
 
-enum Op {
+impl Var {
+    /// Position of this node on its tape (diagnostics / analysis).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    pub(crate) fn from_index(i: usize) -> Self {
+        Self(i)
+    }
+}
+
+pub(crate) enum Op {
     /// Constant input (no gradient flows past it).
     Input,
     /// Leaf reading a parameter from the store; backward accumulates there.
@@ -45,17 +63,127 @@ enum Op {
     Tanh(Var),
     Sigmoid(Var),
     Gelu(Var),
-    LayerNorm { x: Var, gamma: Var, beta: Var, eps: f32 },
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    },
     ConcatCols(Vec<Var>),
     ConcatRows(Vec<Var>),
-    SliceCols { x: Var, start: usize },
-    SliceRows { x: Var, start: usize },
-    GatherRows { table: Var, indices: Vec<usize> },
-    Dropout { x: Var, mask: Tensor },
-    CrossEntropyLogits { logits: Var, targets: Vec<usize> },
-    WeightedCrossEntropyLogits { logits: Var, targets: Vec<usize>, weights: Vec<f32> },
-    BceWithLogits { logits: Var, targets: Vec<f32> },
-    MseLoss { pred: Var, target: Tensor },
+    SliceCols {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
+    SliceRows {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
+    GatherRows {
+        table: Var,
+        indices: Vec<usize>,
+    },
+    Dropout {
+        x: Var,
+        mask: Tensor,
+    },
+    CrossEntropyLogits {
+        logits: Var,
+        targets: Vec<usize>,
+    },
+    WeightedCrossEntropyLogits {
+        logits: Var,
+        targets: Vec<usize>,
+        weights: Vec<f32>,
+    },
+    BceWithLogits {
+        logits: Var,
+        targets: Vec<f32>,
+    },
+    MseLoss {
+        pred: Var,
+        target: Tensor,
+    },
+}
+
+impl Op {
+    /// Short stable name used in diagnostics.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Self::Input => "input",
+            Self::Param(_) => "param",
+            Self::Add(..) => "add",
+            Self::Sub(..) => "sub",
+            Self::Mul(..) => "mul",
+            Self::Scale(..) => "scale",
+            Self::AddScalar(_) => "add_scalar",
+            Self::AddRow(..) => "add_row",
+            Self::AddCol(..) => "add_col",
+            Self::MulCol(..) => "mul_col",
+            Self::Matmul(..) => "matmul",
+            Self::Transpose(_) => "transpose",
+            Self::SumAll(_) => "sum_all",
+            Self::MeanAll(_) => "mean_all",
+            Self::SumRows(_) => "sum_rows",
+            Self::SumCols(_) => "sum_cols",
+            Self::Softmax(_) => "softmax",
+            Self::Relu(_) => "relu",
+            Self::LeakyRelu(..) => "leaky_relu",
+            Self::Tanh(_) => "tanh",
+            Self::Sigmoid(_) => "sigmoid",
+            Self::Gelu(_) => "gelu",
+            Self::LayerNorm { .. } => "layer_norm",
+            Self::ConcatCols(_) => "concat_cols",
+            Self::ConcatRows(_) => "concat_rows",
+            Self::SliceCols { .. } => "slice_cols",
+            Self::SliceRows { .. } => "slice_rows",
+            Self::GatherRows { .. } => "gather_rows",
+            Self::Dropout { .. } => "dropout",
+            Self::CrossEntropyLogits { .. } => "cross_entropy_logits",
+            Self::WeightedCrossEntropyLogits { .. } => "weighted_cross_entropy_logits",
+            Self::BceWithLogits { .. } => "bce_with_logits",
+            Self::MseLoss { .. } => "mse_loss",
+        }
+    }
+
+    /// The upstream tape nodes this op reads (graph edges for reachability).
+    pub(crate) fn inputs(&self) -> Vec<Var> {
+        match self {
+            Self::Input | Self::Param(_) => Vec::new(),
+            Self::Scale(a, _)
+            | Self::AddScalar(a)
+            | Self::Transpose(a)
+            | Self::SumAll(a)
+            | Self::MeanAll(a)
+            | Self::SumRows(a)
+            | Self::SumCols(a)
+            | Self::Softmax(a)
+            | Self::Relu(a)
+            | Self::LeakyRelu(a, _)
+            | Self::Tanh(a)
+            | Self::Sigmoid(a)
+            | Self::Gelu(a) => vec![*a],
+            Self::Add(a, b)
+            | Self::Sub(a, b)
+            | Self::Mul(a, b)
+            | Self::AddRow(a, b)
+            | Self::AddCol(a, b)
+            | Self::MulCol(a, b)
+            | Self::Matmul(a, b) => vec![*a, *b],
+            Self::LayerNorm { x, gamma, beta, .. } => vec![*x, *gamma, *beta],
+            Self::ConcatCols(parts) | Self::ConcatRows(parts) => parts.clone(),
+            Self::SliceCols { x, .. } | Self::SliceRows { x, .. } | Self::Dropout { x, .. } => {
+                vec![*x]
+            }
+            Self::GatherRows { table, .. } => vec![*table],
+            Self::CrossEntropyLogits { logits, .. }
+            | Self::WeightedCrossEntropyLogits { logits, .. }
+            | Self::BceWithLogits { logits, .. } => vec![*logits],
+            Self::MseLoss { pred, .. } => vec![*pred],
+        }
+    }
 }
 
 struct Node {
@@ -67,12 +195,35 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    shape_only: bool,
+    violations: Vec<ShapeViolation>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a tape that records the graph without executing kernels.
+    ///
+    /// Every non-leaf node's value is a zero placeholder of the inferred
+    /// shape; shape-constraint failures are collected (see
+    /// [`Self::shape_violations`]) instead of panicking, and recording
+    /// continues with a best-effort fallback shape so one pass surfaces
+    /// every wiring mistake.
+    pub fn shape_only() -> Self {
+        Self { shape_only: true, ..Self::default() }
+    }
+
+    /// `true` if this tape skips kernels and only tracks shapes.
+    pub fn is_shape_only(&self) -> bool {
+        self.shape_only
+    }
+
+    /// Shape-constraint failures collected during shape-only recording.
+    pub fn shape_violations(&self) -> &[ShapeViolation] {
+        &self.violations
     }
 
     /// Number of recorded nodes.
@@ -85,15 +236,62 @@ impl Tape {
         self.nodes.is_empty()
     }
 
-    /// The forward value of `v`.
+    /// The forward value of `v` (a zero placeholder on shape-only tapes).
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
     }
 
+    pub(crate) fn op_at(&self, i: usize) -> &Op {
+        &self.nodes[i].op
+    }
+
+    /// Diagnostic name of the op at tape index `i` (e.g. `"matmul"`).
+    pub fn op_name(&self, i: usize) -> &'static str {
+        self.nodes[i].op.name()
+    }
+
+    /// Tape indices of the inputs of the op at index `i`.
+    pub fn op_inputs(&self, i: usize) -> Vec<usize> {
+        self.nodes[i].op.inputs().into_iter().map(Var::index).collect()
+    }
+
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        debug_assert!(!value.has_non_finite(), "tape op produced non-finite values");
+        #[cfg(debug_assertions)]
+        if !matches!(op, Op::Input | Op::Param(_)) && value.has_non_finite() {
+            panic!(
+                "tape op #{} ({}) produced non-finite values; \
+                 run hiergat_nn::analyze::finite_audit on the tape for a report",
+                self.nodes.len(),
+                op.name()
+            );
+        }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Shape-only recording: infer the output shape, log any violation, and
+    /// push a zero placeholder so downstream ops still see a shape.
+    fn push_inferred(&mut self, op: Op) -> Var {
+        let ((rows, cols), violation) = analyze::infer_shape(self, &op);
+        if let Some(message) = violation {
+            self.violations.push(ShapeViolation {
+                op_index: self.nodes.len(),
+                op_name: op.name(),
+                message,
+            });
+        }
+        self.nodes.push(Node { value: Tensor::zeros(rows.max(1), cols.max(1)), op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records `op`, computing its value with `eager` unless this is a
+    /// shape-only tape.
+    fn record(&mut self, op: Op, eager: impl FnOnce(&Self) -> Tensor) -> Var {
+        if self.shape_only {
+            return self.push_inferred(op);
+        }
+        let value = eager(self);
+        self.push(value, op)
     }
 
     /// Records a constant input tensor.
@@ -113,32 +311,27 @@ impl Tape {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(v, Op::Add(a, b))
+        self.record(Op::Add(a, b), |t| t.value(a).add(t.value(b)))
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v, Op::Sub(a, b))
+        self.record(Op::Sub(a, b), |t| t.value(a).sub(t.value(b)))
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push(v, Op::Mul(a, b))
+        self.record(Op::Mul(a, b), |t| t.value(a).mul(t.value(b)))
     }
 
     /// Scalar multiple.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let v = self.value(a).scale(k);
-        self.push(v, Op::Scale(a, k))
+        self.record(Op::Scale(a, k), |t| t.value(a).scale(k))
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
-        let v = self.value(a).add_scalar(k);
-        self.push(v, Op::AddScalar(a))
+        self.record(Op::AddScalar(a), |t| t.value(a).add_scalar(k))
     }
 
     /// `1 - a`, elementwise (GRU gating convenience).
@@ -149,56 +342,47 @@ impl Tape {
 
     /// Broadcast-adds a `1 x c` row vector to each row of `a`.
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
-        let v = self.value(a).add_row_broadcast(self.value(row));
-        self.push(v, Op::AddRow(a, row))
+        self.record(Op::AddRow(a, row), |t| t.value(a).add_row_broadcast(t.value(row)))
     }
 
     /// Broadcast-adds an `r x 1` column vector to each column of `a`.
     pub fn add_col(&mut self, a: Var, col: Var) -> Var {
-        let v = self.value(a).add_col_broadcast(self.value(col));
-        self.push(v, Op::AddCol(a, col))
+        self.record(Op::AddCol(a, col), |t| t.value(a).add_col_broadcast(t.value(col)))
     }
 
     /// Scales row `i` of `a` by `col[i]` (attention-weighted rows).
     pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
-        let v = self.value(a).mul_col_broadcast(self.value(col));
-        self.push(v, Op::MulCol(a, col))
+        self.record(Op::MulCol(a, col), |t| t.value(a).mul_col_broadcast(t.value(col)))
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::Matmul(a, b))
+        self.record(Op::Matmul(a, b), |t| t.value(a).matmul(t.value(b)))
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.value(a).transpose();
-        self.push(v, Op::Transpose(a))
+        self.record(Op::Transpose(a), |t| t.value(a).transpose())
     }
 
     /// Sum of all elements (`1 x 1`).
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).sum());
-        self.push(v, Op::SumAll(a))
+        self.record(Op::SumAll(a), |t| Tensor::scalar(t.value(a).sum()))
     }
 
     /// Mean of all elements (`1 x 1`).
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).mean());
-        self.push(v, Op::MeanAll(a))
+        self.record(Op::MeanAll(a), |t| Tensor::scalar(t.value(a).mean()))
     }
 
     /// Sums over rows, producing a `1 x c` vector.
     pub fn sum_rows(&mut self, a: Var) -> Var {
-        let v = self.value(a).sum_rows();
-        self.push(v, Op::SumRows(a))
+        self.record(Op::SumRows(a), |t| t.value(a).sum_rows())
     }
 
     /// Sums over columns, producing an `r x 1` vector.
     pub fn sum_cols(&mut self, a: Var) -> Var {
-        let v = self.value(a).sum_cols();
-        self.push(v, Op::SumCols(a))
+        self.record(Op::SumCols(a), |t| t.value(a).sum_cols())
     }
 
     /// Mean over rows (`1 x c`).
@@ -210,82 +394,78 @@ impl Tape {
 
     /// Row-wise softmax.
     pub fn softmax(&mut self, a: Var) -> Var {
-        let v = self.value(a).softmax_rows();
-        self.push(v, Op::Softmax(a))
+        self.record(Op::Softmax(a), |t| t.value(a).softmax_rows())
     }
 
     /// ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).relu();
-        self.push(v, Op::Relu(a))
+        self.record(Op::Relu(a), |t| t.value(a).relu())
     }
 
     /// Leaky ReLU with slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.value(a).leaky_relu(alpha);
-        self.push(v, Op::LeakyRelu(a, alpha))
+        self.record(Op::LeakyRelu(a, alpha), |t| t.value(a).leaky_relu(alpha))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).tanh();
-        self.push(v, Op::Tanh(a))
+        self.record(Op::Tanh(a), |t| t.value(a).tanh())
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).sigmoid();
-        self.push(v, Op::Sigmoid(a))
+        self.record(Op::Sigmoid(a), |t| t.value(a).sigmoid())
     }
 
     /// GELU (tanh approximation).
     pub fn gelu(&mut self, a: Var) -> Var {
-        let v = self.value(a).gelu();
-        self.push(v, Op::Gelu(a))
+        self.record(Op::Gelu(a), |t| t.value(a).gelu())
     }
 
     /// Fused layer normalization over each row, with learnable `gamma`/`beta`
     /// (`1 x c` parameters).
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
-        let xv = self.value(x);
-        let (mean, var) = xv.row_moments();
-        let mut out = xv.clone();
-        let g = self.value(gamma).clone();
-        let b = self.value(beta).clone();
-        for i in 0..out.rows() {
-            let m = mean.get(i, 0);
-            let inv = 1.0 / (var.get(i, 0) + eps).sqrt();
-            for (j, v) in out.row_mut(i).iter_mut().enumerate() {
-                *v = (*v - m) * inv * g.get(0, j) + b.get(0, j);
+        self.record(Op::LayerNorm { x, gamma, beta, eps }, |t| {
+            let xv = t.value(x);
+            let (mean, var) = xv.row_moments();
+            let mut out = xv.clone();
+            let g = t.value(gamma);
+            let b = t.value(beta);
+            for i in 0..out.rows() {
+                let m = mean.get(i, 0);
+                let inv = 1.0 / (var.get(i, 0) + eps).sqrt();
+                for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+                    *v = (*v - m) * inv * g.get(0, j) + b.get(0, j);
+                }
             }
-        }
-        self.push(out, Op::LayerNorm { x, gamma, beta, eps })
+            out
+        })
     }
 
     /// Horizontal concatenation.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat_cols(&tensors);
-        self.push(v, Op::ConcatCols(parts.to_vec()))
+        self.record(Op::ConcatCols(parts.to_vec()), |t| {
+            let tensors: Vec<&Tensor> = parts.iter().map(|&p| t.value(p)).collect();
+            Tensor::concat_cols(&tensors)
+        })
     }
 
     /// Vertical concatenation.
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
-        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat_rows(&tensors);
-        self.push(v, Op::ConcatRows(parts.to_vec()))
+        self.record(Op::ConcatRows(parts.to_vec()), |t| {
+            let tensors: Vec<&Tensor> = parts.iter().map(|&p| t.value(p)).collect();
+            Tensor::concat_rows(&tensors)
+        })
     }
 
     /// Copies columns `[start, start + len)`.
     pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
-        let v = self.value(x).slice_cols(start, len);
-        self.push(v, Op::SliceCols { x, start })
+        self.record(Op::SliceCols { x, start, len }, |t| t.value(x).slice_cols(start, len))
     }
 
     /// Copies rows `[start, start + len)`.
     pub fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
-        let v = self.value(x).slice_rows(start, len);
-        self.push(v, Op::SliceRows { x, start })
+        self.record(Op::SliceRows { x, start, len }, |t| t.value(x).slice_rows(start, len))
     }
 
     /// Row `r` of `x` as a `1 x c` vector.
@@ -295,14 +475,20 @@ impl Tape {
 
     /// Embedding lookup: `out[i] = table[indices[i]]`.
     pub fn gather_rows(&mut self, table: Var, indices: &[usize]) -> Var {
-        let v = self.value(table).gather_rows(indices);
-        self.push(v, Op::GatherRows { table, indices: indices.to_vec() })
+        self.record(Op::GatherRows { table, indices: indices.to_vec() }, |t| {
+            t.value(table).gather_rows(indices)
+        })
     }
 
     /// Inverted dropout. Identity when `train` is false or `p == 0`.
     pub fn dropout(&mut self, x: Var, p: f32, train: bool, rng: &mut impl Rng) -> Var {
         if !train || p <= 0.0 {
             return x;
+        }
+        if self.shape_only {
+            // No mask is sampled: shape analysis must not consume the RNG
+            // stream or run kernels.
+            return self.push_inferred(Op::Dropout { x, mask: Tensor::zeros(1, 1) });
         }
         assert!(p < 1.0, "dropout: p must be < 1");
         let keep = 1.0 - p;
@@ -319,19 +505,18 @@ impl Tape {
 
     /// Mean cross-entropy of row-wise logits against class indices.
     pub fn cross_entropy_logits(&mut self, logits: Var, targets: &[usize]) -> Var {
-        let lv = self.value(logits);
-        assert_eq!(lv.rows(), targets.len(), "cross_entropy: target count mismatch");
-        let log_probs = lv.log_softmax_rows();
-        let mut loss = 0.0;
-        for (i, &t) in targets.iter().enumerate() {
-            assert!(t < lv.cols(), "cross_entropy: class {t} out of range");
-            loss -= log_probs.get(i, t);
-        }
-        loss /= targets.len() as f32;
-        self.push(
-            Tensor::scalar(loss),
-            Op::CrossEntropyLogits { logits, targets: targets.to_vec() },
-        )
+        self.record(Op::CrossEntropyLogits { logits, targets: targets.to_vec() }, |t| {
+            let lv = t.value(logits);
+            assert_eq!(lv.rows(), targets.len(), "cross_entropy: target count mismatch");
+            let log_probs = lv.log_softmax_rows();
+            let mut loss = 0.0;
+            for (i, &tc) in targets.iter().enumerate() {
+                assert!(tc < lv.cols(), "cross_entropy: class {tc} out of range");
+                loss -= log_probs.get(i, tc);
+            }
+            loss /= targets.len() as f32;
+            Tensor::scalar(loss)
+        })
     }
 
     /// Weighted cross-entropy: per-row weights, normalized by the weight
@@ -343,67 +528,74 @@ impl Tape {
         targets: &[usize],
         weights: &[f32],
     ) -> Var {
-        let lv = self.value(logits);
-        assert_eq!(lv.rows(), targets.len(), "wce: target count mismatch");
-        assert_eq!(targets.len(), weights.len(), "wce: weight count mismatch");
-        let w_sum: f32 = weights.iter().sum();
-        assert!(w_sum > 0.0, "wce: weights must be positive");
-        let log_probs = lv.log_softmax_rows();
-        let mut loss = 0.0;
-        for (i, (&t, &w)) in targets.iter().zip(weights).enumerate() {
-            assert!(t < lv.cols(), "wce: class {t} out of range");
-            loss -= w * log_probs.get(i, t);
-        }
-        loss /= w_sum;
-        self.push(
-            Tensor::scalar(loss),
-            Op::WeightedCrossEntropyLogits {
-                logits,
-                targets: targets.to_vec(),
-                weights: weights.to_vec(),
-            },
-        )
+        let op = Op::WeightedCrossEntropyLogits {
+            logits,
+            targets: targets.to_vec(),
+            weights: weights.to_vec(),
+        };
+        self.record(op, |t| {
+            let lv = t.value(logits);
+            assert_eq!(lv.rows(), targets.len(), "wce: target count mismatch");
+            assert_eq!(targets.len(), weights.len(), "wce: weight count mismatch");
+            let w_sum: f32 = weights.iter().sum();
+            assert!(w_sum > 0.0, "wce: weights must be positive");
+            let log_probs = lv.log_softmax_rows();
+            let mut loss = 0.0;
+            for (i, (&tc, &w)) in targets.iter().zip(weights).enumerate() {
+                assert!(tc < lv.cols(), "wce: class {tc} out of range");
+                loss -= w * log_probs.get(i, tc);
+            }
+            loss /= w_sum;
+            Tensor::scalar(loss)
+        })
     }
 
     /// Mean binary cross-entropy with logits (`r x 1` logits, `targets` in `[0,1]`).
     pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
-        let lv = self.value(logits);
-        assert_eq!(lv.cols(), 1, "bce: logits must be a column vector");
-        assert_eq!(lv.rows(), targets.len(), "bce: target count mismatch");
-        let mut loss = 0.0;
-        for (i, &y) in targets.iter().enumerate() {
-            let z = lv.get(i, 0);
-            // Numerically stable: max(z,0) - z*y + ln(1 + e^{-|z|}).
-            loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
-        }
-        loss /= targets.len() as f32;
-        self.push(
-            Tensor::scalar(loss),
-            Op::BceWithLogits { logits, targets: targets.to_vec() },
-        )
+        self.record(Op::BceWithLogits { logits, targets: targets.to_vec() }, |t| {
+            let lv = t.value(logits);
+            assert_eq!(lv.cols(), 1, "bce: logits must be a column vector");
+            assert_eq!(lv.rows(), targets.len(), "bce: target count mismatch");
+            let mut loss = 0.0;
+            for (i, &y) in targets.iter().enumerate() {
+                let z = lv.get(i, 0);
+                // Numerically stable: max(z,0) - z*y + ln(1 + e^{-|z|}).
+                loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+            }
+            loss /= targets.len() as f32;
+            Tensor::scalar(loss)
+        })
     }
 
     /// Mean squared error against a constant target.
     pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
-        let pv = self.value(pred);
-        assert_eq!(pv.shape(), target.shape(), "mse: shape mismatch");
-        let diff = pv.sub(target);
-        let loss = diff.as_slice().iter().map(|d| d * d).sum::<f32>() / pv.len() as f32;
-        self.push(Tensor::scalar(loss), Op::MseLoss { pred, target: target.clone() })
+        self.record(Op::MseLoss { pred, target: target.clone() }, |t| {
+            let pv = t.value(pred);
+            assert_eq!(pv.shape(), target.shape(), "mse: shape mismatch");
+            let diff = pv.sub(target);
+            let loss = diff.as_slice().iter().map(|d| d * d).sum::<f32>() / pv.len() as f32;
+            Tensor::scalar(loss)
+        })
     }
 
     /// Runs reverse-mode differentiation from the scalar `loss` node,
     /// accumulating parameter gradients into `store`.
     ///
     /// # Panics
-    /// Panics if `loss` is not `1 x 1`.
+    /// Panics if `loss` is not `1 x 1`, or if called on a shape-only tape
+    /// (placeholder values have no gradients).
     pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        assert!(!self.shape_only, "backward: shape-only tapes record no values");
         assert!(self.value(loss).is_scalar(), "backward: loss must be scalar");
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
         for i in (0..=loss.0).rev() {
             let Some(g) = grads[i].take() else { continue };
+            #[cfg(debug_assertions)]
+            if g.has_non_finite() {
+                panic!("backward adjoint of op #{i} ({}) is non-finite", self.nodes[i].op.name());
+            }
             match &self.nodes[i].op {
                 Op::Input => {}
                 Op::Param(pid) => store.accumulate_grad(*pid, &g),
@@ -528,7 +720,7 @@ impl Tape {
                         off += h;
                     }
                 }
-                Op::SliceCols { x, start } => {
+                Op::SliceCols { x, start, .. } => {
                     let (r, c) = self.value(*x).shape();
                     let mut dx = Tensor::zeros(r, c);
                     for row in 0..r {
@@ -537,7 +729,7 @@ impl Tape {
                     }
                     accum(&mut grads, *x, dx);
                 }
-                Op::SliceRows { x, start } => {
+                Op::SliceRows { x, start, .. } => {
                     let (r, c) = self.value(*x).shape();
                     let mut dx = Tensor::zeros(r, c);
                     for row in 0..g.rows() {
@@ -771,5 +963,26 @@ mod tests {
         let mut t = Tape::new();
         let x = t.input(Tensor::zeros(2, 2));
         t.backward(x, &mut ps);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape-only tapes record no values")]
+    fn backward_rejects_shape_only_tapes() {
+        let mut ps = ParamStore::new();
+        let mut t = Tape::shape_only();
+        let x = t.input(Tensor::zeros(1, 1));
+        let loss = t.sum_all(x);
+        t.backward(loss, &mut ps);
+    }
+
+    #[test]
+    fn shape_only_dropout_keeps_shape_and_rng_stream() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = Tape::shape_only();
+        let x = t.input(Tensor::zeros(4, 6));
+        let before = rng.clone();
+        let y = t.dropout(x, 0.5, true, &mut rng);
+        assert_eq!(t.value(y).shape(), (4, 6));
+        assert_eq!(rng, before, "shape-only dropout must not consume the RNG");
     }
 }

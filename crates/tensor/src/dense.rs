@@ -216,11 +216,7 @@ impl Tensor {
     /// Returns `true` if all elements differ from `other` by at most `tol`.
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
         self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 

@@ -70,8 +70,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = Tensor::rand_normal(100, 100, 1.0, 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / t.len() as f32;
+        let var =
+            t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

@@ -67,12 +67,7 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let data = self
-            .as_slice()
-            .iter()
-            .zip(other.as_slice())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
         Tensor::from_vec(self.rows(), self.cols(), data).expect("zip_map preserves length")
     }
 
@@ -213,11 +208,7 @@ impl Tensor {
     /// Dot product of two tensors viewed as flat vectors.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
-        self.as_slice()
-            .iter()
-            .zip(other.as_slice())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.as_slice().iter().zip(other.as_slice()).map(|(a, b)| a * b).sum()
     }
 
     /// Frobenius / L2 norm of the flattened tensor.

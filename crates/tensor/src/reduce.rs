@@ -58,10 +58,7 @@ impl Tensor {
 
     /// Maximum element of the whole tensor.
     pub fn max(&self) -> f32 {
-        self.as_slice()
-            .iter()
-            .copied()
-            .fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element of the whole tensor.

@@ -13,10 +13,8 @@ use rand::SeedableRng;
 
 /// Character n-grams of a word, padded with `<` and `>` like FastText.
 pub fn char_ngrams(word: &str, n_min: usize, n_max: usize) -> Vec<String> {
-    let padded: Vec<char> = std::iter::once('<')
-        .chain(word.chars())
-        .chain(std::iter::once('>'))
-        .collect();
+    let padded: Vec<char> =
+        std::iter::once('<').chain(word.chars()).chain(std::iter::once('>')).collect();
     let mut grams = Vec::new();
     for n in n_min..=n_max {
         if padded.len() < n {
@@ -68,8 +66,7 @@ impl StaticHashEmbedding {
         }
         count += 1;
         for gram in char_ngrams(word, 3, 5) {
-            let row =
-                self.word_buckets + (fnv1a(gram.as_bytes()) as usize) % self.ngram_buckets;
+            let row = self.word_buckets + (fnv1a(gram.as_bytes()) as usize) % self.ngram_buckets;
             for (a, v) in acc.iter_mut().zip(self.table.row(row)) {
                 *a += v;
             }
@@ -143,7 +140,7 @@ mod tests {
     #[test]
     fn sequence_embedding_shape() {
         let e = StaticHashEmbedding::new(8, 64, 64, 1);
-        let toks: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let toks: Vec<String> = ["a", "b", "c"].iter().map(ToString::to_string).collect();
         assert_eq!(e.embed_sequence(&toks).shape(), (3, 8));
         assert_eq!(e.embed_sequence(&[]).shape(), (0, 8));
     }

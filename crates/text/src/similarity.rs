@@ -88,12 +88,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity with the standard 0.1 prefix scale.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     j + prefix * 0.1 * (1.0 - j)
 }
 
@@ -131,10 +126,7 @@ pub fn cosine_tokens(a: &[String], b: &[String]) -> f64 {
     for t in b {
         *cb.entry(t).or_default() += 1.0;
     }
-    let dot: f64 = ca
-        .iter()
-        .filter_map(|(k, va)| cb.get(k).map(|vb| va * vb))
-        .sum();
+    let dot: f64 = ca.iter().filter_map(|(k, va)| cb.get(k).map(|vb| va * vb)).sum();
     let na: f64 = ca.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = cb.values().map(|v| v * v).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {
@@ -154,10 +146,7 @@ pub fn monge_elkan(a: &[String], b: &[String]) -> f64 {
     }
     let mut total = 0.0;
     for ta in a {
-        let best = b
-            .iter()
-            .map(|tb| jaro_winkler(ta, tb))
-            .fold(0.0f64, f64::max);
+        let best = b.iter().map(|tb| jaro_winkler(ta, tb)).fold(0.0f64, f64::max);
         total += best;
     }
     total / a.len() as f64

@@ -98,10 +98,8 @@ impl TfIdf {
             }
         }
         let n = docs.len().max(1);
-        let idf = doc_freq
-            .iter()
-            .map(|&df| ((1.0 + n as f32) / (1.0 + df as f32)).ln() + 1.0)
-            .collect();
+        let idf =
+            doc_freq.iter().map(|&df| ((1.0 + n as f32) / (1.0 + df as f32)).ln() + 1.0).collect();
         Self { term_ids, idf, n_docs: docs.len() }
     }
 
@@ -114,18 +112,14 @@ impl TfIdf {
                 *counts.entry(id).or_default() += 1.0;
             }
         }
-        let pairs: Vec<(usize, f32)> = counts
-            .into_iter()
-            .map(|(id, tf)| (id, tf * self.idf[id]))
-            .collect();
+        let pairs: Vec<(usize, f32)> =
+            counts.into_iter().map(|(id, tf)| (id, tf * self.idf[id])).collect();
         let v = SparseVec::from_pairs(pairs);
         let norm = v.norm();
         if norm == 0.0 {
             v
         } else {
-            SparseVec {
-                entries: v.entries.into_iter().map(|(id, w)| (id, w / norm)).collect(),
-            }
+            SparseVec { entries: v.entries.into_iter().map(|(id, w)| (id, w / norm)).collect() }
         }
     }
 
@@ -178,9 +172,7 @@ impl CosineIndex {
         }
         let mut ranked: Vec<(usize, f32)> = scores.into_iter().collect();
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         ranked.truncate(n);
         ranked

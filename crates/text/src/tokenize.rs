@@ -81,10 +81,7 @@ mod tests {
 
     #[test]
     fn splits_on_punctuation_and_lowercases() {
-        assert_eq!(
-            tokenize("Adobe Photoshop, Elements!"),
-            vec!["adobe", "photoshop", "elements"]
-        );
+        assert_eq!(tokenize("Adobe Photoshop, Elements!"), vec!["adobe", "photoshop", "elements"]);
     }
 
     #[test]

@@ -88,7 +88,7 @@ mod tests {
         let v = HashVocab::new(1000);
         let a = v.id("photoshop");
         assert_eq!(a, v.id("photoshop"));
-        assert!(a >= NUM_SPECIAL && a < 1000);
+        assert!((NUM_SPECIAL..1000).contains(&a));
     }
 
     #[test]

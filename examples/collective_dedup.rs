@@ -42,16 +42,11 @@ fn main() {
     let example = &dataset.test[0];
     let scores = model.predict_collective(example);
     println!("\nquery: {}", example.query.serialize_ditto());
-    let mut ranked: Vec<(usize, f32)> =
-        scores.iter().copied().enumerate().collect();
+    let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     for (i, score) in ranked.iter().take(5) {
         let truth = if example.labels[*i] { "MATCH" } else { "     " };
-        let title = example.candidates[*i]
-            .attrs
-            .first()
-            .map(|(_, v)| v.as_str())
-            .unwrap_or("");
+        let title = example.candidates[*i].attrs.first().map_or("", |(_, v)| v.as_str());
         println!("  {score:.3} {truth}  {title}");
     }
 }

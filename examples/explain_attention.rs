@@ -11,11 +11,8 @@ use hiergat_lm::{corpus_from_entities, pretrain, LmTier, PretrainConfig};
 
 fn main() {
     let dataset = MagellanDataset::AmazonGoogle.load(0.4);
-    let entities: Vec<_> = dataset
-        .train
-        .iter()
-        .flat_map(|p| [p.left.clone(), p.right.clone()])
-        .collect();
+    let entities: Vec<_> =
+        dataset.train.iter().flat_map(|p| [p.left.clone(), p.right.clone()]).collect();
     let corpus = corpus_from_entities(entities.iter());
     let pretrained = pretrain(LmTier::MiniBase.config(), &corpus, &PretrainConfig::default());
 

@@ -23,11 +23,8 @@ fn main() {
             dataset.test.len()
         );
 
-        let entities: Vec<_> = dataset
-            .train
-            .iter()
-            .flat_map(|p| [p.left.clone(), p.right.clone()])
-            .collect();
+        let entities: Vec<_> =
+            dataset.train.iter().flat_map(|p| [p.left.clone(), p.right.clone()]).collect();
         let corpus = corpus_from_entities(entities.iter());
         let pretrained = pretrain(LmTier::MiniBase.config(), &corpus, &PretrainConfig::default());
 

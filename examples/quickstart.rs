@@ -23,11 +23,8 @@ fn main() {
 
     // 2. Pre-train a miniature language model on the training corpus
     //    (the stand-in for downloading a BERT checkpoint).
-    let entities: Vec<Entity> = dataset
-        .train
-        .iter()
-        .flat_map(|p| [p.left.clone(), p.right.clone()])
-        .collect();
+    let entities: Vec<Entity> =
+        dataset.train.iter().flat_map(|p| [p.left.clone(), p.right.clone()]).collect();
     let corpus = corpus_from_entities(entities.iter());
     println!("pre-training a miniature LM on {} sentences...", corpus.len());
     let pretrained = pretrain(LmTier::MiniBase.config(), &corpus, &PretrainConfig::default());

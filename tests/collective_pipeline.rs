@@ -12,9 +12,7 @@ fn collective_hiergat_plus_trains_and_evaluates() {
     let ds = MagellanDataset::DblpAcm.load_collective(0.3);
     let arity = ds.train[0].query.arity();
     let mut model = HierGat::new(
-        HierGatConfig::collective()
-            .with_tier(LmTier::MiniDistil)
-            .with_epochs(5),
+        HierGatConfig::collective().with_tier(LmTier::MiniDistil).with_epochs(5),
         arity,
     );
     let report = train_collective(&mut model, &ds);
@@ -31,12 +29,9 @@ fn alignment_ablation_changes_behaviour() {
     let arity = ds.train[0].query.arity();
     let run = |use_alignment: bool| {
         let mut model = HierGat::new(
-            HierGatConfig {
-                use_alignment,
-                ..HierGatConfig::collective()
-            }
-            .with_tier(LmTier::MiniDistil)
-            .with_epochs(2),
+            HierGatConfig { use_alignment, ..HierGatConfig::collective() }
+                .with_tier(LmTier::MiniDistil)
+                .with_epochs(2),
             arity,
         );
         train_collective(&mut model, &ds).test_f1
@@ -68,6 +63,6 @@ fn flattened_collective_matches_pairwise_protocol() {
     // Flat test pairs come only from test queries (no leakage).
     assert_eq!(
         flat.test.len(),
-        ds.test.iter().map(|e| e.n_candidates()).sum::<usize>()
+        ds.test.iter().map(hiergat_data::CollectiveExample::n_candidates).sum::<usize>()
     );
 }

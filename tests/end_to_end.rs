@@ -13,11 +13,8 @@ fn full_pairwise_pipeline_runs_end_to_end() {
     let ds = MagellanDataset::FodorsZagats.load(0.4);
     assert!(ds.train.len() > 20);
 
-    let entities: Vec<_> = ds
-        .train
-        .iter()
-        .flat_map(|p| [p.left.clone(), p.right.clone()])
-        .collect();
+    let entities: Vec<_> =
+        ds.train.iter().flat_map(|p| [p.left.clone(), p.right.clone()]).collect();
     let corpus = corpus_from_entities(entities.iter());
     let pre = pretrain(
         LmTier::MiniDistil.config(),
@@ -26,20 +23,14 @@ fn full_pairwise_pipeline_runs_end_to_end() {
     );
 
     let mut model = HierGat::new(
-        HierGatConfig::pairwise()
-            .with_tier(LmTier::MiniDistil)
-            .with_epochs(4),
+        HierGatConfig::pairwise().with_tier(LmTier::MiniDistil).with_epochs(4),
         ds.arity(),
     );
     let copied = model.load_pretrained(&pre.store);
     assert!(copied > 10, "pre-trained LM tensors must load");
 
     let report = train_pairwise(&mut model, &ds);
-    assert!(
-        report.test_f1 > 0.45,
-        "HierGAT must learn the easy dataset, got {}",
-        report.test_f1
-    );
+    assert!(report.test_f1 > 0.45, "HierGAT must learn the easy dataset, got {}", report.test_f1);
 }
 
 #[test]
@@ -51,17 +42,12 @@ fn hiergat_beats_chance_on_heterogeneous_data() {
         let pos = ds.test.iter().filter(|p| p.label).count() as f64;
         2.0 * pos / (ds.test.len() as f64 + pos)
     };
-    let entities: Vec<_> = ds
-        .train
-        .iter()
-        .flat_map(|p| [p.left.clone(), p.right.clone()])
-        .collect();
+    let entities: Vec<_> =
+        ds.train.iter().flat_map(|p| [p.left.clone(), p.right.clone()]).collect();
     let corpus = corpus_from_entities(entities.iter());
     let pre = pretrain(LmTier::MiniDistil.config(), &corpus, &PretrainConfig::default());
     let mut model = HierGat::new(
-        HierGatConfig::pairwise()
-            .with_tier(LmTier::MiniDistil)
-            .with_epochs(8),
+        HierGatConfig::pairwise().with_tier(LmTier::MiniDistil).with_epochs(8),
         ds.arity(),
     );
     model.load_pretrained(&pre.store);
@@ -77,18 +63,12 @@ fn hiergat_beats_chance_on_heterogeneous_data() {
 #[test]
 fn ditto_pipeline_runs_end_to_end() {
     let ds = MagellanDataset::DblpAcm.load(0.7);
-    let entities: Vec<_> = ds
-        .train
-        .iter()
-        .flat_map(|p| [p.left.clone(), p.right.clone()])
-        .collect();
+    let entities: Vec<_> =
+        ds.train.iter().flat_map(|p| [p.left.clone(), p.right.clone()]).collect();
     let corpus = corpus_from_entities(entities.iter());
     let pre = pretrain(LmTier::MiniDistil.config(), &corpus, &PretrainConfig::default());
-    let mut ditto = Ditto::new(DittoConfig {
-        lm_tier: LmTier::MiniDistil,
-        epochs: 8,
-        ..Default::default()
-    });
+    let mut ditto =
+        Ditto::new(DittoConfig { lm_tier: LmTier::MiniDistil, epochs: 8, ..Default::default() });
     ditto.load_pretrained(&pre.store);
     let report = train_pair_model(&mut ditto, &ds);
     assert!(report.test_f1 > 0.4, "Ditto on clean citations: {}", report.test_f1);
@@ -110,7 +90,7 @@ fn blocking_integrates_with_generated_entities() {
     let rights: Vec<_> = ds.train.iter().map(|p| p.right.clone()).collect();
 
     let kw = KeywordBlocker::default();
-    let pairs: Vec<_> = ds.train.iter().cloned().collect();
+    let pairs: Vec<_> = ds.train.clone();
     let total = pairs.len();
     let kept = kw.filter_pairs(pairs);
     // Keyword blocking keeps nearly all true matches.
@@ -132,9 +112,7 @@ fn deterministic_reproduction_across_runs() {
     let run = || {
         let ds = MagellanDataset::Beer.load(0.3);
         let mut model = HierGat::new(
-            HierGatConfig::pairwise()
-                .with_tier(LmTier::MiniDistil)
-                .with_epochs(2),
+            HierGatConfig::pairwise().with_tier(LmTier::MiniDistil).with_epochs(2),
             ds.arity(),
         );
         train_pairwise(&mut model, &ds).test_f1

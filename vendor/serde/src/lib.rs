@@ -276,10 +276,9 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Object(fields) => fields
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
-                .collect(),
+            Value::Object(fields) => {
+                fields.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
             other => Err(DeError::custom(format!("expected object, got {other:?}"))),
         }
     }

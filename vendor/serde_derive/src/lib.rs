@@ -169,7 +169,9 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
     };
     i += 1;
     if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("`{name}` is generic; the vendored serde derive only supports concrete types"));
+        return Err(format!(
+            "`{name}` is generic; the vendored serde derive only supports concrete types"
+        ));
     }
     match (kind.as_str(), tokens.get(i)) {
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
@@ -238,7 +240,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Enum { name, variants } => {
             let arms: String = variants
                 .iter()
-                .map(|v| format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"))
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{

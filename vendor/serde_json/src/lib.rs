@@ -157,10 +157,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
@@ -207,11 +204,11 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error::new("invalid utf-8 in number"))?;
         if is_float {
-            text.parse::<f64>().map(Value::Float).map_err(|e| Error::new(e))
+            text.parse::<f64>().map(Value::Float).map_err(Error::new)
         } else if text.starts_with('-') {
-            text.parse::<i64>().map(Value::Int).map_err(|e| Error::new(e))
+            text.parse::<i64>().map(Value::Int).map_err(Error::new)
         } else {
-            text.parse::<u64>().map(Value::UInt).map_err(|e| Error::new(e))
+            text.parse::<u64>().map(Value::UInt).map_err(Error::new)
         }
     }
 
