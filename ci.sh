@@ -16,4 +16,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Kernel-equivalence sweep: the tensor suite's bitwise serial-vs-parallel
+# tests must hold under a real single-thread pool and a real 8-wide pool,
+# not just the in-process width override.
+echo "==> HIERGAT_THREADS=1 cargo test -q -p hiergat-tensor -p parallel"
+HIERGAT_THREADS=1 cargo test -q -p hiergat-tensor -p parallel
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor -p parallel"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor -p parallel
+
 echo "==> ci gate passed"

@@ -1,0 +1,190 @@
+//! Serial-vs-parallel kernel timings plus an analyzer-estimate audit.
+//!
+//! Emits `BENCH_kernels.json` in the working directory with, per kernel:
+//! best-of-N serial and pooled wall times, the speedup, a bitwise-equality
+//! verdict (the pool must not change a single ULP), and — for matmul — the
+//! static analyzer's FLOP estimate next to an instrumented count of the
+//! floating-point operations the kernel actually executes.
+//!
+//! Numbers are honest for the machine they ran on: on a single hardware
+//! thread the pool has no workers and `speedup` hovers around 1.0.
+
+use hiergat_tensor::{cost, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const REPS: usize = 7;
+
+/// Best-of-`REPS` wall time in seconds.
+fn time_best<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("REPS > 0"))
+}
+
+/// Counts the floating-point ops a zero-skipping matmul actually performs:
+/// one multiply and one add per inner-product term with a non-zero left
+/// operand — the same contract as the production kernel. `out_cols` is the
+/// output width (`b.cols()` for `A B`, `b.rows()` for `A B^T`).
+fn measured_matmul_flops(a: &Tensor, out_cols: usize) -> u64 {
+    let (r, k) = a.shape();
+    let mut ops = 0u64;
+    for i in 0..r {
+        for p in 0..k {
+            if a.get(i, p) != 0.0 {
+                ops += 2 * out_cols as u64;
+            }
+        }
+    }
+    ops
+}
+
+struct KernelRow {
+    name: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+    bitwise_equal: bool,
+    analyzer_flops: u64,
+    measured_flops: u64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.serial_s / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+
+    fn flop_rel_err(&self) -> f64 {
+        if self.measured_flops == 0 {
+            return 0.0;
+        }
+        let (a, m) = (self.analyzer_flops as f64, self.measured_flops as f64);
+        (a - m).abs() / m
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"bitwise_equal\": {}, \"analyzer_flops\": {}, \
+             \"measured_flops\": {}, \"flop_rel_err\": {:.4}}}",
+            self.name,
+            self.serial_s * 1e3,
+            self.parallel_s * 1e3,
+            self.speedup(),
+            self.bitwise_equal,
+            self.analyzer_flops,
+            self.measured_flops,
+            self.flop_rel_err(),
+        )
+    }
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn main() {
+    let threads = parallel::threads();
+    let mut rng = StdRng::seed_from_u64(0x6b65);
+    let mut rows = Vec::new();
+
+    // 256^3 matmul — the acceptance workload.
+    let a = Tensor::rand_normal(256, 256, 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(256, 256, 0.0, 1.0, &mut rng);
+    let (ser_s, ser) = time_best(|| a.matmul_serial(&b));
+    let (par_s, par) = time_best(|| a.matmul(&b));
+    rows.push(KernelRow {
+        name: "matmul_256x256x256",
+        serial_s: ser_s,
+        parallel_s: par_s,
+        bitwise_equal: bits(&ser) == bits(&par),
+        analyzer_flops: cost::matmul_flops(256, 256, 256),
+        measured_flops: measured_matmul_flops(&a, b.cols()),
+    });
+
+    // Fused A B^T (attention scoring shape: seq 128, head dim 64).
+    let q = Tensor::rand_normal(128, 64, 0.0, 1.0, &mut rng);
+    let k = Tensor::rand_normal(128, 64, 0.0, 1.0, &mut rng);
+    let (ser_s, ser) = time_best(|| q.matmul_nt_serial(&k));
+    let (par_s, par) = time_best(|| q.matmul_nt(&k));
+    rows.push(KernelRow {
+        name: "matmul_nt_128x64_scores",
+        serial_s: ser_s,
+        parallel_s: par_s,
+        bitwise_equal: bits(&ser) == bits(&par),
+        analyzer_flops: cost::matmul_flops(128, 64, 128),
+        measured_flops: measured_matmul_flops(&q, k.rows()),
+    });
+
+    // Full attention scoring: softmax(Q K^T) — the row-parallel composite.
+    let (ser_s, ser) = time_best(|| q.matmul_nt_serial(&k).softmax_rows_serial());
+    let (par_s, par) = time_best(|| q.matmul_nt(&k).softmax_rows());
+    rows.push(KernelRow {
+        name: "attention_scores_softmax_128",
+        serial_s: ser_s,
+        parallel_s: par_s,
+        bitwise_equal: bits(&ser) == bits(&par),
+        analyzer_flops: cost::matmul_flops(128, 64, 128) + cost::softmax_flops(128, 128),
+        measured_flops: 0, // transcendental ops are modeled, not counted
+    });
+
+    // Row-wise softmax on a larger block.
+    let s = Tensor::rand_normal(512, 256, 0.0, 1.0, &mut rng);
+    let (ser_s, ser) = time_best(|| s.softmax_rows_serial());
+    let (par_s, par) = time_best(|| s.softmax_rows());
+    rows.push(KernelRow {
+        name: "softmax_rows_512x256",
+        serial_s: ser_s,
+        parallel_s: par_s,
+        bitwise_equal: bits(&ser) == bits(&par),
+        analyzer_flops: cost::softmax_flops(512, 256),
+        measured_flops: 0,
+    });
+
+    println!("kernel timings at {threads} thread(s) (HIERGAT_THREADS to override):");
+    for r in &rows {
+        println!(
+            "  {:<30} serial {:>8.3} ms  pooled {:>8.3} ms  speedup {:>5.2}x  bitwise {}",
+            r.name,
+            r.serial_s * 1e3,
+            r.parallel_s * 1e3,
+            r.speedup(),
+            if r.bitwise_equal { "ok" } else { "MISMATCH" },
+        );
+        if r.measured_flops > 0 {
+            println!(
+                "  {:<30} analyzer {} FLOPs vs measured {} ({:.2}% off)",
+                "",
+                r.analyzer_flops,
+                r.measured_flops,
+                r.flop_rel_err() * 100.0,
+            );
+        }
+    }
+
+    let all_bitwise = rows.iter().all(|r| r.bitwise_equal);
+    let max_rel_err = rows.iter().map(KernelRow::flop_rel_err).fold(0.0f64, f64::max);
+    assert!(all_bitwise, "pooled kernels must match serial bitwise");
+    assert!(max_rel_err <= 0.10, "analyzer FLOP estimate off by {:.1}%", max_rel_err * 100.0);
+
+    let body: Vec<String> = rows.iter().map(KernelRow::json).collect();
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"all_bitwise_equal\": {all_bitwise},\n  \
+         \"max_flop_rel_err\": {max_rel_err:.4},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        body.join(",\n"),
+    );
+    // cargo runs benches with cwd = package dir; anchor at the workspace root.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    std::fs::write(&out, &json).expect("write BENCH_kernels.json");
+    println!("wrote {}", out.display());
+}

@@ -35,7 +35,18 @@ mod args;
 use args::Args;
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `std::env::args()` panics on non-UTF-8 argv entries (easy to hit with
+    // byte-string paths on Unix); collect OsStrings and reject them cleanly.
+    let mut argv = Vec::new();
+    for (i, arg) in std::env::args_os().skip(1).enumerate() {
+        match arg.into_string() {
+            Ok(s) => argv.push(s),
+            Err(bad) => {
+                eprintln!("error: argument {} is not valid UTF-8: {bad:?}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -313,13 +324,13 @@ mod tests {
         let argv: Vec<String> = [
             "train",
             "--train",
-            paths[0].to_str().unwrap(),
+            paths[0].display().to_string().as_str(),
             "--valid",
-            paths[1].to_str().unwrap(),
+            paths[1].display().to_string().as_str(),
             "--test",
-            paths[2].to_str().unwrap(),
+            paths[2].display().to_string().as_str(),
             "--model",
-            model_dir.to_str().unwrap(),
+            model_dir.display().to_string().as_str(),
             "--tier",
             "dbert",
             "--epochs",
@@ -333,9 +344,9 @@ mod tests {
         let argv: Vec<String> = [
             "predict",
             "--model",
-            model_dir.to_str().unwrap(),
+            model_dir.display().to_string().as_str(),
             "--pairs",
-            paths[2].to_str().unwrap(),
+            paths[2].display().to_string().as_str(),
         ]
         .iter()
         .map(ToString::to_string)

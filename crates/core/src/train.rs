@@ -12,9 +12,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
 
-/// Number of worker threads for parallel scoring.
+/// Number of worker threads for parallel scoring. Follows the same
+/// `HIERGAT_THREADS` override as the kernel pool so one knob governs both
+/// inter-pair scoring fan-out and intra-op parallelism.
 fn n_workers() -> usize {
-    std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(8)
+    parallel::configured_threads().min(8)
 }
 
 /// Outcome of a training run.
@@ -68,14 +70,15 @@ pub fn score_pairs(model: &HierGat, pairs: &[EntityPair]) -> (Vec<f32>, Vec<bool
 
 /// Pre-flight static analysis: records one training example's graph in
 /// shape-only mode and reports wiring problems (shape violations, dead
-/// parameters, unused nodes) to stderr before any kernel runs. Returns the
-/// report so callers (CLI `--analyze`, tests) can inspect it.
+/// parameters, unused nodes) to stderr before any kernel runs. Also prints
+/// the analyzer's per-example cost budget (forward FLOPs, share eligible
+/// for the thread pool, peak live bytes) so epoch-time surprises surface
+/// before the first kernel. Returns the report so callers (CLI `--analyze`,
+/// tests) can inspect it.
 pub fn preflight_pairwise(model: &HierGat, ds: &PairDataset) -> Option<hiergat_nn::GraphReport> {
     let pair = ds.train.first()?;
     let report = model.analyze_pair(pair);
-    if !report.is_clean() {
-        eprintln!("[preflight] {}: static analysis found issues\n{report}", ds.name);
-    }
+    report_preflight(&ds.name, ds.train.len(), &report);
     Some(report)
 }
 
@@ -86,10 +89,24 @@ pub fn preflight_collective(
 ) -> Option<hiergat_nn::GraphReport> {
     let ex = ds.train.first()?;
     let report = model.analyze_collective(ex);
-    if !report.is_clean() {
-        eprintln!("[preflight] {}: static analysis found issues\n{report}", ds.name);
-    }
+    report_preflight(&ds.name, ds.train.len(), &report);
     Some(report)
+}
+
+fn report_preflight(name: &str, train_len: usize, report: &hiergat_nn::GraphReport) {
+    let cost = &report.cost;
+    eprintln!(
+        "[preflight] {name}: {}/example forward ({} pool-eligible at {} thread(s)), \
+         peak live {}, ~{} per epoch over {train_len} examples",
+        hiergat_nn::analyze::fmt_flops(cost.total_flops),
+        hiergat_nn::analyze::fmt_flops(cost.parallel_flops),
+        cost.split,
+        hiergat_nn::analyze::fmt_bytes(cost.peak_bytes),
+        hiergat_nn::analyze::fmt_flops(cost.total_flops.saturating_mul(train_len as u64)),
+    );
+    if !report.is_clean() {
+        eprintln!("[preflight] {name}: static analysis found issues\n{report}");
+    }
 }
 
 /// Positive-class weight derived from a split's label balance

@@ -183,6 +183,24 @@ impl MiniLm {
         let h = self.encode_ids(t, ps, ids, train, rng);
         t.row(h, 0)
     }
+
+    /// Analyzer cost budget for encoding a `seq_len`-token sequence: records
+    /// the forward pass on a shape-only tape (no kernels run) and returns the
+    /// per-op FLOP and peak-memory estimates evaluated at `split` threads.
+    /// This is what lets callers pick a tier that fits their time budget
+    /// before paying for a real forward.
+    pub fn encoding_cost(
+        &self,
+        ps: &ParamStore,
+        seq_len: usize,
+        split: usize,
+    ) -> hiergat_nn::CostReport {
+        let mut t = Tape::shape_only();
+        let ids = vec![0usize; seq_len.clamp(1, self.config.max_len)];
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let _ = self.encode_ids(&mut t, ps, &ids, false, &mut rng);
+        hiergat_nn::cost_analysis(&t, split)
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +270,23 @@ mod tests {
         let ea = t.value(ha).slice_rows(1, 1);
         let eb = t.value(hb).slice_rows(1, 1);
         assert!(!ea.allclose(&eb, 1e-4), "contextual embeddings must differ");
+    }
+
+    #[test]
+    fn encoding_cost_grows_with_sequence_length() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamStore::new();
+        let lm = MiniLm::new(&mut ps, LmTier::MiniDistil.config(), &mut rng);
+        let short = lm.encoding_cost(&ps, 4, 1);
+        let long = lm.encoding_cost(&ps, 64, 1);
+        assert!(long.total_flops > short.total_flops);
+        assert!(long.peak_bytes > short.peak_bytes);
+        // Attention scoring (matmul_nt) must show up in the per-op budget.
+        assert!(long.per_op.iter().any(|o| o.op_name == "matmul_nt" && o.flops > 0));
+        // Clipping: past max_len the budget saturates.
+        let over = lm.encoding_cost(&ps, 10_000, 1);
+        let max = lm.encoding_cost(&ps, lm.config().max_len, 1);
+        assert_eq!(over.total_flops, max.total_flops);
     }
 
     #[test]

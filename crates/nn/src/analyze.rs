@@ -18,9 +18,15 @@
 //!    tape's own `debug_assertions`-gated checks (in `push` and in
 //!    `backward`) use the same op naming for forward values and backward
 //!    adjoints.
+//! 4. **Cost model** — [`cost_analysis`] estimates per-op forward FLOPs and
+//!    liveness-based peak value memory using the same formulas
+//!    (`hiergat_tensor::cost`) the kernels consult to pick serial-vs-pool
+//!    execution, so the report states which ops will actually go parallel
+//!    at the configured thread count.
 
 use crate::params::ParamStore;
 use crate::tape::{Op, Tape, Var};
+use hiergat_tensor::cost as kcost;
 use std::fmt;
 
 /// A shape-constraint failure discovered during shape-only recording.
@@ -83,6 +89,78 @@ impl fmt::Display for SentinelHit {
     }
 }
 
+/// Estimated cost of one recorded op (forward pass only).
+#[derive(Debug, Clone)]
+pub struct OpCost {
+    /// Index of the node on the tape.
+    pub op_index: usize,
+    /// The op's name.
+    pub op_name: &'static str,
+    /// Estimated forward FLOPs (see `hiergat_tensor::cost` conventions).
+    pub flops: u64,
+    /// Bytes of the op's output value (`f32` elements).
+    pub out_bytes: u64,
+    /// `true` when the op's kernel will take the thread-pool path at the
+    /// split width the report was computed for (same `plan_pieces` decision
+    /// the kernel itself makes).
+    pub parallel: bool,
+}
+
+/// Per-graph cost budget: FLOP totals and liveness-based peak memory.
+#[derive(Debug, Default)]
+pub struct CostReport {
+    /// One entry per tape node, in recording order.
+    pub per_op: Vec<OpCost>,
+    /// Sum of all per-op FLOP estimates.
+    pub total_flops: u64,
+    /// FLOPs in ops whose kernels run on the pool (at `split`).
+    pub parallel_flops: u64,
+    /// Peak of the total live node-value bytes, assuming each value is
+    /// freed right after its last consumer runs (parameters and gradients
+    /// are owned elsewhere and not counted).
+    pub peak_bytes: u64,
+    /// Split width the serial-vs-parallel decisions were evaluated at.
+    pub split: usize,
+}
+
+impl CostReport {
+    /// The `n` costliest ops, descending by FLOPs (ties: earlier op first).
+    pub fn top_ops(&self, n: usize) -> Vec<&OpCost> {
+        let mut ranked: Vec<&OpCost> = self.per_op.iter().filter(|o| o.flops > 0).collect();
+        ranked.sort_by(|x, y| y.flops.cmp(&x.flops).then(x.op_index.cmp(&y.op_index)));
+        ranked.truncate(n);
+        ranked
+    }
+}
+
+/// Formats a FLOP count with a metric prefix (e.g. `33.55 MFLOP`).
+pub fn fmt_flops(n: u64) -> String {
+    let f = n as f64;
+    if f >= 1e9 {
+        format!("{:.2} GFLOP", f / 1e9)
+    } else if f >= 1e6 {
+        format!("{:.2} MFLOP", f / 1e6)
+    } else if f >= 1e3 {
+        format!("{:.2} kFLOP", f / 1e3)
+    } else {
+        format!("{n} FLOP")
+    }
+}
+
+/// Formats a byte count with a binary prefix (e.g. `1.4 MiB`).
+pub fn fmt_bytes(n: u64) -> String {
+    let f = n as f64;
+    if f >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} GiB", f / (1024.0 * 1024.0 * 1024.0))
+    } else if f >= 1024.0 * 1024.0 {
+        format!("{:.2} MiB", f / (1024.0 * 1024.0))
+    } else if f >= 1024.0 {
+        format!("{:.2} KiB", f / 1024.0)
+    } else {
+        format!("{n} B")
+    }
+}
+
 /// The combined result of the analysis passes over one recorded graph.
 #[derive(Debug, Default)]
 pub struct GraphReport {
@@ -102,6 +180,8 @@ pub struct GraphReport {
     /// Structural problems in the model's *input* graph (e.g. HHG builder
     /// invariant violations), filled in by callers that own such a graph.
     pub graph_issues: Vec<String>,
+    /// Per-op FLOP / peak-memory budget (see [`cost_analysis`]).
+    pub cost: CostReport,
 }
 
 impl GraphReport {
@@ -169,6 +249,31 @@ impl fmt::Display for GraphReport {
                 writeln!(f, "    {g}")?;
             }
         }
+        let cost = &self.cost;
+        if !cost.per_op.is_empty() {
+            let pct = if cost.total_flops > 0 {
+                100.0 * cost.parallel_flops as f64 / cost.total_flops as f64
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "  cost: {} forward ({pct:.0}% on the pool at {} thread(s)), peak live {}",
+                fmt_flops(cost.total_flops),
+                cost.split,
+                fmt_bytes(cost.peak_bytes)
+            )?;
+            for o in cost.top_ops(3) {
+                writeln!(
+                    f,
+                    "    op #{} ({}): {}{}",
+                    o.op_index,
+                    o.op_name,
+                    fmt_flops(o.flops),
+                    if o.parallel { ", parallel" } else { "" }
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -224,6 +329,15 @@ pub(crate) fn infer_shape(tape: &Tape, op: &Op) -> ((usize, usize), Option<Strin
                 (out, None)
             } else {
                 (out, Some(format!("inner dimensions differ: {sa:?} x {sb:?}")))
+            }
+        }
+        Op::MatmulNt(a, b) => {
+            let (sa, sb) = (s(*a), s(*b));
+            let out = (sa.0, sb.0);
+            if sa.1 == sb.1 {
+                (out, None)
+            } else {
+                (out, Some(format!("trailing dimensions differ: {sa:?} x {sb:?}^T")))
             }
         }
         Op::Transpose(a) => {
@@ -399,7 +513,129 @@ pub fn analyze_graph(tape: &Tape, loss: Var, ps: &ParamStore) -> GraphReport {
         unused_nodes,
         sentinel_hits: finite_audit(tape),
         graph_issues: Vec::new(),
+        cost: cost_analysis(tape, parallel::configured_threads()),
     }
+}
+
+/// Estimated forward FLOPs of the op plus the row count its kernel splits
+/// on (0 for ops that never take the pool path).
+fn op_flops_and_rows(tape: &Tape, op: &Op) -> (u64, usize) {
+    let s = |v: Var| tape.value(v).shape();
+    let elems = |v: Var| {
+        let (r, c) = s(v);
+        r * c
+    };
+    match op {
+        Op::Input
+        | Op::Param(_)
+        | Op::Transpose(_)
+        | Op::ConcatCols(_)
+        | Op::ConcatRows(_)
+        | Op::SliceCols { .. }
+        | Op::SliceRows { .. }
+        | Op::GatherRows { .. } => (0, 0),
+        Op::Add(a, _)
+        | Op::Sub(a, _)
+        | Op::Mul(a, _)
+        | Op::AddRow(a, _)
+        | Op::AddCol(a, _)
+        | Op::MulCol(a, _)
+        | Op::Scale(a, _)
+        | Op::AddScalar(a)
+        | Op::Relu(a)
+        | Op::LeakyRelu(a, _)
+        | Op::SumAll(a)
+        | Op::MeanAll(a)
+        | Op::SumRows(a)
+        | Op::SumCols(a) => (kcost::elementwise_flops(elems(*a), 1), 0),
+        Op::Tanh(a) | Op::Sigmoid(a) | Op::Gelu(a) => {
+            (kcost::elementwise_flops(elems(*a), kcost::TRANSCENDENTAL_FLOPS), 0)
+        }
+        Op::Dropout { x, .. } => (kcost::elementwise_flops(elems(*x), 1), 0),
+        Op::Matmul(a, b) => {
+            let (sa, sb) = (s(*a), s(*b));
+            (kcost::matmul_flops(sa.0, sa.1, sb.1), sa.0)
+        }
+        Op::MatmulNt(a, b) => {
+            let (sa, sb) = (s(*a), s(*b));
+            (kcost::matmul_flops(sa.0, sa.1, sb.0), sa.0)
+        }
+        Op::Softmax(a) => {
+            let (r, c) = s(*a);
+            (kcost::softmax_flops(r, c), r)
+        }
+        Op::LayerNorm { x, .. } => {
+            let (r, c) = s(*x);
+            (kcost::layer_norm_flops(r, c), r)
+        }
+        Op::CrossEntropyLogits { logits, .. } | Op::WeightedCrossEntropyLogits { logits, .. } => {
+            // log-softmax plus the per-row pick/scale.
+            let (r, c) = s(*logits);
+            (kcost::softmax_flops(r, c) + 2 * r as u64, r)
+        }
+        Op::BceWithLogits { logits, .. } => {
+            let (r, _) = s(*logits);
+            (r as u64 * (2 * kcost::TRANSCENDENTAL_FLOPS + 4), 0)
+        }
+        Op::MseLoss { pred, .. } => (kcost::elementwise_flops(elems(*pred), 3), 0),
+    }
+}
+
+/// Per-op FLOP and memory estimates over any recorded tape (shape-only
+/// tapes included — only shapes are read, never values).
+///
+/// `split` is the thread count the serial-vs-parallel decision is evaluated
+/// at; pass [`parallel::configured_threads`] to predict the real run. Peak
+/// memory assumes each node's value dies right after its last consumer, the
+/// same liveness rule a freeing executor would use; forward-only (backward
+/// adjoints and parameter storage are not modeled).
+pub fn cost_analysis(tape: &Tape, split: usize) -> CostReport {
+    let n = tape.len();
+    let mut per_op = Vec::with_capacity(n);
+    let mut total_flops = 0u64;
+    let mut parallel_flops = 0u64;
+    for i in 0..n {
+        let op = tape.op_at(i);
+        let (flops, rows) = op_flops_and_rows(tape, op);
+        let is_parallel = kcost::plan_pieces(flops, rows, split) > 1;
+        let (r, c) = tape.value(Var::from_index(i)).shape();
+        total_flops += flops;
+        if is_parallel {
+            parallel_flops += flops;
+        }
+        per_op.push(OpCost {
+            op_index: i,
+            op_name: op.name(),
+            flops,
+            out_bytes: 4 * (r * c) as u64,
+            parallel: is_parallel,
+        });
+    }
+
+    // Liveness: node `v` stays live from its creation step through the last
+    // step that reads it (at least its own step; the final node — usually
+    // the loss — is freed immediately after, which cannot lower the peak).
+    let mut last_use: Vec<usize> = (0..n).collect();
+    for i in 0..n {
+        for v in tape.op_at(i).inputs() {
+            last_use[v.index()] = i;
+        }
+    }
+    let mut free_at: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (node, &lu) in last_use.iter().enumerate() {
+        free_at[lu].push(node);
+    }
+    let mut live = 0u64;
+    let mut peak_bytes = 0u64;
+    for i in 0..n {
+        live += per_op[i].out_bytes;
+        peak_bytes = peak_bytes.max(live);
+        for &node in &free_at[i] {
+            live -= per_op[node].out_bytes;
+        }
+    }
+
+    CostReport { per_op, total_flops, parallel_flops, peak_bytes, split }
 }
 
 /// Scans every recorded forward value and reports non-finite tensors, in
@@ -549,6 +785,84 @@ mod tests {
         let mut t = Tape::new();
         let big = t.input(Tensor::full(1, 1, f32::MAX));
         let _ = t.add(big, big); // overflows to +inf
+    }
+
+    #[test]
+    fn cost_analysis_counts_matmul_flops_exactly() {
+        let mut t = Tape::shape_only();
+        let a = t.input(Tensor::zeros(64, 128));
+        let b = t.input(Tensor::zeros(128, 32));
+        let y = t.matmul(a, b);
+        let _ = t.softmax(y);
+        let cost = cost_analysis(&t, 8);
+        let mm = &cost.per_op[2];
+        assert_eq!(mm.op_name, "matmul");
+        assert_eq!(mm.flops, 2 * 64 * 128 * 32);
+        assert_eq!(mm.out_bytes, 4 * 64 * 32);
+        assert!(mm.parallel, "a 512K-FLOP matmul should take the pool path at 8 threads");
+        assert_eq!(cost.total_flops, cost.per_op.iter().map(|o| o.flops).sum::<u64>());
+    }
+
+    #[test]
+    fn cost_analysis_serial_split_marks_nothing_parallel() {
+        let mut t = Tape::shape_only();
+        let a = t.input(Tensor::zeros(64, 128));
+        let b = t.input(Tensor::zeros(128, 32));
+        let _ = t.matmul(a, b);
+        let cost = cost_analysis(&t, 1);
+        assert_eq!(cost.parallel_flops, 0);
+        assert!(cost.per_op.iter().all(|o| !o.parallel));
+    }
+
+    #[test]
+    fn cost_analysis_peak_tracks_liveness_not_sum() {
+        // `x` is consumed again by the residual add, so the peak moment is
+        // x + a + b live at once; afterwards x and a are freed, so the naive
+        // sum over all outputs overstates the real footprint.
+        let mut t = Tape::shape_only();
+        let x = t.input(Tensor::zeros(100, 100)); // 40_000 B
+        let a = t.tanh(x); // 40_000 B
+        let b = t.add(x, a); // 40_000 B, frees x and a
+        let _loss = t.sum_all(b); // 4 B, frees b
+        let cost = cost_analysis(&t, 1);
+        assert_eq!(cost.peak_bytes, 3 * 40_000);
+        let total: u64 = cost.per_op.iter().map(|o| o.out_bytes).sum();
+        assert!(cost.peak_bytes < total);
+    }
+
+    #[test]
+    fn matmul_nt_shape_rule_and_cost_match_matmul_of_transpose() {
+        let mut t = Tape::shape_only();
+        let q = t.input(Tensor::zeros(7, 16));
+        let k = t.input(Tensor::zeros(9, 16));
+        let s1 = t.matmul_nt(q, k);
+        let kt = t.transpose(k);
+        let s2 = t.matmul(q, kt);
+        assert_eq!(t.value(s1).shape(), (7, 9));
+        assert_eq!(t.value(s1).shape(), t.value(s2).shape());
+        assert!(t.shape_violations().is_empty());
+        let cost = cost_analysis(&t, 1);
+        assert_eq!(cost.per_op[2].flops, cost.per_op[4].flops);
+
+        // Mismatched trailing dims are a violation, not a panic.
+        let bad = t.input(Tensor::zeros(3, 5));
+        let _ = t.matmul_nt(q, bad);
+        assert_eq!(t.shape_violations().len(), 1);
+    }
+
+    #[test]
+    fn report_display_includes_cost_summary() {
+        let ps = ParamStore::new();
+        let mut t = Tape::shape_only();
+        let a = t.input(Tensor::zeros(64, 128));
+        let b = t.input(Tensor::zeros(128, 32));
+        let y = t.matmul(a, b);
+        let loss = t.sum_all(y);
+        let report = analyze_graph(&t, loss, &ps);
+        let text = report.to_string();
+        assert!(text.contains("cost:"), "{text}");
+        assert!(text.contains("peak live"), "{text}");
+        assert!(text.contains("matmul"), "{text}");
     }
 
     #[test]

@@ -53,6 +53,9 @@ const VERSION: u16 = 1;
 
 /// Big-endian header fields, little-endian tensor payloads — matching the
 /// original on-disk layout so old checkpoints keep loading.
+///
+/// Every read is fallible: a short or corrupt buffer surfaces as
+/// [`CheckpointError::Malformed`], never as a slice-index panic.
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -63,26 +66,23 @@ impl<'a> Reader<'a> {
         Self { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(CheckpointError::Malformed("unexpected end of buffer"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
     }
 
-    fn take(&mut self, n: usize) -> &'a [u8] {
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        out
+    fn get_u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2-byte slice")))
     }
 
-    fn get_u16(&mut self) -> u16 {
-        u16::from_be_bytes(self.take(2).try_into().unwrap())
-    }
-
-    fn get_u32(&mut self) -> u32 {
-        u32::from_be_bytes(self.take(4).try_into().unwrap())
-    }
-
-    fn get_f32_le(&mut self) -> f32 {
-        f32::from_le_bytes(self.take(4).try_into().unwrap())
+    fn get_u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4-byte slice")))
     }
 }
 
@@ -107,39 +107,36 @@ pub fn to_bytes(store: &ParamStore) -> Vec<u8> {
 }
 
 /// Decodes a binary checkpoint into a fresh [`ParamStore`].
+///
+/// Truncated or corrupt input (short reads, bad magic/version, absurd shape
+/// headers) returns [`CheckpointError::Malformed`]; this function never
+/// panics on untrusted bytes, and the tensor payload is bounds-checked
+/// against the buffer *before* any allocation is sized from the header.
 pub fn from_bytes(buf: &[u8]) -> Result<ParamStore, CheckpointError> {
     let mut buf = Reader::new(buf);
-    if buf.remaining() < 10 {
-        return Err(CheckpointError::Malformed("header too short"));
-    }
-    if buf.get_u32() != MAGIC {
+    if buf.get_u32()? != MAGIC {
         return Err(CheckpointError::Malformed("bad magic"));
     }
-    if buf.get_u16() != VERSION {
+    if buf.get_u16()? != VERSION {
         return Err(CheckpointError::Malformed("unsupported version"));
     }
-    let count = buf.get_u32() as usize;
+    let count = buf.get_u32()? as usize;
     let mut store = ParamStore::new();
     for _ in 0..count {
-        if buf.remaining() < 2 {
-            return Err(CheckpointError::Malformed("truncated name length"));
-        }
-        let name_len = buf.get_u16() as usize;
-        if buf.remaining() < name_len + 8 {
-            return Err(CheckpointError::Malformed("truncated entry"));
-        }
-        let name = String::from_utf8(buf.take(name_len).to_vec())
+        let name_len = buf.get_u16()? as usize;
+        let name = String::from_utf8(buf.take(name_len)?.to_vec())
             .map_err(|_| CheckpointError::Malformed("non-utf8 name"))?;
-        let rows = buf.get_u32() as usize;
-        let cols = buf.get_u32() as usize;
-        let n = rows * cols;
-        if buf.remaining() < n * 4 {
-            return Err(CheckpointError::Malformed("truncated tensor data"));
-        }
-        let mut data = Vec::with_capacity(n);
-        for _ in 0..n {
-            data.push(buf.get_f32_le());
-        }
+        let rows = buf.get_u32()? as usize;
+        let cols = buf.get_u32()? as usize;
+        let bytes = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(4))
+            .ok_or(CheckpointError::Malformed("tensor size overflow"))?;
+        let payload = buf.take(bytes)?;
+        let data = payload
+            .chunks_exact(4)
+            .map(|le| f32::from_le_bytes(le.try_into().expect("4-byte chunk")))
+            .collect();
         let tensor =
             Tensor::from_vec(rows, cols, data).map_err(|_| CheckpointError::Malformed("shape"))?;
         store.add(name, tensor);
@@ -212,6 +209,37 @@ mod tests {
         let raw = to_bytes(&sample_store());
         let truncated = &raw[0..raw.len() - 5];
         assert!(from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn every_truncated_prefix_errs_instead_of_panicking() {
+        // Regression: the reader used to slice-index panic on short reads.
+        let raw = to_bytes(&sample_store());
+        for len in 0..raw.len() {
+            assert!(from_bytes(&raw[..len]).is_err(), "prefix of {len} bytes must fail cleanly");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut raw = to_bytes(&sample_store());
+        raw[4..6].copy_from_slice(&99u16.to_be_bytes());
+        assert!(matches!(from_bytes(&raw), Err(CheckpointError::Malformed("unsupported version"))));
+    }
+
+    #[test]
+    fn absurd_shape_header_errs_instead_of_allocating() {
+        // A crafted header claiming a u32::MAX x u32::MAX tensor must fail
+        // on the size check, not attempt an 16-exabyte allocation.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC.to_be_bytes());
+        raw.extend_from_slice(&VERSION.to_be_bytes());
+        raw.extend_from_slice(&1u32.to_be_bytes());
+        raw.extend_from_slice(&1u16.to_be_bytes());
+        raw.push(b'w');
+        raw.extend_from_slice(&u32::MAX.to_be_bytes());
+        raw.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(from_bytes(&raw).is_err());
     }
 
     #[test]

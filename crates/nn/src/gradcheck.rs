@@ -212,6 +212,28 @@ mod tests {
     }
 
     #[test]
+    fn matmul_nt_passes() {
+        // Dedicated check for the fused `A B^T` op used by attention scoring:
+        // both operands are parameters so dA = G B and dB = G^T A are exercised.
+        let mut rng = seeded(6);
+        let mut ps = ParamStore::new();
+        let qa = ps.add("q", Tensor::rand_normal(4, 3, 0.0, 0.6, &mut rng));
+        let ka = ps.add("k", Tensor::rand_normal(5, 3, 0.0, 0.6, &mut rng));
+        assert_gradients_ok(
+            &mut ps,
+            |t, ps| {
+                let q = t.param(ps, qa);
+                let k = t.param(ps, ka);
+                let scores = t.matmul_nt(q, k); // 4 x 5
+                let att = t.softmax(scores);
+                t.mean_all(att)
+            },
+            1e-3,
+            2e-2,
+        );
+    }
+
+    #[test]
     fn structural_ops_pass() {
         let mut rng = seeded(5);
         let mut ps = ParamStore::new();

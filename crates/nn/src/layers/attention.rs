@@ -77,8 +77,7 @@ impl MultiHeadSelfAttention {
             let qh = t.slice_cols(q, h * dh, dh);
             let kh = t.slice_cols(k, h * dh, dh);
             let vh = t.slice_cols(v, h * dh, dh);
-            let kt = t.transpose(kh);
-            let scores = t.matmul(qh, kt);
+            let scores = t.matmul_nt(qh, kh);
             let scores = t.scale(scores, scale);
             let att = t.softmax(scores);
             if let Some(out) = attn_out.as_deref_mut() {

@@ -23,7 +23,8 @@ mod tape;
 mod proptests;
 
 pub use analyze::{
-    analyze_graph, finite_audit, DeadParam, GraphReport, SentinelHit, ShapeViolation, UnusedNode,
+    analyze_graph, cost_analysis, finite_audit, CostReport, DeadParam, GraphReport, OpCost,
+    SentinelHit, ShapeViolation, UnusedNode,
 };
 pub use layers::{
     GruCell, LayerNorm, Linear, MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer,

@@ -52,6 +52,8 @@ pub(crate) enum Op {
     /// Row `i` of lhs scaled by `col[i]`.
     MulCol(Var, Var),
     Matmul(Var, Var),
+    /// `a * b^T` without materializing the transpose (attention scoring).
+    MatmulNt(Var, Var),
     Transpose(Var),
     SumAll(Var),
     MeanAll(Var),
@@ -123,6 +125,7 @@ impl Op {
             Self::AddCol(..) => "add_col",
             Self::MulCol(..) => "mul_col",
             Self::Matmul(..) => "matmul",
+            Self::MatmulNt(..) => "matmul_nt",
             Self::Transpose(_) => "transpose",
             Self::SumAll(_) => "sum_all",
             Self::MeanAll(_) => "mean_all",
@@ -171,7 +174,8 @@ impl Op {
             | Self::AddRow(a, b)
             | Self::AddCol(a, b)
             | Self::MulCol(a, b)
-            | Self::Matmul(a, b) => vec![*a, *b],
+            | Self::Matmul(a, b)
+            | Self::MatmulNt(a, b) => vec![*a, *b],
             Self::LayerNorm { x, gamma, beta, .. } => vec![*x, *gamma, *beta],
             Self::ConcatCols(parts) | Self::ConcatRows(parts) => parts.clone(),
             Self::SliceCols { x, .. } | Self::SliceRows { x, .. } | Self::Dropout { x, .. } => {
@@ -358,6 +362,12 @@ impl Tape {
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         self.record(Op::Matmul(a, b), |t| t.value(a).matmul(t.value(b)))
+    }
+
+    /// `a (r x k) * b^T (c x k) -> r x c` without materializing the
+    /// transpose — the attention-scoring hot path (`Q K^T`).
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        self.record(Op::MatmulNt(a, b), |t| t.value(a).matmul_nt(t.value(b)))
     }
 
     /// Matrix transpose.
@@ -633,6 +643,13 @@ impl Tape {
                     // dA = G B^T ; dB = A^T G
                     let da = g.matmul_nt(self.value(*b));
                     let db = self.value(*a).matmul_tn(&g);
+                    accum(&mut grads, *a, da);
+                    accum(&mut grads, *b, db);
+                }
+                Op::MatmulNt(a, b) => {
+                    // out = A B^T : dA = G B ; dB = G^T A
+                    let da = g.matmul(self.value(*b));
+                    let db = g.matmul_tn(self.value(*a));
                     accum(&mut grads, *a, da);
                     accum(&mut grads, *b, db);
                 }

@@ -31,6 +31,7 @@
 //! assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
 //! ```
 
+pub mod cost;
 mod dense;
 mod init;
 mod ops;

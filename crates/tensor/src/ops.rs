@@ -1,6 +1,132 @@
 //! Elementwise arithmetic, broadcasting, matrix products, and nonlinearities.
+//!
+//! # Parallel execution and determinism
+//!
+//! The heavy kernels (`matmul` family, row-wise softmax/log-softmax) split
+//! their **output rows** into contiguous blocks and run the blocks on the
+//! vendored `parallel` pool when the [`crate::cost`] model says the op is
+//! big enough to amortize the scheduling overhead. Each output element is
+//! always accumulated by exactly one task in exactly the same order as the
+//! serial loop, so results are **bitwise identical** across thread counts
+//! and run-to-run. The `*_serial` variants force a single block and exist
+//! as the reference point for the equivalence suite and benches.
 
-use crate::Tensor;
+use crate::{cost, Tensor};
+
+/// Splits the `r`-row output buffer `out` (row width `w` elements) into
+/// [`cost::plan_pieces`] contiguous row blocks and runs `f(first_row,
+/// block)` for each, on the pool when more than one piece is planned.
+///
+/// Block geometry depends only on `(r, w, flops)` and the caller's split
+/// width — never on pool availability — so outputs are reproducible.
+/// Callers must guarantee `r > 0`, `w > 0`, and `out.len() == r * w`.
+pub(crate) fn par_row_blocks(
+    r: usize,
+    w: usize,
+    flops: u64,
+    out: &mut [f32],
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let pieces = cost::plan_pieces(flops, r, parallel::current_split());
+    if pieces <= 1 {
+        f(0, out);
+    } else {
+        let rows_per = r.div_ceil(pieces);
+        parallel::par_chunks_mut(out, rows_per * w, |ci, block| f(ci * rows_per, block));
+    }
+}
+
+/// `o_block += a_block * b` for a block of output rows; `a_block` holds the
+/// matching rows of `a`. Cache-friendly `i-k-j` order with a zero-skip.
+fn matmul_rows(a_block: &[f32], b: &[f32], o_block: &mut [f32], k: usize, c: usize) {
+    for (a_row, o_row) in a_block.chunks_exact(k).zip(o_block.chunks_exact_mut(c)) {
+        for (p, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * c..(p + 1) * c];
+            for (o_v, &b_v) in o_row.iter_mut().zip(b_row) {
+                *o_v += a_ik * b_v;
+            }
+        }
+    }
+}
+
+/// `matmul_tn` rows `[i0, i0 + block_rows)` of the output. For each output
+/// row the contraction index `p` ascends exactly as in the historical
+/// serial kernel (including its zero-skip), so restructuring from `p`-outer
+/// to row-of-output order keeps every element bitwise identical.
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    o_block: &mut [f32],
+    i0: usize,
+    k: usize,
+    r: usize,
+    c: usize,
+) {
+    for (di, o_row) in o_block.chunks_exact_mut(c).enumerate() {
+        let i = i0 + di;
+        for p in 0..k {
+            let a_pi = a[p * r + i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * c..(p + 1) * c];
+            for (o_v, &b_v) in o_row.iter_mut().zip(b_row) {
+                *o_v += a_pi * b_v;
+            }
+        }
+    }
+}
+
+/// `matmul_nt` for a block of output rows: dot products written straight
+/// into the output row slice (no per-element bounds-checked `set`).
+fn matmul_nt_rows(a_block: &[f32], b: &[f32], o_block: &mut [f32], k: usize, c: usize) {
+    for (a_row, o_row) in a_block.chunks_exact(k).zip(o_block.chunks_exact_mut(c)) {
+        for (j, o_v) in o_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&a_v, &b_v) in a_row.iter().zip(b_row) {
+                acc += a_v * b_v;
+            }
+            *o_v = acc;
+        }
+    }
+}
+
+/// In-place softmax of one row. See [`Tensor::softmax_rows`] for the
+/// fully-masked-row contract.
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        // Fully masked row: no finite logit to normalize against.
+        if cfg!(debug_assertions) {
+            panic!("softmax_rows: fully masked row (every logit is -inf)");
+        }
+        row.fill(0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// In-place log-softmax of one row.
+fn log_softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+    for v in row.iter_mut() {
+        *v -= log_sum;
+    }
+}
 
 impl Tensor {
     /// Elementwise sum `self + other`.
@@ -115,7 +241,9 @@ impl Tensor {
 
     /// Matrix product `self (r x k) * other (k x c) -> r x c`.
     ///
-    /// Uses the cache-friendly `i-k-j` loop over contiguous rows.
+    /// Uses the cache-friendly `i-k-j` loop over contiguous rows; large
+    /// products split output rows across the `parallel` pool (bitwise
+    /// identical to [`Tensor::matmul_serial`], see the module docs).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols(),
@@ -128,23 +256,22 @@ impl Tensor {
         );
         let (r, k, c) = (self.rows(), self.cols(), other.cols());
         let mut out = Tensor::zeros(r, c);
+        if r == 0 || k == 0 || c == 0 {
+            return out;
+        }
         let a = self.as_slice();
         let b = other.as_slice();
-        let o = out.as_mut_slice();
-        for i in 0..r {
-            let a_row = &a[i * k..(i + 1) * k];
-            let o_row = &mut o[i * c..(i + 1) * c];
-            for (p, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * c..(p + 1) * c];
-                for (o_v, &b_v) in o_row.iter_mut().zip(b_row) {
-                    *o_v += a_ik * b_v;
-                }
-            }
-        }
+        par_row_blocks(r, c, cost::matmul_flops(r, k, c), out.as_mut_slice(), |row0, block| {
+            let rows = block.len() / c;
+            matmul_rows(&a[row0 * k..(row0 + rows) * k], b, block, k, c);
+        });
         out
+    }
+
+    /// Single-block reference for [`Tensor::matmul`] (the equivalence suite
+    /// and benches compare the pool path against this).
+    pub fn matmul_serial(&self, other: &Tensor) -> Tensor {
+        parallel::with_threads(1, || self.matmul(other))
     }
 
     /// `self^T * other`: `(k x r)^T=(r x k)` is avoided by reading columns.
@@ -155,42 +282,45 @@ impl Tensor {
         assert_eq!(self.rows(), other.rows(), "matmul_tn: leading dims differ");
         let (k, r, c) = (self.rows(), self.cols(), other.cols());
         let mut out = Tensor::zeros(r, c);
+        if r == 0 || k == 0 || c == 0 {
+            return out;
+        }
         let a = self.as_slice();
         let b = other.as_slice();
-        let o = out.as_mut_slice();
-        for p in 0..k {
-            let a_row = &a[p * r..(p + 1) * r];
-            let b_row = &b[p * c..(p + 1) * c];
-            for (i, &a_pi) in a_row.iter().enumerate() {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let o_row = &mut o[i * c..(i + 1) * c];
-                for (o_v, &b_v) in o_row.iter_mut().zip(b_row) {
-                    *o_v += a_pi * b_v;
-                }
-            }
-        }
+        par_row_blocks(r, c, cost::matmul_flops(r, k, c), out.as_mut_slice(), |row0, block| {
+            matmul_tn_rows(a, b, block, row0, k, r, c);
+        });
         out
     }
 
+    /// Single-block reference for [`Tensor::matmul_tn`].
+    pub fn matmul_tn_serial(&self, other: &Tensor) -> Tensor {
+        parallel::with_threads(1, || self.matmul_tn(other))
+    }
+
     /// `self * other^T`: `self` is `r x k`, `other` is `c x k`, result `r x c`.
+    ///
+    /// Accumulates each dot product directly into the output row (exactly
+    /// the element order of `self.matmul(&other.transpose())`).
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols(), other.cols(), "matmul_nt: trailing dims differ");
         let (r, k, c) = (self.rows(), self.cols(), other.rows());
         let mut out = Tensor::zeros(r, c);
-        for i in 0..r {
-            let a_row = self.row(i);
-            for j in 0..c {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += a_row[p] * b_row[p];
-                }
-                out.set(i, j, acc);
-            }
+        if r == 0 || k == 0 || c == 0 {
+            return out;
         }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        par_row_blocks(r, c, cost::matmul_flops(r, k, c), out.as_mut_slice(), |row0, block| {
+            let rows = block.len() / c;
+            matmul_nt_rows(&a[row0 * k..(row0 + rows) * k], b, block, k, c);
+        });
         out
+    }
+
+    /// Single-block reference for [`Tensor::matmul_nt`].
+    pub fn matmul_nt_serial(&self, other: &Tensor) -> Tensor {
+        parallel::with_threads(1, || self.matmul_nt(other))
     }
 
     /// Matrix transpose.
@@ -218,38 +348,52 @@ impl Tensor {
 
     /// Row-wise softmax: each row is normalized to a probability vector.
     ///
-    /// Numerically stabilized by subtracting the row max.
+    /// Numerically stabilized by subtracting the row max. Rows may contain
+    /// `-inf` entries (masked attention slots), which get probability 0.
+    ///
+    /// # Contract: fully masked rows
+    /// A row whose entries are **all** `-inf` has no valid distribution and
+    /// is a caller bug (an attention row where every candidate was masked
+    /// out). Debug builds panic on such a row; release builds define the
+    /// result as an all-zero row — callers must mask *before* reaching a
+    /// state where nothing can be attended to.
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            if sum > 0.0 {
-                for v in row.iter_mut() {
-                    *v /= sum;
-                }
-            }
+        let (r, c) = self.shape();
+        if r == 0 || c == 0 {
+            return out;
         }
+        par_row_blocks(r, c, cost::softmax_flops(r, c), out.as_mut_slice(), |_, block| {
+            for row in block.chunks_exact_mut(c) {
+                softmax_row(row);
+            }
+        });
         out
+    }
+
+    /// Single-block reference for [`Tensor::softmax_rows`].
+    pub fn softmax_rows_serial(&self) -> Tensor {
+        parallel::with_threads(1, || self.softmax_rows())
     }
 
     /// Row-wise log-softmax.
     pub fn log_softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
-            for v in row.iter_mut() {
-                *v -= log_sum;
-            }
+        let (r, c) = self.shape();
+        if r == 0 || c == 0 {
+            return out;
         }
+        par_row_blocks(r, c, cost::softmax_flops(r, c), out.as_mut_slice(), |_, block| {
+            for row in block.chunks_exact_mut(c) {
+                log_softmax_row(row);
+            }
+        });
         out
+    }
+
+    /// Single-block reference for [`Tensor::log_softmax_rows`].
+    pub fn log_softmax_rows_serial(&self) -> Tensor {
+        parallel::with_threads(1, || self.log_softmax_rows())
     }
 
     /// ReLU nonlinearity.
@@ -304,6 +448,8 @@ pub fn gelu_grad_scalar(x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn t(rows: &[Vec<f32>]) -> Tensor {
         Tensor::from_rows(rows)
@@ -466,5 +612,97 @@ mod tests {
         let b = Tensor::row_vector(&[1.0, 2.0, 3.0]);
         a.axpy(0.5, &b);
         assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn matmul_nt_is_exactly_matmul_of_transpose() {
+        // Same contraction order (p ascending) on both paths, so the
+        // cross-check holds with zero tolerance, not just approximately.
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_normal(13, 9, 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(11, 9, 0.0, 1.0, &mut rng);
+        assert!(a.matmul_nt(&b).allclose(&a.matmul(&b.transpose()), 0.0));
+    }
+
+    #[test]
+    fn softmax_keeps_masked_entries_at_zero() {
+        let a = Tensor::row_vector(&[2.0, f32::NEG_INFINITY, 0.5]);
+        let s = a.softmax_rows();
+        assert_eq!(s.get(0, 1), 0.0);
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(!s.has_non_finite());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "fully masked row")]
+    fn softmax_panics_on_fully_masked_row_in_debug() {
+        Tensor::row_vector(&[f32::NEG_INFINITY, f32::NEG_INFINITY]).softmax_rows();
+    }
+
+    fn assert_bitwise_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        }
+    }
+
+    /// Shapes chosen so `cost::plan_pieces` actually takes the pool path
+    /// (flops over the threshold) with row counts that do not divide evenly
+    /// by the split width, plus degenerate 1xn / nx1 outputs.
+    #[test]
+    fn parallel_kernels_bitwise_match_serial_across_widths() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let cases = [(37usize, 64usize, 33usize), (1, 4096, 17), (65, 512, 1), (8, 64, 64)];
+        for &(r, k, c) in &cases {
+            let a = Tensor::rand_normal(r, k, 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(k, c, 0.0, 1.0, &mut rng);
+            let at = a.transpose(); // k x r for matmul_tn
+            let bt = b.transpose(); // c x k for matmul_nt
+            let logits = Tensor::rand_normal(r, k, 0.0, 1.0, &mut rng);
+            for width in [1usize, 2, 8] {
+                parallel::with_threads(width, || {
+                    assert_bitwise_eq(&a.matmul(&b), &a.matmul_serial(&b), "matmul");
+                    assert_bitwise_eq(&at.matmul_tn(&b), &at.matmul_tn_serial(&b), "matmul_tn");
+                    assert_bitwise_eq(&a.matmul_nt(&bt), &a.matmul_nt_serial(&bt), "matmul_nt");
+                    assert_bitwise_eq(
+                        &logits.softmax_rows(),
+                        &logits.softmax_rows_serial(),
+                        "softmax_rows",
+                    );
+                    assert_bitwise_eq(
+                        &logits.log_softmax_rows(),
+                        &logits.log_softmax_rows_serial(),
+                        "log_softmax_rows",
+                    );
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn restructured_matmul_tn_matches_historical_p_outer_kernel() {
+        // The pre-parallel kernel iterated p in the outer loop; keep a copy
+        // here to pin the restructured row-of-output kernel to it bitwise.
+        fn historical_tn(a: &Tensor, b: &Tensor) -> Tensor {
+            let (k, r, c) = (a.rows(), a.cols(), b.cols());
+            let mut out = Tensor::zeros(r, c);
+            for p in 0..k {
+                for i in 0..r {
+                    let a_pi = a.get(p, i);
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    for j in 0..c {
+                        out.set(i, j, out.get(i, j) + a_pi * b.get(p, j));
+                    }
+                }
+            }
+            out
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::rand_normal(19, 7, 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(19, 11, 0.0, 1.0, &mut rng);
+        assert_bitwise_eq(&a.matmul_tn(&b), &historical_tn(&a, &b), "matmul_tn vs historical");
     }
 }

@@ -11,6 +11,32 @@ fn arb_tensor(max_dim: usize) -> impl Strategy<Value = Tensor> {
     })
 }
 
+/// `true` when `a` and `b` match element-for-element at the bit level (the
+/// determinism guarantee of the parallel kernels, stronger than `allclose`).
+fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Strategy: a matmul pair whose FLOP count straddles the parallel
+/// threshold (`k` is large while `r`/`c` stay small and odd-ish), so the
+/// equivalence properties exercise both the serial branch and genuine
+/// multi-piece pool splits, including 1xn and nx1 outputs.
+fn arb_wide_matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..8, 64usize..257, 1usize..8).prop_flat_map(|(r, k, c)| {
+        (
+            proptest::collection::vec(-5.0f32..5.0, r * k),
+            proptest::collection::vec(-5.0f32..5.0, k * c),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Tensor::from_vec(r, k, a).expect("sized"),
+                    Tensor::from_vec(k, c, b).expect("sized"),
+                )
+            })
+    })
+}
+
 /// Strategy: a pair of tensors with matching inner dims for matmul.
 fn arb_matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
     (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(r, k, c)| {
@@ -115,5 +141,38 @@ proptest! {
         let r = t.relu();
         prop_assert!(r.relu().allclose(&r, 0.0));
         prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn parallel_matmul_family_is_bitwise_serial((a, b) in arb_wide_matmul_pair()) {
+        let mm_ref = a.matmul_serial(&b);
+        let at = a.transpose();
+        let bt = b.transpose();
+        let tn_ref = at.matmul_tn_serial(&b);
+        let nt_ref = a.matmul_nt_serial(&bt);
+        for width in [1usize, 2, 8] {
+            let (mm, tn, nt) = parallel::with_threads(width, || {
+                (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt))
+            });
+            prop_assert!(bits_eq(&mm, &mm_ref), "matmul at width {width}");
+            prop_assert!(bits_eq(&tn, &tn_ref), "matmul_tn at width {width}");
+            prop_assert!(bits_eq(&nt, &nt_ref), "matmul_nt at width {width}");
+        }
+    }
+
+    #[test]
+    fn parallel_rowwise_kernels_are_bitwise_serial(t in arb_tensor(48)) {
+        let sm_ref = t.softmax_rows_serial();
+        let lsm_ref = t.log_softmax_rows_serial();
+        let (m_ref, v_ref) = t.row_moments_serial();
+        for width in [1usize, 2, 8] {
+            let (sm, lsm, m, v) = parallel::with_threads(width, || {
+                let (m, v) = t.row_moments();
+                (t.softmax_rows(), t.log_softmax_rows(), m, v)
+            });
+            prop_assert!(bits_eq(&sm, &sm_ref), "softmax at width {width}");
+            prop_assert!(bits_eq(&lsm, &lsm_ref), "log_softmax at width {width}");
+            prop_assert!(bits_eq(&m, &m_ref) && bits_eq(&v, &v_ref), "moments at width {width}");
+        }
     }
 }

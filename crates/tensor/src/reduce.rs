@@ -68,19 +68,46 @@ impl Tensor {
 
     /// Per-row mean and (biased) variance; returned as two `rows x 1` vectors.
     ///
-    /// Used by the fused layer-norm forward/backward in `hiergat-nn`.
+    /// Used by the fused layer-norm forward/backward in `hiergat-nn`. Large
+    /// inputs compute their statistics into an interleaved `rows x 2` block
+    /// in parallel (each row's reduction stays within one task, so results
+    /// are bitwise identical across thread counts), then unzip serially.
     pub fn row_moments(&self) -> (Tensor, Tensor) {
-        let c = self.cols() as f32;
-        let mut mean = Tensor::zeros(self.rows(), 1);
-        let mut var = Tensor::zeros(self.rows(), 1);
-        for i in 0..self.rows() {
-            let row = self.row(i);
-            let m = row.iter().sum::<f32>() / c;
-            let v = row.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / c;
-            mean.set(i, 0, m);
-            var.set(i, 0, v);
+        let (r, c) = self.shape();
+        let cf = c as f32;
+        let mut mean = Tensor::zeros(r, 1);
+        let mut var = Tensor::zeros(r, 1);
+        if r == 0 || c == 0 {
+            return (mean, var);
+        }
+        let src = self.as_slice();
+        let mut stats = Tensor::zeros(r, 2);
+        crate::ops::par_row_blocks(
+            r,
+            2,
+            crate::cost::row_moments_flops(r, c),
+            stats.as_mut_slice(),
+            |row0, block| {
+                for (di, s) in block.chunks_exact_mut(2).enumerate() {
+                    let i = row0 + di;
+                    let row = &src[i * c..(i + 1) * c];
+                    let m = row.iter().sum::<f32>() / cf;
+                    let v = row.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / cf;
+                    s[0] = m;
+                    s[1] = v;
+                }
+            },
+        );
+        for i in 0..r {
+            mean.set(i, 0, stats.get(i, 0));
+            var.set(i, 0, stats.get(i, 1));
         }
         (mean, var)
+    }
+
+    /// Single-block reference for [`Tensor::row_moments`].
+    pub fn row_moments_serial(&self) -> (Tensor, Tensor) {
+        parallel::with_threads(1, || self.row_moments())
     }
 }
 
@@ -125,5 +152,26 @@ mod tests {
         // var of [1,2,3] = 2/3
         assert!((v.get(0, 0) - 2.0 / 3.0).abs() < 1e-6);
         assert!((v.get(1, 0) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_moments_bitwise_match_serial_across_widths() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // 67 x 300 puts the FLOP estimate over the parallel threshold with a
+        // row count that does not divide evenly by the split width.
+        let a = Tensor::rand_normal(67, 300, 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        let (m_ref, v_ref) = a.row_moments_serial();
+        for width in [1usize, 2, 8] {
+            parallel::with_threads(width, || {
+                let (m, v) = a.row_moments();
+                for (x, y) in m.as_slice().iter().zip(m_ref.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "mean at width {width}");
+                }
+                for (x, y) in v.as_slice().iter().zip(v_ref.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "var at width {width}");
+                }
+            });
+        }
     }
 }

@@ -3,7 +3,7 @@
 set -x
 cd /root/repo
 : > bench_output.txt
-for b in table4_magellan table7_collective table3_lm_sizes fig10_wdc fig9_attention table9_context_ablation table10_views table11_modules table8_collective_lms fig11_training_time micro; do
+for b in kernels table4_magellan table7_collective table3_lm_sizes fig10_wdc fig9_attention table9_context_ablation table10_views table11_modules table8_collective_lms fig11_training_time micro; do
   echo "### running $b" >> bench_output.txt
   cargo bench -p hiergat-bench --bench "$b" >> bench_output.txt 2>&1
   echo "### done $b" >> bench_output.txt

@@ -1,0 +1,404 @@
+//! Offline stand-in for a rayon-style data-parallel runtime.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal work-sharing thread pool with a rayon-like surface:
+//! [`run`] (indexed task fan-out), [`par_chunks_mut`] (disjoint mutable
+//! chunk processing), [`par_ranges`] (contiguous index ranges), and
+//! [`par_join`] (two-way task parallelism).
+//!
+//! # Pool sizing
+//!
+//! A single global pool is created lazily on first use. Its size comes from
+//! the `HIERGAT_THREADS` environment variable; unset, `0`, or unparsable
+//! values fall back to [`std::thread::available_parallelism`]. A size of 1
+//! spawns no worker threads at all — every entry point then degrades to a
+//! plain inline loop with zero synchronization overhead.
+//!
+//! # Work sharing
+//!
+//! The calling thread always participates: publishing a job never blocks
+//! the caller on a queue, it races the workers for task indices via an
+//! atomic cursor. If the pool is already busy (nested parallelism, or two
+//! threads issuing jobs at once) the late caller simply runs its own tasks
+//! inline — no deadlock, no queueing, and no change in results.
+//!
+//! # Determinism
+//!
+//! The pool assigns *which* thread runs a task nondeterministically, but
+//! callers are expected to split work into tasks whose outputs are disjoint
+//! and whose per-task computation is independent of the thread count (the
+//! tensor kernels split at row granularity and never divide a single
+//! reduction across tasks). Under that discipline results are bitwise
+//! identical run-to-run and across pool sizes. [`with_threads`] lets tests
+//! force a specific split width on the current thread regardless of the
+//! pool size, so the equivalence can be asserted for widths {1, 2, 8} in
+//! one process.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// One published fan-out: an erased task closure plus claim/completion
+/// bookkeeping. The closure pointer borrows the stack of the thread inside
+/// [`run`]; soundness relies on `run` not returning until `remaining == 0`.
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    total: usize,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+// SAFETY: `task` is only dereferenced between job publication and the final
+// `remaining` decrement, and `run` keeps the pointee alive (and the borrow
+// exclusive to the job) for that whole window before returning.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and executes task indices until the cursor is exhausted.
+    fn execute(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                break;
+            }
+            // SAFETY: see the `Send`/`Sync` justification above.
+            let task = unsafe { &*self.task };
+            task(i);
+            let mut remaining = self.remaining.lock().expect("pool lock");
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every claimed task has finished.
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("pool lock");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("pool lock");
+        }
+    }
+}
+
+/// State shared between the publishing side and the workers.
+#[derive(Default)]
+struct Shared {
+    slot: Mutex<Slot>,
+    work: Condvar,
+}
+
+#[derive(Default)]
+struct Slot {
+    job: Option<Arc<Job>>,
+    seq: u64,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn worker(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().expect("pool lock");
+            loop {
+                if slot.seq != seen {
+                    seen = slot.seq;
+                    if let Some(job) = &slot.job {
+                        break Arc::clone(job);
+                    }
+                }
+                slot = shared.work.wait(slot).expect("pool lock");
+            }
+        };
+        job.execute();
+    }
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let n = configured_threads();
+        let shared = Arc::new(Shared::default());
+        for _ in 1..n {
+            let s = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("hiergat-par".into())
+                .spawn(move || worker(&s))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, workers: n - 1 }
+    })
+}
+
+/// Thread count requested by the environment: `HIERGAT_THREADS`, falling
+/// back to the machine's available parallelism when unset, `0`, or
+/// unparsable. Pure read — does not initialize the pool.
+pub fn configured_threads() -> usize {
+    let fallback = || thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    match std::env::var("HIERGAT_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(fallback),
+        Err(_) => fallback(),
+    }
+}
+
+/// Effective pool width (worker threads + the calling thread), at least 1.
+/// First call initializes the global pool.
+pub fn threads() -> usize {
+    pool().workers + 1
+}
+
+thread_local! {
+    static SPLIT_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The split width callers should use when dividing work into tasks: the
+/// [`with_threads`] override if one is active on this thread, else
+/// [`threads`].
+pub fn current_split() -> usize {
+    SPLIT_OVERRIDE.with(Cell::get).unwrap_or_else(threads)
+}
+
+/// Runs `f` with [`current_split`] forced to `n` on this thread (restored
+/// on exit, including on panic). The pool itself is not resized: a split of
+/// 8 over a 2-thread pool still produces 8 tasks, they just share fewer
+/// threads — results are unaffected because task geometry, not scheduling,
+/// determines them.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SPLIT_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SPLIT_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Executes `f(0), f(1), ..., f(tasks - 1)`, sharing the indices between
+/// the calling thread and the pool workers. Falls back to an inline serial
+/// loop when the pool has no workers, `tasks <= 1`, or the pool is already
+/// running another job (nested parallelism).
+pub fn run(tasks: usize, f: impl Fn(usize) + Sync) {
+    if tasks == 0 {
+        return;
+    }
+    let p = pool();
+    if tasks == 1 || p.workers == 0 {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+    // SAFETY: erases the closure's stack lifetime to `'static` so it can sit
+    // in the shared slot. `run` does not return until `job.wait()` has seen
+    // `remaining == 0`, i.e. after the last dereference of this pointer.
+    let task: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(&f as *const (dyn Fn(usize) + Sync + '_)) };
+    let job = Arc::new(Job {
+        task,
+        next: AtomicUsize::new(0),
+        total: tasks,
+        remaining: Mutex::new(tasks),
+        done: Condvar::new(),
+    });
+    {
+        let mut slot = p.shared.slot.lock().expect("pool lock");
+        if slot.job.is_some() {
+            // Busy pool: run inline. Same task geometry, same results.
+            drop(slot);
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        slot.job = Some(Arc::clone(&job));
+        slot.seq += 1;
+        p.shared.work.notify_all();
+    }
+    job.execute();
+    job.wait();
+    p.shared.slot.lock().expect("pool lock").job = None;
+}
+
+/// Splits `0..total` into `pieces` contiguous ranges (the last may be
+/// short) and runs `f(piece_index, range)` for each in parallel.
+pub fn par_ranges(total: usize, pieces: usize, f: impl Fn(usize, Range<usize>) + Sync) {
+    if total == 0 {
+        return;
+    }
+    let pieces = pieces.clamp(1, total);
+    if pieces == 1 {
+        f(0, 0..total);
+        return;
+    }
+    let chunk = total.div_ceil(pieces);
+    run(total.div_ceil(chunk), |i| {
+        let start = i * chunk;
+        f(i, start..(start + chunk).min(total));
+    });
+}
+
+/// Pointer wrapper that lets disjoint-chunk writers cross the thread
+/// boundary. Disjointness is the caller's obligation.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// wrapper — edition-2021 disjoint capture would otherwise pull out the
+    /// bare `*mut T`, which is deliberately not `Send`/`Sync`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Processes `data` as disjoint chunks of `chunk` elements (the last may be
+/// short), calling `f(chunk_index, chunk_slice)` in parallel — the rayon
+/// `par_chunks_mut` shape.
+///
+/// # Panics
+/// Panics if `chunk == 0` and `data` is non-empty.
+pub fn par_chunks_mut<T: Send>(data: &mut [T], chunk: usize, f: impl Fn(usize, &mut [T]) + Sync) {
+    let total = data.len();
+    if total == 0 {
+        return;
+    }
+    assert!(chunk > 0, "par_chunks_mut: chunk size must be positive");
+    let ptr = SendPtr(data.as_mut_ptr());
+    run(total.div_ceil(chunk), move |i| {
+        let start = i * chunk;
+        let len = chunk.min(total - start);
+        // SAFETY: chunks are disjoint by construction ([start, start+len)
+        // for distinct i never overlap) and `data` outlives the enclosing
+        // `run`, which joins every task before returning.
+        let slice = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), len) };
+        f(i, slice);
+    });
+}
+
+/// Runs two closures, potentially in parallel, and returns both results —
+/// the rayon `join` shape.
+pub fn par_join<RA: Send, RB: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    let a = Mutex::new(Some(a));
+    let b = Mutex::new(Some(b));
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    run(2, |i| {
+        if i == 0 {
+            let f = a.lock().expect("join lock").take().expect("join closure");
+            *ra.lock().expect("join lock") = Some(f());
+        } else {
+            let f = b.lock().expect("join lock").take().expect("join closure");
+            *rb.lock().expect("join lock") = Some(f());
+        }
+    });
+    (
+        ra.into_inner().expect("join lock").expect("join result"),
+        rb.into_inner().expect("join lock").expect("join result"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_executes_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        run(97, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_zero_tasks_is_a_no_op() {
+        run(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_the_slice_disjointly() {
+        let mut data = vec![0u32; 1003];
+        par_chunks_mut(&mut data, 17, |ci, chunk| {
+            for (o, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 17 + o) as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_ranges_partitions_without_gaps() {
+        let sum = AtomicU64::new(0);
+        let count = AtomicUsize::new(0);
+        par_ranges(1000, 7, |_, range| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(range.map(|i| i as u64).sum(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+        assert_eq!(count.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn par_join_returns_both_results() {
+        let (a, b) = par_join(|| 6 * 7, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_run_degrades_to_inline_without_deadlock() {
+        let total = AtomicUsize::new(0);
+        run(4, |_| {
+            run(8, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores_split() {
+        let outside = current_split();
+        with_threads(5, || assert_eq!(current_split(), 5));
+        assert_eq!(current_split(), outside);
+        with_threads(0, || assert_eq!(current_split(), 1, "0 clamps to 1"));
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        assert!(threads() >= 1);
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn concurrent_callers_from_plain_threads_are_safe() {
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let acc = AtomicUsize::new(0);
+                    run(64, |i| {
+                        acc.fetch_add(i, Ordering::Relaxed);
+                    });
+                    assert_eq!(acc.load(Ordering::Relaxed), 63 * 64 / 2);
+                });
+            }
+        });
+    }
+}
