@@ -25,4 +25,16 @@ HIERGAT_THREADS=1 cargo test -q -p hiergat-tensor -p parallel
 echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor -p parallel"
 HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor -p parallel
 
+# Lint gate: every builtin model graph must pass the rule engine with
+# warnings denied, and the kernel write-disjointness race audit must
+# verify under both pool widths (the audit itself also sweeps widths
+# 1/2/8 via the in-process override).
+echo "==> hiergat lint --deny warn (HIERGAT_THREADS=1)"
+HIERGAT_THREADS=1 ./target/release/hiergat lint \
+  --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn
+
+echo "==> hiergat lint --deny warn (HIERGAT_THREADS=8)"
+HIERGAT_THREADS=8 ./target/release/hiergat lint \
+  --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn
+
 echo "==> ci gate passed"

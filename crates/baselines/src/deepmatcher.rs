@@ -117,6 +117,15 @@ impl DeepMatcher {
         let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
         hiergat_nn::analyze_graph(&t, loss, &self.ps)
     }
+
+    /// Runs the [`hiergat_nn::lint_graph`] rule engine over the training
+    /// graph (shape-only tape, training mode).
+    pub fn lint(&self, pair: &EntityPair) -> hiergat_nn::LintReport {
+        let mut t = Tape::shape_only();
+        let logits = self.forward(&mut t, pair);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
+        hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
+    }
 }
 
 impl PairModel for DeepMatcher {
@@ -172,6 +181,16 @@ mod tests {
             Entity::new("r", vec![("title".into(), "canon eos camera kit".into())]),
             label,
         )
+    }
+
+    #[test]
+    fn lint_passes_at_deny_warn() {
+        let dm = DeepMatcher::new(DeepMatcherConfig::default(), 1);
+        let report = dm.lint(&pair(true));
+        assert!(
+            report.is_clean_at(hiergat_nn::Severity::Warn),
+            "DeepMatcher graph must lint clean:\n{report}"
+        );
     }
 
     #[test]

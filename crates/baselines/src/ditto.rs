@@ -151,6 +151,16 @@ impl Ditto {
         let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
         hiergat_nn::analyze_graph(&t, loss, &self.ps)
     }
+
+    /// Runs the [`hiergat_nn::lint_graph`] rule engine over the training
+    /// graph (shape-only tape, training mode).
+    pub fn lint(&self, pair: &EntityPair) -> hiergat_nn::LintReport {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x51);
+        let mut t = Tape::shape_only();
+        let logits = self.forward_rng(&mut t, pair, true, &mut rng);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
+        hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
+    }
 }
 
 impl PairModel for Ditto {
@@ -216,6 +226,16 @@ mod tests {
             ),
             label,
         )
+    }
+
+    #[test]
+    fn lint_passes_at_deny_warn() {
+        let m = Ditto::new(DittoConfig::default());
+        let report = m.lint(&pair(true));
+        assert!(
+            report.is_clean_at(hiergat_nn::Severity::Warn),
+            "Ditto graph must lint clean:\n{report}"
+        );
     }
 
     #[test]

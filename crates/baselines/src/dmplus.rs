@@ -84,8 +84,7 @@ impl DmPlus {
             t.tanh(p)
         };
         // Cross attention: each left token attends over right tokens.
-        let rt_t = t.transpose(r);
-        let scores = t.matmul(l, rt_t); // n x m
+        let scores = t.matmul_nt(l, r); // n x m
         let att = t.softmax(scores);
         let aligned = t.matmul(att, r); // n x d
                                         // Elementwise comparison |L - aligned| averaged over tokens.
@@ -113,6 +112,15 @@ impl DmPlus {
         let h = self.cls_hidden.forward(t, &self.ps, agg);
         let h = t.relu(h);
         self.cls_out.forward(t, &self.ps, h)
+    }
+
+    /// Runs the [`hiergat_nn::lint_graph`] rule engine over the training
+    /// graph (shape-only tape, training mode).
+    pub fn lint(&self, pair: &EntityPair) -> hiergat_nn::LintReport {
+        let mut t = Tape::shape_only();
+        let logits = self.forward(&mut t, pair);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
+        hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
     }
 }
 
@@ -168,6 +176,16 @@ mod tests {
             Entity::new("r", vec![("t".into(), "canon camera eos".into())]),
             label,
         )
+    }
+
+    #[test]
+    fn lint_passes_at_deny_warn() {
+        let m = DmPlus::new(DmPlusConfig::default(), 1);
+        let report = m.lint(&pair(true));
+        assert!(
+            report.is_clean_at(hiergat_nn::Severity::Warn),
+            "DM+ graph must lint clean:\n{report}"
+        );
     }
 
     #[test]

@@ -232,6 +232,17 @@ impl GnnCollective {
         report.graph_issues.extend(Hhg::from_entities(&entities).validate());
         report
     }
+
+    /// Runs the [`hiergat_nn::lint_graph`] rule engine over the training
+    /// graph (shape-only tape, training mode).
+    pub fn lint(&self, ex: &CollectiveExample) -> hiergat_nn::LintReport {
+        let mut t = Tape::shape_only();
+        let logits = self.forward(&mut t, ex);
+        let targets: Vec<usize> = ex.labels.iter().map(|&l| usize::from(l)).collect();
+        let weights = vec![1.0; targets.len()];
+        let loss = t.weighted_cross_entropy_logits(logits, &targets, &weights);
+        hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
+    }
 }
 
 impl CollectiveErModel for GnnCollective {
@@ -287,6 +298,19 @@ mod tests {
         let c1 = Entity::new("c1", vec![("t".into(), "canon eos camera body".into())]);
         let c2 = Entity::new("c2", vec![("t".into(), "leather watch band".into())]);
         CollectiveExample::new(q, vec![c1, c2], vec![true, false])
+    }
+
+    #[test]
+    fn lint_passes_at_deny_warn_for_all_kinds() {
+        for kind in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Hgat] {
+            let m = GnnCollective::new(kind, GnnConfig::default());
+            let report = m.lint(&example());
+            assert!(
+                report.is_clean_at(hiergat_nn::Severity::Warn),
+                "{} graph must lint clean:\n{report}",
+                kind.name()
+            );
+        }
     }
 
     #[test]

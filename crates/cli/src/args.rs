@@ -86,7 +86,7 @@ mod tests {
     #[test]
     fn require_names_the_missing_option() {
         let a = parse(&[]).expect("parse");
-        let err = a.require("train").unwrap_err();
+        let err = a.require("train").expect_err("train flag is absent");
         assert!(err.contains("--train"));
     }
 

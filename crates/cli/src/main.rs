@@ -16,13 +16,19 @@
 //!   runs the static tape analyzer (shape inference, gradient
 //!   reachability, node liveness, HHG validation) over the training
 //!   graphs of HierGAT, HierGAT+, and every baseline — no kernels run.
+//! * `lint    [--dataset amazon-google] [--scale 0.5] [--deny warn] [--json]`
+//!   runs the numerical-stability / efficiency / gradient-hygiene rule
+//!   engine over the same model graphs plus the kernel write-disjointness
+//!   race audit, failing (deny-by-default) on any diagnostic at or above
+//!   the gate severity.
 //!
 //! `train` and `demo` also accept `--analyze` to run the same static
 //! check on the model being trained before epoch 0.
 
 use hiergat::{load_model, save_model, train_pairwise, HierGat, HierGatConfig};
 use hiergat_baselines::{
-    DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig, GnnCollective, GnnConfig, GnnKind,
+    DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig, DmPlus, DmPlusConfig, GnnCollective,
+    GnnConfig, GnnKind,
 };
 use hiergat_data::io::{read_entity_table, read_pairs};
 use hiergat_data::{MagellanDataset, PairDataset};
@@ -66,7 +72,8 @@ usage:
   hiergat predict --model DIR --pairs FILE [--threshold T]
   hiergat block   --left FILE --right FILE [--top N]
   hiergat demo    [--dataset NAME] [--scale S] [--epochs N]
-  hiergat analyze [--dataset NAME] [--scale S]";
+  hiergat analyze [--dataset NAME] [--scale S]
+  hiergat lint    [--dataset NAME] [--scale S] [--deny warn|deny] [--json]";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
@@ -77,6 +84,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "block" => cmd_block(&args),
         "demo" => cmd_demo(&args),
         "analyze" => cmd_analyze(&args),
+        "lint" => cmd_lint(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -242,20 +250,116 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     }
 }
 
+/// One linted model graph in the `lint --json` document.
+#[derive(serde::Serialize)]
+struct ModelLint {
+    model: String,
+    clean: bool,
+    report: hiergat_nn::LintReport,
+}
+
+/// The full `lint --json` document: per-model rule-engine reports plus the
+/// kernel write-disjointness race audit.
+#[derive(serde::Serialize)]
+struct LintOutput {
+    gate: String,
+    models: Vec<ModelLint>,
+    race_audit: hiergat_tensor::RaceAuditReport,
+    skipped: Vec<String>,
+    failed: bool,
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    use hiergat_nn::Severity;
+    let kind = dataset_of(args)?;
+    let scale: f64 = args.get_parsed("scale").unwrap_or(Ok(0.5))?;
+    let tier = tier_of(args)?;
+    let gate = match args.get("deny").unwrap_or("deny") {
+        "warn" => Severity::Warn,
+        "deny" => Severity::Deny,
+        other => return Err(format!("unknown --deny level '{other}' (warn|deny)")),
+    };
+    let ds = kind.load(scale);
+    let pair = ds.train.first().ok_or("dataset has no training pairs")?;
+    let arity = ds.arity().max(1);
+    let ds_c = kind.load_collective(scale);
+    let ex = ds_c.train.first().ok_or("collective dataset has no training examples")?;
+
+    let mut models = Vec::new();
+    let mut push = |name: &str, report: hiergat_nn::LintReport| {
+        models.push(ModelLint { model: name.to_string(), clean: report.is_clean_at(gate), report });
+    };
+    let hiergat = HierGat::new(HierGatConfig::pairwise().with_tier(tier), arity);
+    push("HierGAT (pairwise)", hiergat.lint_pair(pair));
+    let plus =
+        HierGat::new(HierGatConfig::collective().with_tier(tier), ex.query.attrs.len().max(1));
+    push("HierGAT+ (collective)", plus.lint_collective(ex));
+    push("Ditto", Ditto::new(DittoConfig { lm_tier: tier, ..Default::default() }).lint(pair));
+    push("DeepMatcher", DeepMatcher::new(DeepMatcherConfig::default(), arity).lint(pair));
+    push("DM+", DmPlus::new(DmPlusConfig::default(), arity).lint(pair));
+    for gk in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Hgat] {
+        let name = format!("{} (collective)", gk.name());
+        let report = GnnCollective::new(gk, GnnConfig::default()).lint(ex);
+        models.push(ModelLint { model: name, clean: report.is_clean_at(gate), report });
+    }
+
+    let race_audit = hiergat_tensor::race_audit();
+    let out = LintOutput {
+        gate: format!("{gate:?}").to_lowercase(),
+        skipped: vec![
+            "Magellan: classic feature-based classifiers record no tape; nothing to lint".into(),
+        ],
+        failed: models.iter().any(|m| !m.clean) || !race_audit.is_clean(),
+        models,
+        race_audit,
+    };
+
+    if args.has_flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| format!("serializing report: {e}"))?
+        );
+    } else {
+        for m in &out.models {
+            println!("== {} ==", m.model);
+            println!("{}", m.report);
+        }
+        println!("== race audit (write disjointness) ==");
+        print!("{}", out.race_audit);
+        for note in &out.skipped {
+            println!("note: {note}");
+        }
+    }
+    if out.failed {
+        let dirty = out.models.iter().filter(|m| !m.clean).count();
+        let races = out.race_audit.failures().len();
+        Err(format!(
+            "lint gate failed: {dirty} model graph(s) at or above --deny {}, \
+             {races} race-audit violation(s)",
+            out.gate
+        ))
+    } else {
+        if !args.has_flag("json") {
+            println!("all model graphs lint clean at --deny {}", out.gate);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn usage_lists_all_subcommands() {
-        for cmd in ["train", "predict", "block", "demo", "analyze"] {
+        for cmd in ["train", "predict", "block", "demo", "analyze", "lint"] {
             assert!(USAGE.contains(cmd));
         }
     }
 
     #[test]
     fn unknown_subcommand_is_rejected() {
-        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        let err = run(&["frobnicate".to_string()]).expect_err("unknown subcommand must fail");
         assert!(err.contains("unknown subcommand"));
     }
 
@@ -275,7 +379,7 @@ mod tests {
     #[test]
     fn demo_rejects_unknown_dataset() {
         let args = Args::parse(&["--dataset".into(), "nope".into()]).expect("parse");
-        let err = cmd_demo(&args).unwrap_err();
+        let err = cmd_demo(&args).expect_err("unknown dataset must fail");
         assert!(err.contains("unknown dataset"));
     }
 
@@ -307,6 +411,32 @@ mod tests {
                 .map(ToString::to_string)
                 .collect();
         run(&argv).expect("analyze");
+    }
+
+    #[test]
+    fn lint_reports_clean_graphs_for_all_models_at_deny_warn() {
+        let argv: Vec<String> = [
+            "lint",
+            "--dataset",
+            "fodors-zagats",
+            "--scale",
+            "0.2",
+            "--tier",
+            "dbert",
+            "--deny",
+            "warn",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        run(&argv).expect("lint");
+    }
+
+    #[test]
+    fn lint_rejects_unknown_deny_level() {
+        let args = Args::parse(&["--deny".into(), "everything".into()]).expect("parse");
+        let err = cmd_lint(&args).expect_err("bad deny level must fail");
+        assert!(err.contains("unknown --deny level"));
     }
 
     #[test]

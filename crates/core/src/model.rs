@@ -307,6 +307,27 @@ impl HierGat {
         report
     }
 
+    /// Runs the [`hiergat_nn::lint_graph`] rule engine over the pairwise
+    /// training graph (shape-only tape, training mode: dropout is expected).
+    pub fn lint_pair(&self, pair: &EntityPair) -> hiergat_nn::LintReport {
+        let mut t = Tape::shape_only();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let logits = self.forward_pair_rng(&mut t, pair, true, &mut rng);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
+        hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
+    }
+
+    /// Collective-mode counterpart of [`Self::lint_pair`].
+    pub fn lint_collective(&self, ex: &CollectiveExample) -> hiergat_nn::LintReport {
+        let mut t = Tape::shape_only();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let logits = self.forward_collective_rng(&mut t, ex, true, &mut rng);
+        let targets: Vec<usize> = ex.labels.iter().map(|&l| usize::from(l)).collect();
+        let weights = vec![1.0; targets.len()];
+        let loss = t.weighted_cross_entropy_logits(logits, &targets, &weights);
+        hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
+    }
+
     /// The underlying language model (for explanation tooling).
     pub fn lm(&self) -> &MiniLm {
         &self.lm
@@ -440,6 +461,32 @@ mod tests {
         );
         let report = m.analyze_collective(&ex);
         assert!(report.is_clean(), "collective graph must analyze clean:\n{report}");
+    }
+
+    #[test]
+    fn lint_passes_on_pairwise_and_collective_graphs() {
+        use hiergat_nn::Severity;
+        let m = HierGat::new(HierGatConfig::fast_test(), 2);
+        let report = m.lint_pair(&pair(true));
+        assert!(
+            report.is_clean_at(Severity::Warn),
+            "pairwise graph must lint clean at --deny warn:\n{report}"
+        );
+        let mc = HierGat::new(
+            HierGatConfig { epochs: 1, ..HierGatConfig::collective() }
+                .with_tier(hiergat_lm::LmTier::MiniDistil),
+            2,
+        );
+        let ex = CollectiveExample::new(
+            pair(true).left,
+            vec![pair(true).right, pair(false).right],
+            vec![true, false],
+        );
+        let report = mc.lint_collective(&ex);
+        assert!(
+            report.is_clean_at(Severity::Warn),
+            "collective graph must lint clean at --deny warn:\n{report}"
+        );
     }
 
     #[test]

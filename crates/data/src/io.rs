@@ -318,7 +318,7 @@ mod tests {
 
     #[test]
     fn mismatched_row_width_is_reported_with_line() {
-        let err = entities_from_csv("id,a\n1,x\n2\n").unwrap_err();
+        let err = entities_from_csv("id,a\n1,x\n2\n").expect_err("ragged row must fail");
         match err {
             CsvError::Malformed { line, .. } => assert_eq!(line, 3),
             other => panic!("unexpected {other}"),

@@ -71,8 +71,7 @@ impl GraphAttn {
             "GraphAttn: features/values row mismatch"
         );
         let h = self.attention(t, ps, features); // n x 1
-        let ht = t.transpose(h); // 1 x n
-        t.matmul(ht, values) // 1 x F
+        t.matmul_tn(h, values) // h^T values, 1 x F
     }
 
     /// Like [`Self::forward`], but also returns a detached copy of the
@@ -85,8 +84,7 @@ impl GraphAttn {
     ) -> (Var, Tensor) {
         let h = self.attention(t, ps, values);
         let weights = t.value(h).clone();
-        let ht = t.transpose(h);
-        (t.matmul(ht, values), weights)
+        (t.matmul_tn(h, values), weights)
     }
 }
 

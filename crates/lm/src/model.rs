@@ -201,6 +201,19 @@ impl MiniLm {
         let _ = self.encode_ids(&mut t, ps, &ids, false, &mut rng);
         hiergat_nn::cost_analysis(&t, split)
     }
+
+    /// Runs the [`hiergat_nn::lint_graph`] rule engine over a training-mode
+    /// encoding of a `seq_len`-token sequence. The encoder has no natural
+    /// scalar loss, so the mean of the contextual embeddings serves as a
+    /// pseudo-loss that makes every encoder op gradient-reachable.
+    pub fn lint_encoding(&self, ps: &ParamStore, seq_len: usize) -> hiergat_nn::LintReport {
+        let mut t = Tape::shape_only();
+        let ids = vec![0usize; seq_len.clamp(1, self.config.max_len)];
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let h = self.encode_ids(&mut t, ps, &ids, true, &mut rng);
+        let loss = t.mean_all(h);
+        hiergat_nn::lint_graph(&t, loss, ps, &hiergat_nn::LintConfig::training())
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +239,18 @@ mod tests {
         assert_eq!(pair.len(), 6);
         assert_eq!(pair[3], Special::Sep as usize);
         assert_eq!(pair[5], Special::Sep as usize);
+    }
+
+    #[test]
+    fn lint_encoding_passes_at_deny_warn() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ps = ParamStore::new();
+        let lm = MiniLm::new(&mut ps, LmTier::MiniDistil.config(), &mut rng);
+        let report = lm.lint_encoding(&ps, 12);
+        assert!(
+            report.is_clean_at(hiergat_nn::Severity::Warn),
+            "encoder graph must lint clean:\n{report}"
+        );
     }
 
     #[test]

@@ -299,7 +299,8 @@ pub(crate) fn infer_shape(tape: &Tape, op: &Op) -> ((usize, usize), Option<Strin
         Op::Add(a, b) => same(*a, *b, "add"),
         Op::Sub(a, b) => same(*a, *b, "sub"),
         Op::Mul(a, b) => same(*a, *b, "mul"),
-        Op::Scale(a, _) | Op::AddScalar(a) => (s(*a), None),
+        Op::Div(a, b) => same(*a, *b, "div"),
+        Op::Scale(a, _) | Op::AddScalar(a, _) => (s(*a), None),
         Op::AddRow(a, row) => {
             let (sa, sr) = (s(*a), s(*row));
             if sr == (1, sa.1) {
@@ -340,6 +341,15 @@ pub(crate) fn infer_shape(tape: &Tape, op: &Op) -> ((usize, usize), Option<Strin
                 (out, Some(format!("trailing dimensions differ: {sa:?} x {sb:?}^T")))
             }
         }
+        Op::MatmulTn(a, b) => {
+            let (sa, sb) = (s(*a), s(*b));
+            let out = (sa.1, sb.1);
+            if sa.0 == sb.0 {
+                (out, None)
+            } else {
+                (out, Some(format!("leading dimensions differ: {sa:?}^T x {sb:?}")))
+            }
+        }
         Op::Transpose(a) => {
             let (r, c) = s(*a);
             ((c, r), None)
@@ -347,7 +357,19 @@ pub(crate) fn infer_shape(tape: &Tape, op: &Op) -> ((usize, usize), Option<Strin
         Op::SumAll(_) | Op::MeanAll(_) => ((1, 1), None),
         Op::SumRows(a) => ((1, s(*a).1), None),
         Op::SumCols(a) => ((s(*a).0, 1), None),
+        Op::MaxCols(a) => {
+            let sa = s(*a);
+            if sa.1 == 0 {
+                ((sa.0, 1), Some("max_cols of a zero-column tensor".into()))
+            } else {
+                ((sa.0, 1), None)
+            }
+        }
         Op::Softmax(a)
+        | Op::LogSoftmax(a)
+        | Op::Exp(a)
+        | Op::Ln(a)
+        | Op::Sqrt(a)
         | Op::Relu(a)
         | Op::LeakyRelu(a, _)
         | Op::Tanh(a)
@@ -537,18 +559,20 @@ fn op_flops_and_rows(tape: &Tape, op: &Op) -> (u64, usize) {
         Op::Add(a, _)
         | Op::Sub(a, _)
         | Op::Mul(a, _)
+        | Op::Div(a, _)
         | Op::AddRow(a, _)
         | Op::AddCol(a, _)
         | Op::MulCol(a, _)
         | Op::Scale(a, _)
-        | Op::AddScalar(a)
+        | Op::AddScalar(a, _)
         | Op::Relu(a)
         | Op::LeakyRelu(a, _)
         | Op::SumAll(a)
         | Op::MeanAll(a)
         | Op::SumRows(a)
-        | Op::SumCols(a) => (kcost::elementwise_flops(elems(*a), 1), 0),
-        Op::Tanh(a) | Op::Sigmoid(a) | Op::Gelu(a) => {
+        | Op::SumCols(a)
+        | Op::MaxCols(a) => (kcost::elementwise_flops(elems(*a), 1), 0),
+        Op::Tanh(a) | Op::Sigmoid(a) | Op::Gelu(a) | Op::Exp(a) | Op::Ln(a) | Op::Sqrt(a) => {
             (kcost::elementwise_flops(elems(*a), kcost::TRANSCENDENTAL_FLOPS), 0)
         }
         Op::Dropout { x, .. } => (kcost::elementwise_flops(elems(*x), 1), 0),
@@ -560,7 +584,11 @@ fn op_flops_and_rows(tape: &Tape, op: &Op) -> (u64, usize) {
             let (sa, sb) = (s(*a), s(*b));
             (kcost::matmul_flops(sa.0, sa.1, sb.0), sa.0)
         }
-        Op::Softmax(a) => {
+        Op::MatmulTn(a, b) => {
+            let (sa, sb) = (s(*a), s(*b));
+            (kcost::matmul_flops(sa.1, sa.0, sb.1), sa.1)
+        }
+        Op::Softmax(a) | Op::LogSoftmax(a) => {
             let (r, c) = s(*a);
             (kcost::softmax_flops(r, c), r)
         }

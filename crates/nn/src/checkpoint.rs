@@ -245,17 +245,17 @@ mod tests {
     #[test]
     fn file_roundtrip_binary_and_json() {
         let dir = std::env::temp_dir().join("hiergat-ckpt-test");
-        fs::create_dir_all(&dir).unwrap();
+        fs::create_dir_all(&dir).expect("temp dir is writable");
         let ps = sample_store();
 
         let bin = dir.join("model.bin");
-        save_binary(&ps, &bin).unwrap();
-        let loaded = load_binary(&bin).unwrap();
+        save_binary(&ps, &bin).expect("binary save");
+        let loaded = load_binary(&bin).expect("binary load");
         assert_eq!(loaded.len(), 2);
 
         let js = dir.join("model.json");
-        save_json(&ps, &js).unwrap();
-        let loaded = load_json(&js).unwrap();
+        save_json(&ps, &js).expect("json save");
+        let loaded = load_json(&js).expect("json load");
         assert_eq!(loaded.len(), 2);
         assert!(loaded.id_of("layer.w").is_some(), "index must be rebuilt");
     }

@@ -234,6 +234,77 @@ mod tests {
     }
 
     #[test]
+    fn matmul_tn_passes() {
+        // Fused `A^T B` (context pooling): dA = B G^T and dB = A G.
+        let mut rng = seeded(8);
+        let mut ps = ParamStore::new();
+        let aa = ps.add("a", Tensor::rand_normal(5, 3, 0.0, 0.6, &mut rng));
+        let ba = ps.add("b", Tensor::rand_normal(5, 4, 0.0, 0.6, &mut rng));
+        assert_gradients_ok(
+            &mut ps,
+            |t, ps| {
+                let a = t.param(ps, aa);
+                let b = t.param(ps, ba);
+                let ctx = t.matmul_tn(a, b); // 3 x 4
+                let h = t.tanh(ctx);
+                t.mean_all(h)
+            },
+            1e-3,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn stable_log_sum_exp_chain_passes() {
+        // exp / ln / max_cols / div / sqrt composed as a hand-written
+        // log-sum-exp with max-subtraction — the exact shape the stability
+        // lints push models toward, so its gradients must be right.
+        let mut rng = seeded(9);
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::rand_normal(3, 4, 0.0, 0.8, &mut rng));
+        assert_gradients_ok(
+            &mut ps,
+            |t, ps| {
+                let wv = t.param(ps, w);
+                let m = t.max_cols(wv); // 3 x 1
+                let neg_m = t.scale(m, -1.0);
+                let shifted = t.add_col(wv, neg_m);
+                let e = t.exp(shifted);
+                let z = t.sum_cols(e); // 3 x 1
+                let lse = t.ln(z);
+                let lse = t.add(lse, m);
+                let denom = t.add_scalar(z, 1.0);
+                let ratio = t.div(lse, denom);
+                let ratio = t.add_scalar(ratio, 4.0); // keep sqrt away from 0
+                let r = t.sqrt(ratio);
+                t.mean_all(r)
+            },
+            1e-3,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn log_softmax_matches_fused_backward() {
+        let mut rng = seeded(10);
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::rand_normal(4, 3, 0.0, 0.7, &mut rng));
+        assert_gradients_ok(
+            &mut ps,
+            |t, ps| {
+                let wv = t.param(ps, w);
+                let lp = t.log_softmax(wv);
+                let picked = t.slice_cols(lp, 1, 1);
+                let s = t.sum_all(picked);
+                let m = t.mul(s, s);
+                t.mean_all(m)
+            },
+            1e-3,
+            2e-2,
+        );
+    }
+
+    #[test]
     fn structural_ops_pass() {
         let mut rng = seeded(5);
         let mut ps = ParamStore::new();

@@ -15,6 +15,7 @@ pub mod analyze;
 pub mod checkpoint;
 pub mod gradcheck;
 mod layers;
+pub mod lint;
 mod optim;
 mod params;
 mod tape;
@@ -29,6 +30,7 @@ pub use analyze::{
 pub use layers::{
     GruCell, LayerNorm, Linear, MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer,
 };
+pub use lint::{lint_graph, Diagnostic, LintConfig, LintReport, Severity};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
 pub use tape::{Tape, Var};

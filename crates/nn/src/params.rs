@@ -273,8 +273,8 @@ mod tests {
         b.add("x", Tensor::ones(2, 2));
         b.add("y", Tensor::ones(9, 9)); // wrong shape, skipped
         assert_eq!(a.load_matching(&b), 1);
-        assert_eq!(a.value(a.id_of("x").unwrap()).as_slice(), &[1.0; 4]);
-        assert_eq!(a.value(a.id_of("y").unwrap()).as_slice(), &[0.0; 3]);
+        assert_eq!(a.value(a.id_of("x").expect("merged store keeps x")).as_slice(), &[1.0; 4]);
+        assert_eq!(a.value(a.id_of("y").expect("merged store keeps y")).as_slice(), &[0.0; 3]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! must hold for arbitrary shapes.
 
 use crate::gradcheck::check_gradients;
+use crate::lint::{lint_graph, LintConfig};
 use crate::params::ParamStore;
 use crate::tape::{Tape, Var};
 use crate::{Adam, Optimizer};
@@ -166,6 +167,73 @@ proptest! {
         for (i, &id) in ids.iter().enumerate() {
             prop_assert!(ps.value(id).allclose(&snap[i], 0.0));
         }
+    }
+
+    /// Fusing `matmul(a, transpose(b))` into `matmul_nt(a, b)` (and the
+    /// `transpose`-on-the-left variant into `matmul_tn`) keeps lint-clean
+    /// graphs clean: the unfused form's only diagnostic is the fusion hint
+    /// itself, and the rewritten graph has none at all.
+    #[test]
+    fn matmul_fusion_rewrites_preserve_lint_cleanliness(
+        seed in 0u64..500,
+        rows in 2usize..5,
+        k in 2usize..5,
+        cols in 2usize..5,
+        post in arb_unary(),
+        lhs_side in 0usize..2,
+    ) {
+        let lhs_variant = lhs_side == 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a_t = Tensor::rand_normal(rows, k, 0.0, 0.8, &mut rng);
+        // Shape b so the transpose-side product is well-formed in both
+        // variants: rhs needs (cols x k), lhs needs (rows x cols).
+        let b_t = if lhs_variant {
+            Tensor::rand_normal(rows, cols, 0.0, 0.8, &mut rng)
+        } else {
+            Tensor::rand_normal(cols, k, 0.0, 0.8, &mut rng)
+        };
+        let build = |fused: bool| {
+            let mut ps = ParamStore::new();
+            let a = ps.add("a", a_t.clone());
+            let b = ps.add("b", b_t.clone());
+            let mut t = Tape::shape_only();
+            let av = t.param(&ps, a);
+            let bv = t.param(&ps, b);
+            let prod = match (fused, lhs_variant) {
+                (false, false) => {
+                    let bt = t.transpose(bv);
+                    t.matmul(av, bt)
+                }
+                (true, false) => t.matmul_nt(av, bv),
+                (false, true) => {
+                    let at = t.transpose(av);
+                    t.matmul(at, bv)
+                }
+                (true, true) => t.matmul_tn(av, bv),
+            };
+            let y = apply(&mut t, post, prod);
+            let loss = t.mean_all(y);
+            (lint_graph(&t, loss, &ps, &LintConfig::training()), t.shape_violations().len())
+        };
+        let (unfused_report, unfused_violations) = build(false);
+        let (fused_report, fused_violations) = build(true);
+        prop_assert_eq!(unfused_violations, 0, "unfused variant must shape-check");
+        prop_assert_eq!(fused_violations, 0, "fused variant must shape-check");
+        // The unfused graph's only complaint is the fusion hint itself...
+        prop_assert!(
+            unfused_report
+                .diagnostics
+                .iter()
+                .all(|d| d.rule == "unfused-transpose-matmul"),
+            "unexpected diagnostics before rewrite: {}",
+            unfused_report
+        );
+        // ...and applying the suggested rewrite leaves the graph fully clean.
+        prop_assert!(
+            fused_report.diagnostics.is_empty(),
+            "fusion rewrite introduced diagnostics: {}",
+            fused_report
+        );
     }
 
     /// Weighted cross-entropy equals plain cross-entropy at unit weights.

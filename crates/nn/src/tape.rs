@@ -44,7 +44,12 @@ pub(crate) enum Op {
     Sub(Var, Var),
     Mul(Var, Var),
     Scale(Var, f32),
-    AddScalar(Var),
+    /// Adds constant `k` to every element. Carrying `k` on the node lets the
+    /// lint rules recognize epsilon guards (`var + eps` before division) and
+    /// positivity shifts; backward ignores it (identity gradient).
+    AddScalar(Var, f32),
+    /// Elementwise quotient `a / b`.
+    Div(Var, Var),
     /// `(r x c) + broadcast (1 x c)`.
     AddRow(Var, Var),
     /// `(r x c) + broadcast (r x 1)`.
@@ -54,12 +59,24 @@ pub(crate) enum Op {
     Matmul(Var, Var),
     /// `a * b^T` without materializing the transpose (attention scoring).
     MatmulNt(Var, Var),
+    /// `a^T * b` without materializing the transpose (context pooling).
+    MatmulTn(Var, Var),
     Transpose(Var),
     SumAll(Var),
     MeanAll(Var),
     SumRows(Var),
     SumCols(Var),
+    /// Per-row maximum as an `r x 1` column (softmax stabilizer).
+    MaxCols(Var),
     Softmax(Var),
+    /// Fused row-wise log-softmax (stable; never materializes probabilities).
+    LogSoftmax(Var),
+    /// Elementwise `e^x` (unbounded — the `naked-exp` lint watches this).
+    Exp(Var),
+    /// Elementwise natural log (`-inf` at zero — watched by lint).
+    Ln(Var),
+    /// Elementwise square root.
+    Sqrt(Var),
     Relu(Var),
     LeakyRelu(Var, f32),
     Tanh(Var),
@@ -120,18 +137,25 @@ impl Op {
             Self::Sub(..) => "sub",
             Self::Mul(..) => "mul",
             Self::Scale(..) => "scale",
-            Self::AddScalar(_) => "add_scalar",
+            Self::AddScalar(..) => "add_scalar",
+            Self::Div(..) => "div",
             Self::AddRow(..) => "add_row",
             Self::AddCol(..) => "add_col",
             Self::MulCol(..) => "mul_col",
             Self::Matmul(..) => "matmul",
             Self::MatmulNt(..) => "matmul_nt",
+            Self::MatmulTn(..) => "matmul_tn",
             Self::Transpose(_) => "transpose",
             Self::SumAll(_) => "sum_all",
             Self::MeanAll(_) => "mean_all",
             Self::SumRows(_) => "sum_rows",
             Self::SumCols(_) => "sum_cols",
+            Self::MaxCols(_) => "max_cols",
             Self::Softmax(_) => "softmax",
+            Self::LogSoftmax(_) => "log_softmax",
+            Self::Exp(_) => "exp",
+            Self::Ln(_) => "ln",
+            Self::Sqrt(_) => "sqrt",
             Self::Relu(_) => "relu",
             Self::LeakyRelu(..) => "leaky_relu",
             Self::Tanh(_) => "tanh",
@@ -156,13 +180,18 @@ impl Op {
         match self {
             Self::Input | Self::Param(_) => Vec::new(),
             Self::Scale(a, _)
-            | Self::AddScalar(a)
+            | Self::AddScalar(a, _)
             | Self::Transpose(a)
             | Self::SumAll(a)
             | Self::MeanAll(a)
             | Self::SumRows(a)
             | Self::SumCols(a)
+            | Self::MaxCols(a)
             | Self::Softmax(a)
+            | Self::LogSoftmax(a)
+            | Self::Exp(a)
+            | Self::Ln(a)
+            | Self::Sqrt(a)
             | Self::Relu(a)
             | Self::LeakyRelu(a, _)
             | Self::Tanh(a)
@@ -171,11 +200,13 @@ impl Op {
             Self::Add(a, b)
             | Self::Sub(a, b)
             | Self::Mul(a, b)
+            | Self::Div(a, b)
             | Self::AddRow(a, b)
             | Self::AddCol(a, b)
             | Self::MulCol(a, b)
             | Self::Matmul(a, b)
-            | Self::MatmulNt(a, b) => vec![*a, *b],
+            | Self::MatmulNt(a, b)
+            | Self::MatmulTn(a, b) => vec![*a, *b],
             Self::LayerNorm { x, gamma, beta, .. } => vec![*x, *gamma, *beta],
             Self::ConcatCols(parts) | Self::ConcatRows(parts) => parts.clone(),
             Self::SliceCols { x, .. } | Self::SliceRows { x, .. } | Self::Dropout { x, .. } => {
@@ -335,7 +366,28 @@ impl Tape {
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
-        self.record(Op::AddScalar(a), |t| t.value(a).add_scalar(k))
+        self.record(Op::AddScalar(a, k), |t| t.value(a).add_scalar(k))
+    }
+
+    /// Elementwise quotient `a / b`.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        self.record(Op::Div(a, b), |t| t.value(a).div(t.value(b)))
+    }
+
+    /// Elementwise `e^x`. Overflows for unbounded inputs — subtract the row
+    /// max first ([`Self::max_cols`]) or the `naked-exp` lint will flag it.
+    pub fn exp(&mut self, a: Var) -> Var {
+        self.record(Op::Exp(a), |t| t.value(a).exp())
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: Var) -> Var {
+        self.record(Op::Ln(a), |t| t.value(a).ln())
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        self.record(Op::Sqrt(a), |t| t.value(a).sqrt())
     }
 
     /// `1 - a`, elementwise (GRU gating convenience).
@@ -370,6 +422,12 @@ impl Tape {
         self.record(Op::MatmulNt(a, b), |t| t.value(a).matmul_nt(t.value(b)))
     }
 
+    /// `a^T (k x r) * b (k x c) -> r x c` without materializing the
+    /// transpose — attention context pooling (`alpha^T V`).
+    pub fn matmul_tn(&mut self, a: Var, b: Var) -> Var {
+        self.record(Op::MatmulTn(a, b), |t| t.value(a).matmul_tn(t.value(b)))
+    }
+
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
         self.record(Op::Transpose(a), |t| t.value(a).transpose())
@@ -402,9 +460,19 @@ impl Tape {
         self.scale(s, 1.0 / rows)
     }
 
+    /// Per-row maximum (`r x 1`), the softmax/log-sum-exp stabilizer.
+    pub fn max_cols(&mut self, a: Var) -> Var {
+        self.record(Op::MaxCols(a), |t| t.value(a).max_cols())
+    }
+
     /// Row-wise softmax.
     pub fn softmax(&mut self, a: Var) -> Var {
         self.record(Op::Softmax(a), |t| t.value(a).softmax_rows())
+    }
+
+    /// Fused row-wise log-softmax (use instead of `ln(softmax(x))`).
+    pub fn log_softmax(&mut self, a: Var) -> Var {
+        self.record(Op::LogSoftmax(a), |t| t.value(a).log_softmax_rows())
     }
 
     /// ReLU.
@@ -624,7 +692,15 @@ impl Tape {
                     accum(&mut grads, *b, db);
                 }
                 Op::Scale(a, k) => accum(&mut grads, *a, g.scale(*k)),
-                Op::AddScalar(a) => accum(&mut grads, *a, g),
+                Op::AddScalar(a, _) => accum(&mut grads, *a, g),
+                Op::Div(a, b) => {
+                    // y = a/b : da = g/b ; db = -g*y/b
+                    let y = &self.nodes[i].value;
+                    let da = g.div(self.value(*b));
+                    let db = g.mul(y).div(self.value(*b)).scale(-1.0);
+                    accum(&mut grads, *a, da);
+                    accum(&mut grads, *b, db);
+                }
                 Op::AddRow(a, row) => {
                     accum(&mut grads, *row, g.sum_rows());
                     accum(&mut grads, *a, g);
@@ -653,6 +729,14 @@ impl Tape {
                     accum(&mut grads, *a, da);
                     accum(&mut grads, *b, db);
                 }
+                Op::MatmulTn(a, b) => {
+                    // out = A^T B (A is k x r, B is k x c, G is r x c):
+                    // dA = B G^T ; dB = A G
+                    let da = self.value(*b).matmul_nt(&g);
+                    let db = self.value(*a).matmul(&g);
+                    accum(&mut grads, *a, da);
+                    accum(&mut grads, *b, db);
+                }
                 Op::Transpose(a) => accum(&mut grads, *a, g.transpose()),
                 Op::SumAll(a) => {
                     let (r, c) = self.value(*a).shape();
@@ -671,6 +755,43 @@ impl Tape {
                 Op::SumCols(a) => {
                     let cols = self.value(*a).cols();
                     let da = Tensor::zeros(g.rows(), cols).add_col_broadcast(&g);
+                    accum(&mut grads, *a, da);
+                }
+                Op::MaxCols(a) => {
+                    // Subgradient: route each row's adjoint to the first
+                    // argmax (matching the kernel's first-on-ties argmax).
+                    let x = self.value(*a);
+                    let mut dx = Tensor::zeros(x.rows(), x.cols());
+                    for r in 0..x.rows() {
+                        dx.set(r, x.argmax_row(r), g.get(r, 0));
+                    }
+                    accum(&mut grads, *a, dx);
+                }
+                Op::LogSoftmax(a) => {
+                    // dx = g - exp(y) * rowsum(g)
+                    let y = &self.nodes[i].value;
+                    let row_sum = g.sum_cols(); // r x 1
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        let s = row_sum.get(r, 0);
+                        for (j, v) in da.row_mut(r).iter_mut().enumerate() {
+                            *v -= y.get(r, j).exp() * s;
+                        }
+                    }
+                    accum(&mut grads, *a, da);
+                }
+                Op::Exp(a) => {
+                    let y = &self.nodes[i].value;
+                    accum(&mut grads, *a, g.mul(y));
+                }
+                Op::Ln(a) => {
+                    let da = g.div(self.value(*a));
+                    accum(&mut grads, *a, da);
+                }
+                Op::Sqrt(a) => {
+                    // dx = g / (2 * sqrt(x)) = 0.5 * g / y
+                    let y = &self.nodes[i].value;
+                    let da = g.div(y).scale(0.5);
                     accum(&mut grads, *a, da);
                 }
                 Op::Softmax(a) => {

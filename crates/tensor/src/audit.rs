@@ -1,0 +1,195 @@
+//! Write-disjointness race audit over the routed kernels.
+//!
+//! The pool-side recorder ([`parallel::audit`]) can capture the output
+//! range each task claims; this module drives it over every kernel that
+//! routes through [`crate::ops::par_row_blocks`] — the `matmul` family,
+//! the row-wise softmaxes, and `row_moments` — at a set of split widths,
+//! and asserts via [`parallel::audit::verify`] that every split was
+//! pairwise disjoint and covered the output exactly.
+//!
+//! Width 1 is part of the sweep on purpose: `par_row_blocks` must take the
+//! direct serial call there (no pool entry point at all), so the audit
+//! asserts **zero** recorded claims at width 1 and **at least one
+//! verified splitting call** at every larger width. A kernel that quietly
+//! stopped splitting (or started splitting when it should not) fails the
+//! audit even though its output would still be bitwise correct.
+//!
+//! The harness backs both the `hiergat lint` race audit and the CI gate;
+//! shapes are fixed and seeded so the claimed geometry is identical from
+//! run to run.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Split widths the audit sweeps: the serial path, the smallest real
+/// split, and the widest split `ci.sh` exercises.
+pub const AUDIT_WIDTHS: [usize; 3] = [1, 2, 8];
+
+/// Outcome of auditing one routed kernel at one split width.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelAudit {
+    /// Kernel under audit (e.g. `"matmul"`).
+    pub kernel: String,
+    /// Split width the kernel ran under (`parallel::with_threads`).
+    pub width: usize,
+    /// Splitting pool calls the kernel made (0 on the serial path).
+    pub pool_calls: usize,
+    /// Task claims across those calls.
+    pub tasks: usize,
+    /// First violation found, if any (`None` = clean).
+    pub error: Option<String>,
+}
+
+impl KernelAudit {
+    /// `true` when this kernel/width combination produced no violation.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Full audit sweep: every routed kernel at every audited width.
+#[derive(Debug, Clone, Serialize)]
+pub struct RaceAuditReport {
+    /// One entry per kernel x width combination.
+    pub entries: Vec<KernelAudit>,
+}
+
+impl RaceAuditReport {
+    /// `true` when every kernel/width combination verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.entries.iter().all(KernelAudit::ok)
+    }
+
+    /// Entries that found a violation.
+    pub fn failures(&self) -> Vec<&KernelAudit> {
+        self.entries.iter().filter(|e| !e.ok()).collect()
+    }
+}
+
+impl std::fmt::Display for RaceAuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for e in &self.entries {
+            match &e.error {
+                None => writeln!(
+                    f,
+                    "  ok   {:<16} width {}: {} call(s), {} task claim(s)",
+                    e.kernel, e.width, e.pool_calls, e.tasks
+                )?,
+                Some(err) => {
+                    writeln!(f, "  FAIL {:<16} width {}: {err}", e.kernel, e.width)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full race audit at [`AUDIT_WIDTHS`].
+pub fn race_audit() -> RaceAuditReport {
+    race_audit_at(&AUDIT_WIDTHS)
+}
+
+/// Runs the race audit at the given split widths.
+///
+/// Shapes are chosen so every kernel clears [`crate::cost::PAR_FLOP_THRESHOLD`]
+/// (and therefore genuinely splits at widths > 1) with row counts that do
+/// not divide evenly by the split width, exercising the ragged tail block.
+pub fn race_audit_at(widths: &[usize]) -> RaceAuditReport {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    // matmul family: 37 x 64 by 64 x 33 -> 156,288 FLOPs, over the 64K gate.
+    let a = Tensor::rand_normal(37, 64, 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(64, 33, 0.0, 1.0, &mut rng);
+    // Transposed operands: 64 x 37 for matmul_tn, 33 x 64 for matmul_nt.
+    let at = a.transpose();
+    let bt = b.transpose();
+    // softmax family: 67 x 128 -> 12 * 8,576 = 102,912 estimated FLOPs.
+    let logits = Tensor::rand_normal(67, 128, 0.0, 1.0, &mut rng);
+    // row_moments: 67 x 300 -> 67 * 1,202 = 80,534 estimated FLOPs.
+    let stats_in = Tensor::rand_normal(67, 300, 0.0, 1.0, &mut rng);
+
+    type Kernel<'a> = Box<dyn Fn() + Sync + 'a>;
+    let kernels: Vec<(&'static str, Kernel<'_>)> = vec![
+        ("matmul", Box::new(|| drop(a.matmul(&b)))),
+        ("matmul_tn", Box::new(|| drop(at.matmul_tn(&b)))),
+        ("matmul_nt", Box::new(|| drop(a.matmul_nt(&bt)))),
+        ("softmax_rows", Box::new(|| drop(logits.softmax_rows()))),
+        ("log_softmax_rows", Box::new(|| drop(logits.log_softmax_rows()))),
+        ("row_moments", Box::new(|| drop(stats_in.row_moments()))),
+    ];
+
+    let mut entries = Vec::new();
+    for &width in widths {
+        for (name, run) in &kernels {
+            let ((), claims) =
+                parallel::audit::record_claims(|| parallel::with_threads(width, run));
+            let entry = match parallel::audit::verify(&claims) {
+                Err(err) => KernelAudit {
+                    kernel: name.to_string(),
+                    width,
+                    pool_calls: 0,
+                    tasks: claims.len(),
+                    error: Some(err),
+                },
+                Ok(stats) => {
+                    let error = if width <= 1 && stats.calls != 0 {
+                        Some(format!(
+                            "expected the direct serial path at width 1, \
+                             but {} pool call(s) were made",
+                            stats.calls
+                        ))
+                    } else if width > 1 && stats.calls == 0 {
+                        Some(
+                            "kernel never split at a parallel width; the audit \
+                             shape should be over the FLOP threshold"
+                                .to_string(),
+                        )
+                    } else {
+                        None
+                    };
+                    KernelAudit {
+                        kernel: name.to_string(),
+                        width,
+                        pool_calls: stats.calls,
+                        tasks: stats.tasks,
+                        error,
+                    }
+                }
+            };
+            entries.push(entry);
+        }
+    }
+    RaceAuditReport { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routed_kernels_split_disjointly_at_all_widths() {
+        let report = race_audit();
+        assert_eq!(report.entries.len(), 6 * AUDIT_WIDTHS.len());
+        assert!(report.is_clean(), "race audit failures:\n{report}");
+    }
+
+    #[test]
+    fn width_one_takes_the_serial_path() {
+        let report = race_audit_at(&[1]);
+        for e in &report.entries {
+            assert!(e.ok(), "{}: {:?}", e.kernel, e.error);
+            assert_eq!(e.pool_calls, 0, "{} split at width 1", e.kernel);
+        }
+    }
+
+    #[test]
+    fn parallel_widths_actually_split() {
+        let report = race_audit_at(&[8]);
+        for e in &report.entries {
+            assert!(e.ok(), "{}: {:?}", e.kernel, e.error);
+            assert!(e.pool_calls >= 1, "{} never split at width 8", e.kernel);
+            assert!(e.tasks > 1, "{} split into a single task", e.kernel);
+        }
+    }
+}

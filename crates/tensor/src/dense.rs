@@ -260,7 +260,7 @@ mod tests {
     #[test]
     fn from_vec_checks_length() {
         assert!(Tensor::from_vec(2, 2, vec![1.0; 4]).is_ok());
-        let err = Tensor::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        let err = Tensor::from_vec(2, 2, vec![1.0; 3]).expect_err("3 values cannot fill 2x2");
         assert_eq!(err, ShapeError { rows: 2, cols: 2, len: 3 });
         assert!(err.to_string().contains("2x2"));
     }
@@ -296,7 +296,8 @@ mod tests {
 
     #[test]
     fn reshape_roundtrip() {
-        let t = Tensor::from_vec(2, 3, (0..6).map(|i| i as f32).collect()).unwrap();
+        let t =
+            Tensor::from_vec(2, 3, (0..6).map(|i| i as f32).collect()).expect("6 values fill 2x3");
         let r = t.clone().reshape(3, 2);
         assert_eq!(r.shape(), (3, 2));
         assert_eq!(r.as_slice(), t.as_slice());

@@ -31,6 +31,7 @@
 //! assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
 //! ```
 
+pub mod audit;
 pub mod cost;
 mod dense;
 mod init;
@@ -38,6 +39,7 @@ mod ops;
 mod reduce;
 mod slice;
 
+pub use audit::{race_audit, KernelAudit, RaceAuditReport};
 pub use dense::{ShapeError, Tensor};
 pub use ops::{gelu_grad_scalar, gelu_scalar};
 

@@ -422,6 +422,25 @@ impl Tensor {
         self.map(gelu_scalar)
     }
 
+    /// Elementwise natural exponential.
+    ///
+    /// Unbounded inputs overflow to `+inf` around `x > 88.7` in `f32`; the
+    /// tape-level lint (`naked-exp`) exists to catch graphs that reach this
+    /// kernel without a max-subtraction or an otherwise bounded input.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm (`-inf` at 0, NaN below).
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root (NaN below 0).
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
     /// Clamps every element into `[lo, hi]`.
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
         self.map(|v| v.clamp(lo, hi))
@@ -588,6 +607,16 @@ mod tests {
                 gelu_grad_scalar(x)
             );
         }
+    }
+
+    #[test]
+    fn exp_ln_sqrt_elementwise() {
+        let a = Tensor::row_vector(&[0.0, 1.0, 4.0]);
+        assert_eq!(a.exp().as_slice(), &[1.0, 1.0f32.exp(), 4.0f32.exp()]);
+        assert_eq!(a.sqrt().as_slice(), &[0.0, 1.0, 2.0]);
+        let e = a.exp().ln();
+        assert!(e.allclose(&a, 1e-6), "ln(exp(x)) must round-trip");
+        assert_eq!(Tensor::row_vector(&[0.0]).ln().get(0, 0), f32::NEG_INFINITY);
     }
 
     #[test]

@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn numeric_sim_values() {
         assert_eq!(numeric_sim("10", "10"), Some(1.0));
-        assert!((numeric_sim("10", "5").unwrap() - 0.5).abs() < 1e-9);
+        assert!((numeric_sim("10", "5").expect("both sides numeric") - 0.5).abs() < 1e-9);
         assert_eq!(numeric_sim("abc", "5"), None);
         assert_eq!(numeric_sim("0", "0"), Some(1.0));
     }

@@ -213,7 +213,10 @@ mod tests {
     fn tfidf_downweights_common_terms() {
         let docs = vec![toks("apple pie"), toks("apple tart"), toks("apple crumble")];
         let tfidf = TfIdf::fit(&docs);
-        assert!(tfidf.idf_of("apple").unwrap() < tfidf.idf_of("pie").unwrap());
+        assert!(
+            tfidf.idf_of("apple").expect("apple is in corpus")
+                < tfidf.idf_of("pie").expect("pie is in corpus")
+        );
         assert_eq!(tfidf.vocab_size(), 4);
         assert_eq!(tfidf.n_docs(), 3);
     }

@@ -1,0 +1,214 @@
+//! Write-disjointness audit for the pool's splitting entry points.
+//!
+//! The pool's safety story rests on one claim: every [`par_chunks_mut`] /
+//! [`par_ranges`] call splits its output into task ranges that are
+//! **pairwise disjoint** and **cover the output exactly** — that is what
+//! justifies the `SendPtr` + `from_raw_parts_mut` aliasing in
+//! `par_chunks_mut` and the bitwise-determinism contract in the module
+//! docs. This module makes the claim checkable instead of assumed: inside
+//! a [`record_claims`] session every splitting call registers the
+//! half-open range each of its tasks writes, and [`verify`] statically
+//! asserts the disjoint-exact-cover property for every recorded call.
+//!
+//! Recording is off unless a session is active, so the instrumentation
+//! costs one relaxed atomic load per splitting call in normal operation.
+//!
+//! [`par_chunks_mut`]: crate::par_chunks_mut
+//! [`par_ranges`]: crate::par_ranges
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One task's claimed output range within a single splitting call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claim {
+    /// Identifier of the splitting call (`par_chunks_mut`/`par_ranges`
+    /// invocation) this claim belongs to; unique within a session.
+    pub call: usize,
+    /// First claimed element index.
+    pub start: usize,
+    /// Number of claimed elements.
+    pub len: usize,
+    /// Total length of the output the call was splitting.
+    pub total: usize,
+}
+
+/// Aggregate statistics from a successful [`verify`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Distinct splitting calls verified.
+    pub calls: usize,
+    /// Total task claims across those calls.
+    pub tasks: usize,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static NEXT_CALL: AtomicUsize = AtomicUsize::new(0);
+static CLAIMS: Mutex<Vec<Claim>> = Mutex::new(Vec::new());
+/// Serializes sessions: two overlapping sessions would drain each other's
+/// claims.
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Allocates a call id when a session is active; `None` (free) otherwise.
+/// Called by the splitting entry points once per invocation.
+pub(crate) fn next_call_id() -> Option<usize> {
+    if ACTIVE.load(Ordering::Relaxed) {
+        Some(NEXT_CALL.fetch_add(1, Ordering::Relaxed))
+    } else {
+        None
+    }
+}
+
+/// Registers one task's claimed range (called from inside task closures,
+/// possibly on worker threads).
+pub(crate) fn record(call: usize, start: usize, len: usize, total: usize) {
+    CLAIMS.lock().expect("audit claims lock").push(Claim { call, start, len, total });
+}
+
+/// Runs `f` with claim recording enabled and returns its result together
+/// with every claim recorded while it ran. Sessions are serialized
+/// process-wide; recording is restored to off even if `f` panics.
+pub fn record_claims<R>(f: impl FnOnce() -> R) -> (R, Vec<Claim>) {
+    let _session = SESSION.lock().expect("audit session lock");
+    struct Off;
+    impl Drop for Off {
+        fn drop(&mut self) {
+            ACTIVE.store(false, Ordering::Relaxed);
+        }
+    }
+    CLAIMS.lock().expect("audit claims lock").clear();
+    ACTIVE.store(true, Ordering::Relaxed);
+    let _off = Off;
+    let result = f();
+    ACTIVE.store(false, Ordering::Relaxed);
+    let claims = std::mem::take(&mut *CLAIMS.lock().expect("audit claims lock"));
+    (result, claims)
+}
+
+/// Statically checks that every recorded call's claims are pairwise
+/// disjoint and cover `0..total` exactly (no gap, no overlap, no
+/// out-of-bounds claim). Returns aggregate stats on success and a
+/// human-readable description of the first violation otherwise.
+pub fn verify(claims: &[Claim]) -> Result<AuditStats, String> {
+    let mut by_call: Vec<(usize, Vec<&Claim>)> = Vec::new();
+    for c in claims {
+        match by_call.iter_mut().find(|(id, _)| *id == c.call) {
+            Some((_, list)) => list.push(c),
+            None => by_call.push((c.call, vec![c])),
+        }
+    }
+    let mut tasks = 0;
+    for (call, mut list) in by_call.iter().map(|(id, l)| (*id, l.clone())) {
+        let total = list[0].total;
+        if let Some(bad) = list.iter().find(|c| c.total != total) {
+            return Err(format!(
+                "call #{call}: tasks disagree on the output length ({total} vs {})",
+                bad.total
+            ));
+        }
+        list.sort_by_key(|c| c.start);
+        let mut covered = 0usize;
+        for c in &list {
+            if c.len == 0 {
+                return Err(format!("call #{call}: empty claim at {}", c.start));
+            }
+            if c.start > covered {
+                return Err(format!(
+                    "call #{call}: gap — elements [{covered}, {}) claimed by no task",
+                    c.start
+                ));
+            }
+            if c.start < covered {
+                return Err(format!(
+                    "call #{call}: overlap — element {} claimed by two tasks",
+                    c.start
+                ));
+            }
+            covered = c.start + c.len;
+        }
+        if covered != total {
+            return Err(format!(
+                "call #{call}: claims cover [0, {covered}) but the output has {total} elements"
+            ));
+        }
+        tasks += list.len();
+    }
+    Ok(AuditStats { calls: by_call.len(), tasks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claim(call: usize, start: usize, len: usize, total: usize) -> Claim {
+        Claim { call, start, len, total }
+    }
+
+    #[test]
+    fn exact_cover_verifies() {
+        let claims =
+            [claim(0, 0, 4, 10), claim(0, 4, 4, 10), claim(0, 8, 2, 10), claim(1, 0, 3, 3)];
+        let stats = verify(&claims).expect("exact cover must verify");
+        assert_eq!(stats, AuditStats { calls: 2, tasks: 4 });
+    }
+
+    #[test]
+    fn gap_is_detected() {
+        let claims = [claim(0, 0, 4, 10), claim(0, 6, 4, 10)];
+        let err = verify(&claims).expect_err("gap must fail");
+        assert!(err.contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let claims = [claim(0, 0, 6, 10), claim(0, 4, 6, 10)];
+        let err = verify(&claims).expect_err("overlap must fail");
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn short_cover_is_detected() {
+        let claims = [claim(0, 0, 4, 10)];
+        let err = verify(&claims).expect_err("short cover must fail");
+        assert!(err.contains("10 elements"), "{err}");
+    }
+
+    #[test]
+    fn recording_captures_par_chunks_mut_geometry() {
+        let mut data = vec![0u32; 100];
+        let ((), claims) = record_claims(|| {
+            crate::par_chunks_mut(&mut data, 17, |ci, chunk| {
+                for (o, v) in chunk.iter_mut().enumerate() {
+                    *v = (ci * 17 + o) as u32;
+                }
+            });
+        });
+        assert_eq!(claims.iter().map(|c| c.len).sum::<usize>(), 100);
+        let stats = verify(&claims).expect("pool geometry must verify");
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.tasks, 100usize.div_ceil(17));
+        // Results are unaffected by the instrumentation.
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn recording_captures_par_ranges_including_serial_path() {
+        let ((), claims) = record_claims(|| {
+            crate::par_ranges(50, 1, |_, _| {});
+            crate::par_ranges(50, 4, |_, _| {});
+        });
+        let stats = verify(&claims).expect("par_ranges geometry must verify");
+        assert_eq!(stats.calls, 2);
+        assert!(stats.tasks >= 5, "serial call contributes one claim, split call several");
+    }
+
+    #[test]
+    fn recording_is_off_outside_sessions() {
+        let mut data = vec![0u32; 64];
+        crate::par_chunks_mut(&mut data, 8, |_, chunk| chunk.fill(1));
+        let ((), claims) = record_claims(|| {});
+        assert!(claims.is_empty(), "claims recorded outside a session leaked in");
+    }
+}

@@ -40,6 +40,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
+pub mod audit;
+
 /// One published fan-out: an erased task closure plus claim/completion
 /// bookkeeping. The closure pointer borrows the stack of the thread inside
 /// [`run`]; soundness relies on `run` not returning until `remaining == 0`.
@@ -235,15 +237,23 @@ pub fn par_ranges(total: usize, pieces: usize, f: impl Fn(usize, Range<usize>) +
     if total == 0 {
         return;
     }
+    let call = audit::next_call_id();
     let pieces = pieces.clamp(1, total);
     if pieces == 1 {
+        if let Some(id) = call {
+            audit::record(id, 0, total, total);
+        }
         f(0, 0..total);
         return;
     }
     let chunk = total.div_ceil(pieces);
     run(total.div_ceil(chunk), |i| {
         let start = i * chunk;
-        f(i, start..(start + chunk).min(total));
+        let end = (start + chunk).min(total);
+        if let Some(id) = call {
+            audit::record(id, start, end - start, total);
+        }
+        f(i, start..end);
     });
 }
 
@@ -274,10 +284,14 @@ pub fn par_chunks_mut<T: Send>(data: &mut [T], chunk: usize, f: impl Fn(usize, &
         return;
     }
     assert!(chunk > 0, "par_chunks_mut: chunk size must be positive");
+    let call = audit::next_call_id();
     let ptr = SendPtr(data.as_mut_ptr());
     run(total.div_ceil(chunk), move |i| {
         let start = i * chunk;
         let len = chunk.min(total - start);
+        if let Some(id) = call {
+            audit::record(id, start, len, total);
+        }
         // SAFETY: chunks are disjoint by construction ([start, start+len)
         // for distinct i never overlap) and `data` outlives the enclosing
         // `run`, which joins every task before returning.

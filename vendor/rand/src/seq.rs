@@ -58,7 +58,7 @@ mod tests {
         let v = [1, 2, 3];
         let mut seen = [false; 3];
         for _ in 0..100 {
-            seen[*v.choose(&mut rng).unwrap() as usize - 1] = true;
+            seen[*v.choose(&mut rng).expect("slice is non-empty") as usize - 1] = true;
         }
         assert_eq!(seen, [true; 3]);
         let empty: [i32; 0] = [];

@@ -345,50 +345,50 @@ mod tests {
 
     #[test]
     fn scalar_roundtrips() {
-        assert_eq!(to_string(&true).unwrap(), "true");
-        assert_eq!(to_string(&42u32).unwrap(), "42");
-        assert_eq!(to_string(&-7i64).unwrap(), "-7");
-        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
-        assert_eq!(from_str::<u64>("42").unwrap(), 42);
-        assert_eq!(from_str::<f32>("0.25").unwrap(), 0.25);
-        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+        assert_eq!(to_string(&true).expect("serialize bool"), "true");
+        assert_eq!(to_string(&42u32).expect("serialize u32"), "42");
+        assert_eq!(to_string(&-7i64).expect("serialize i64"), "-7");
+        assert_eq!(to_string(&1.5f64).expect("serialize f64"), "1.5");
+        assert_eq!(from_str::<u64>("42").expect("parse u64"), 42);
+        assert_eq!(from_str::<f32>("0.25").expect("parse f32"), 0.25);
+        assert_eq!(from_str::<String>("\"a\\nb\"").expect("parse escaped string"), "a\nb");
     }
 
     #[test]
     fn float_f32_roundtrip_is_exact() {
         for &x in &[0.1f32, -3.25, 1e-7, 123456.78, f32::MIN_POSITIVE] {
-            let text = to_string(&x).unwrap();
-            let back: f32 = from_str(&text).unwrap();
+            let text = to_string(&x).expect("serialize f32");
+            let back: f32 = from_str(&text).expect("reparse f32");
             assert_eq!(back, x, "{text}");
         }
     }
 
     #[test]
     fn integer_valued_floats_keep_a_float_marker() {
-        let text = to_string(&2.0f32).unwrap();
+        let text = to_string(&2.0f32).expect("serialize f32");
         assert_eq!(text, "2.0");
-        assert_eq!(from_str::<f32>(&text).unwrap(), 2.0);
+        assert_eq!(from_str::<f32>(&text).expect("reparse f32"), 2.0);
     }
 
     #[test]
     fn vec_and_nested_roundtrip() {
         let v = vec![vec![1.0f32, 2.0], vec![3.0]];
-        let text = to_string(&v).unwrap();
-        let back: Vec<Vec<f32>> = from_str(&text).unwrap();
+        let text = to_string(&v).expect("serialize nested vec");
+        let back: Vec<Vec<f32>> = from_str(&text).expect("reparse nested vec");
         assert_eq!(back, v);
     }
 
     #[test]
     fn string_escapes_roundtrip() {
         let s = "quote\" slash\\ tab\t newline\n unicode\u{1F600}control\u{1}".to_string();
-        let text = to_string(&s).unwrap();
-        let back: String = from_str(&text).unwrap();
+        let text = to_string(&s).expect("serialize string");
+        let back: String = from_str(&text).expect("reparse string");
         assert_eq!(back, s);
     }
 
     #[test]
     fn surrogate_pair_parses() {
-        let back: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        let back: String = from_str("\"\\ud83d\\ude00\"").expect("decode surrogate pair");
         assert_eq!(back, "\u{1F600}");
     }
 
@@ -398,9 +398,9 @@ mod tests {
             ("a".into(), Value::UInt(1)),
             ("b".into(), Value::Array(vec![Value::Bool(false), Value::Null])),
         ]);
-        let text = to_string_pretty(&v).unwrap();
+        let text = to_string_pretty(&v).expect("pretty-serialize value");
         assert!(text.contains('\n'));
-        let back: Value = from_str(&text).unwrap();
+        let back: Value = from_str(&text).expect("reparse value");
         assert_eq!(back, v);
     }
 
