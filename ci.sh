@@ -25,6 +25,17 @@ HIERGAT_THREADS=1 cargo test -q -p hiergat-tensor -p parallel
 echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor -p parallel"
 HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor -p parallel
 
+# Arena differential gate: heap-vs-arena training must be bitwise
+# identical for every builtin model under a real single-thread pool and a
+# real 8-wide pool (each run also sweeps split widths 1 and 8 via the
+# in-process override), and steady-state arena steps must allocate no
+# tensors.
+echo "==> HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test arena_differential --test arena_zero_alloc"
+HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test arena_differential --test arena_zero_alloc
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test arena_differential --test arena_zero_alloc"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test arena_differential --test arena_zero_alloc
+
 # Lint gate: every builtin model graph must pass the rule engine with
 # warnings denied, and the kernel write-disjointness race audit must
 # verify under both pool widths (the audit itself also sweeps widths

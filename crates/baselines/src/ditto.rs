@@ -9,7 +9,7 @@
 use crate::traits::PairModel;
 use hiergat_data::EntityPair;
 use hiergat_lm::{LmTier, MiniLm};
-use hiergat_nn::{Adam, Linear, Optimizer, ParamStore, Tape, Var};
+use hiergat_nn::{Adam, ArenaExecutor, ExecutionPlan, Linear, Optimizer, ParamStore, Tape, Var};
 use hiergat_text::tokenize;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,11 +25,14 @@ pub struct DittoConfig {
     pub lr: f32,
     /// Seed.
     pub seed: u64,
+    /// Run training steps through the arena planner (zero steady-state
+    /// allocations, bitwise-identical arithmetic).
+    pub use_arena: bool,
 }
 
 impl Default for DittoConfig {
     fn default() -> Self {
-        Self { lm_tier: LmTier::MiniBase, epochs: 10, lr: 6e-4, seed: 0xd177 }
+        Self { lm_tier: LmTier::MiniBase, epochs: 10, lr: 6e-4, seed: 0xd177, use_arena: false }
     }
 }
 
@@ -43,6 +46,7 @@ pub struct Ditto {
     head_out: Linear,
     opt: Adam,
     rng: StdRng,
+    exec: ArenaExecutor,
 }
 
 impl Ditto {
@@ -66,7 +70,7 @@ impl Ditto {
         );
         let head_out = Linear::new(&mut ps, "ditto.head_out", lm_cfg.d_model, 2, true, &mut rng);
         let opt = Adam::new(cfg.lr);
-        Self { cfg, ps, lm, head_hidden, head_out, opt, rng }
+        Self { cfg, ps, lm, head_hidden, head_out, opt, rng, exec: ArenaExecutor::new() }
     }
 
     /// Loads pre-trained `lm.*` weights.
@@ -152,6 +156,16 @@ impl Ditto {
         hiergat_nn::analyze_graph(&t, loss, &self.ps)
     }
 
+    /// Arena-planner report for the training graph of `pair` (shape-only
+    /// recording; no kernels run).
+    pub fn plan(&self, pair: &EntityPair) -> hiergat_nn::PlanReport {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x51);
+        let mut t = Tape::deferred();
+        let logits = self.forward_rng(&mut t, pair, true, &mut rng);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
+        ExecutionPlan::build(&t, loss).report().clone()
+    }
+
     /// Runs the [`hiergat_nn::lint_graph`] rule engine over the training
     /// graph (shape-only tape, training mode).
     pub fn lint(&self, pair: &EntityPair) -> hiergat_nn::LintReport {
@@ -169,14 +183,21 @@ impl PairModel for Ditto {
     }
 
     fn train_pair_weighted(&mut self, pair: &EntityPair, weight: f32) -> f32 {
-        let mut t = Tape::new();
+        // Clearing at the start (rather than after the optimizer step) leaves
+        // the step's clipped gradients observable for differential testing.
+        self.ps.zero_grad();
+        let mut t = if self.cfg.use_arena { Tape::deferred() } else { Tape::new() };
         let logits = self.forward(&mut t, pair, true);
         let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[weight]);
-        let val = t.value(loss).item();
-        t.backward(loss, &mut self.ps);
+        let val = if self.cfg.use_arena {
+            self.exec.step(&t, loss, &mut self.ps)
+        } else {
+            let v = t.value(loss).item();
+            t.backward(loss, &mut self.ps);
+            v
+        };
         self.ps.clip_grad_norm(5.0);
         self.opt.step(&mut self.ps);
-        self.ps.zero_grad();
         val
     }
 

@@ -9,7 +9,8 @@
 //! Numbers are honest for the machine they ran on: on a single hardware
 //! thread the pool has no workers and `speedup` hovers around 1.0.
 
-use hiergat_tensor::{cost, Tensor};
+use hiergat_nn::{Adam, ArenaExecutor, Optimizer, ParamId, ParamStore, Tape, Var};
+use hiergat_tensor::{alloc_stats, cost, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -91,6 +92,61 @@ impl KernelRow {
 
 fn bits(t: &Tensor) -> Vec<u32> {
     t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// A two-layer classifier training graph (matmul / add_row / tanh / matmul
+/// / cross-entropy) — the steady-state heap-vs-arena workload.
+fn record_train_graph(
+    t: &mut Tape,
+    store: &ParamStore,
+    ids: &[ParamId],
+    x: &Tensor,
+    targets: &[usize],
+) -> Var {
+    let xv = t.input(x.clone());
+    let w1 = t.param(store, ids[0]);
+    let b1 = t.param(store, ids[1]);
+    let w2 = t.param(store, ids[2]);
+    let h = t.matmul(xv, w1);
+    let h = t.add_row(h, b1);
+    let h = t.tanh(h);
+    let logits = t.matmul(h, w2);
+    t.cross_entropy_logits(logits, targets)
+}
+
+fn train_store(seed: u64) -> (ParamStore, Vec<ParamId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ps = ParamStore::new();
+    let ids = vec![
+        ps.add("w1", Tensor::rand_normal(128, 256, 0.0, 0.1, &mut rng)),
+        ps.add("b1", Tensor::zeros(1, 256)),
+        ps.add("w2", Tensor::rand_normal(256, 10, 0.0, 0.1, &mut rng)),
+    ];
+    (ps, ids)
+}
+
+struct TrainModeRow {
+    ms_per_step: f64,
+    allocs_per_step: f64,
+    bytes_per_step: f64,
+    losses: Vec<u32>,
+}
+
+/// Runs `steps` training steps through `step`, timing them and diffing the
+/// global tensor-allocation counters across the loop.
+fn run_train_mode(steps: usize, mut step: impl FnMut() -> f32) -> TrainModeRow {
+    let before = alloc_stats();
+    let t0 = Instant::now();
+    let losses: Vec<u32> = (0..steps).map(|_| step().to_bits()).collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let d = alloc_stats().since(before);
+    let n = steps as f64;
+    TrainModeRow {
+        ms_per_step: elapsed * 1e3 / n,
+        allocs_per_step: d.count as f64 / n,
+        bytes_per_step: d.bytes as f64 / n,
+        losses,
+    }
 }
 
 fn main() {
@@ -177,10 +233,84 @@ fn main() {
     assert!(all_bitwise, "pooled kernels must match serial bitwise");
     assert!(max_rel_err <= 0.10, "analyzer FLOP estimate off by {:.1}%", max_rel_err * 100.0);
 
+    // Steady-state training step, heap vs arena. The heap mode re-records
+    // an eager tape every step (values materialize during recording); the
+    // arena mode replays the cached plan over one deferred tape. Both run
+    // the identical graph from identical seeds, so the loss sequences must
+    // match bitwise, and the arena replay must allocate no tensors at all.
+    const TRAIN_STEPS: usize = 20;
+    let x = Tensor::rand_normal(64, 128, 0.0, 1.0, &mut rng);
+    let targets: Vec<usize> = (0..64).map(|i| i % 10).collect();
+
+    let (mut ps_h, ids_h) = train_store(0xa55a);
+    let mut opt_h = Adam::new(1e-3);
+    let mut heap_step = || {
+        ps_h.zero_grad();
+        let mut t = Tape::new();
+        let loss = record_train_graph(&mut t, &ps_h, &ids_h, &x, &targets);
+        let v = t.value(loss).item();
+        t.backward(loss, &mut ps_h);
+        ps_h.clip_grad_norm(5.0);
+        opt_h.step(&mut ps_h);
+        v
+    };
+
+    let (mut ps_a, ids_a) = train_store(0xa55a);
+    let mut opt_a = Adam::new(1e-3);
+    let mut tape = Tape::deferred();
+    let loss_a = record_train_graph(&mut tape, &ps_a, &ids_a, &x, &targets);
+    let mut exec = ArenaExecutor::new();
+    let arena_planned = exec.plan_report(&tape, loss_a).arena_bytes;
+    let mut arena_step = || {
+        ps_a.zero_grad();
+        let v = exec.step(&tape, loss_a, &mut ps_a);
+        ps_a.clip_grad_norm(5.0);
+        opt_a.step(&mut ps_a);
+        v
+    };
+
+    // Warm-up: plan construction, arena growth, Adam moment state.
+    let (wh, wa) = (heap_step(), arena_step());
+    assert_eq!(wh.to_bits(), wa.to_bits(), "warm-up loss diverged: {wh} vs {wa}");
+    let heap = run_train_mode(TRAIN_STEPS, heap_step);
+    let arena = run_train_mode(TRAIN_STEPS, arena_step);
+    let losses_equal = heap.losses == arena.losses;
+
+    println!("training step (two-layer classifier, {TRAIN_STEPS} steps, heap vs arena):");
+    println!(
+        "  heap  {:>8.3} ms/step  {:>7.1} tensor allocs/step  {:>12.0} bytes/step",
+        heap.ms_per_step, heap.allocs_per_step, heap.bytes_per_step,
+    );
+    println!(
+        "  arena {:>8.3} ms/step  {:>7.1} tensor allocs/step  {:>12.0} bytes/step  \
+         (plan: {arena_planned} B)",
+        arena.ms_per_step, arena.allocs_per_step, arena.bytes_per_step,
+    );
+    println!("  losses bitwise {}", if losses_equal { "ok" } else { "MISMATCH" });
+    assert!(losses_equal, "heap and arena loss sequences must match bitwise");
+    assert!(
+        arena.allocs_per_step == 0.0,
+        "arena steady state must allocate no tensors, saw {}/step",
+        arena.allocs_per_step
+    );
+
     let body: Vec<String> = rows.iter().map(KernelRow::json).collect();
+    let train_json = format!(
+        "  \"train_step\": {{\"graph\": \"mlp_64x128x256x10\", \"steps\": {TRAIN_STEPS}, \
+         \"heap_ms_per_step\": {:.3}, \"heap_allocs_per_step\": {:.1}, \
+         \"heap_bytes_per_step\": {:.0}, \"arena_ms_per_step\": {:.3}, \
+         \"arena_allocs_per_step\": {:.1}, \"arena_bytes_per_step\": {:.0}, \
+         \"arena_planned_bytes\": {arena_planned}, \"loss_bitwise_equal\": {losses_equal}}},",
+        heap.ms_per_step,
+        heap.allocs_per_step,
+        heap.bytes_per_step,
+        arena.ms_per_step,
+        arena.allocs_per_step,
+        arena.bytes_per_step,
+    );
     let json = format!(
         "{{\n  \"threads\": {threads},\n  \"all_bitwise_equal\": {all_bitwise},\n  \
-         \"max_flop_rel_err\": {max_rel_err:.4},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+         \"max_flop_rel_err\": {max_rel_err:.4},\n{train_json}\n  \"kernels\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     );
     // cargo runs benches with cwd = package dir; anchor at the workspace root.

@@ -21,6 +21,10 @@
 //!   engine over the same model graphs plus the kernel write-disjointness
 //!   race audit, failing (deny-by-default) on any diagnostic at or above
 //!   the gate severity.
+//! * `plan    [--dataset amazon-google] [--scale 0.5]`
+//!   builds the ahead-of-time arena memory plan for each model's training
+//!   graph and prints the per-model arena budget (planned arena bytes vs
+//!   the naive sum of buffer sizes vs the liveness lower bound).
 //!
 //! `train` and `demo` also accept `--analyze` to run the same static
 //! check on the model being trained before epoch 0.
@@ -73,7 +77,8 @@ usage:
   hiergat block   --left FILE --right FILE [--top N]
   hiergat demo    [--dataset NAME] [--scale S] [--epochs N]
   hiergat analyze [--dataset NAME] [--scale S]
-  hiergat lint    [--dataset NAME] [--scale S] [--deny warn|deny] [--json]";
+  hiergat lint    [--dataset NAME] [--scale S] [--deny warn|deny] [--json]
+  hiergat plan    [--dataset NAME] [--scale S]";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
@@ -85,6 +90,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "demo" => cmd_demo(&args),
         "analyze" => cmd_analyze(&args),
         "lint" => cmd_lint(&args),
+        "plan" => cmd_plan(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -346,15 +352,53 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let kind = dataset_of(args)?;
+    let scale: f64 = args.get_parsed("scale").unwrap_or(Ok(0.5))?;
+    let tier = tier_of(args)?;
+    let ds = kind.load(scale);
+    let pair = ds.train.first().ok_or("dataset has no training pairs")?;
+    let arity = ds.arity().max(1);
+    let ds_c = kind.load_collective(scale);
+    let ex = ds_c.train.first().ok_or("collective dataset has no training examples")?;
+
+    let show = |name: &str, report: &hiergat_nn::PlanReport| {
+        println!("{name:24} {report}");
+    };
+    let hiergat = HierGat::new(HierGatConfig::pairwise().with_tier(tier), arity);
+    show("HierGAT (pairwise)", &hiergat.plan_pair(pair));
+    let plus =
+        HierGat::new(HierGatConfig::collective().with_tier(tier), ex.query.attrs.len().max(1));
+    show("HierGAT+ (collective)", &plus.plan_collective(ex));
+    show("Ditto", &Ditto::new(DittoConfig { lm_tier: tier, ..Default::default() }).plan(pair));
+    show("DeepMatcher", &DeepMatcher::new(DeepMatcherConfig::default(), arity).plan(pair));
+    show("DM+", &DmPlus::new(DmPlusConfig::default(), arity).plan(pair));
+    for gk in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Hgat] {
+        let name = format!("{} (collective)", gk.name());
+        show(&name, &GnnCollective::new(gk, GnnConfig::default()).plan(ex));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn usage_lists_all_subcommands() {
-        for cmd in ["train", "predict", "block", "demo", "analyze", "lint"] {
+        for cmd in ["train", "predict", "block", "demo", "analyze", "lint", "plan"] {
             assert!(USAGE.contains(cmd));
         }
+    }
+
+    #[test]
+    fn plan_prints_budgets_for_all_models() {
+        let argv: Vec<String> =
+            ["plan", "--dataset", "fodors-zagats", "--scale", "0.2", "--tier", "dbert"]
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+        run(&argv).expect("plan");
     }
 
     #[test]

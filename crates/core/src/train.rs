@@ -79,6 +79,9 @@ pub fn preflight_pairwise(model: &HierGat, ds: &PairDataset) -> Option<hiergat_n
     let pair = ds.train.first()?;
     let report = model.analyze_pair(pair);
     report_preflight(&ds.name, ds.train.len(), &report);
+    if model.config().use_arena {
+        eprintln!("[preflight] {}: arena plan {}", ds.name, model.plan_pair(pair));
+    }
     Some(report)
 }
 
@@ -90,6 +93,9 @@ pub fn preflight_collective(
     let ex = ds.train.first()?;
     let report = model.analyze_collective(ex);
     report_preflight(&ds.name, ds.train.len(), &report);
+    if model.config().use_arena {
+        eprintln!("[preflight] {}: arena plan {}", ds.name, model.plan_collective(ex));
+    }
     Some(report)
 }
 

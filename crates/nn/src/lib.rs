@@ -18,14 +18,15 @@ mod layers;
 pub mod lint;
 mod optim;
 mod params;
+pub mod plan;
 mod tape;
 
 #[cfg(test)]
 mod proptests;
 
 pub use analyze::{
-    analyze_graph, cost_analysis, finite_audit, CostReport, DeadParam, GraphReport, OpCost,
-    SentinelHit, ShapeViolation, UnusedNode,
+    analyze_graph, cost_analysis, finite_audit, peak_bytes_backward, CostReport, DeadParam,
+    GraphReport, OpCost, SentinelHit, ShapeViolation, UnusedNode,
 };
 pub use layers::{
     GruCell, LayerNorm, Linear, MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer,
@@ -33,4 +34,5 @@ pub use layers::{
 pub use lint::{lint_graph, Diagnostic, LintConfig, LintReport, Severity};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use plan::{ArenaExecutor, ExecutionPlan, PlanReport, PlannedSlot};
 pub use tape::{Tape, Var};

@@ -44,15 +44,15 @@ impl Optimizer for Sgd {
             if store.is_frozen(id) {
                 continue;
             }
-            let grad = store.grad(id).clone();
+            let (value, grad) = store.value_and_grad_mut(id);
             if self.momentum > 0.0 {
                 let v = &mut self.velocity[i];
                 for (vv, gv) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
                     *vv = self.momentum * *vv + gv;
                 }
-                store.value_mut(id).axpy(-self.lr, &self.velocity[i].clone());
+                value.axpy(-self.lr, v);
             } else {
-                store.value_mut(id).axpy(-self.lr, &grad);
+                value.axpy(-self.lr, grad);
             }
         }
     }
@@ -112,7 +112,7 @@ impl Optimizer for Adam {
             if store.is_frozen(id) {
                 continue;
             }
-            let grad = store.grad(id).clone();
+            let (value, grad) = store.value_and_grad_mut(id);
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             for ((mv, vv), gv) in
@@ -124,14 +124,8 @@ impl Optimizer for Adam {
             }
             let lr = self.lr;
             let (eps, wd) = (self.eps, self.weight_decay);
-            let m_snapshot = m.clone();
-            let v_snapshot = v.clone();
-            let value = store.value_mut(id);
-            for ((pv, mv), vv) in value
-                .as_mut_slice()
-                .iter_mut()
-                .zip(m_snapshot.as_slice())
-                .zip(v_snapshot.as_slice())
+            for ((pv, mv), vv) in
+                value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
             {
                 let m_hat = mv / bc1;
                 let v_hat = vv / bc2;

@@ -113,11 +113,28 @@ impl ParamStore {
         self.params[id.0].grad.add_assign(delta);
     }
 
-    /// Zeroes every gradient. Call between optimizer steps.
+    /// Adds a raw `f32` buffer into the gradient of `id` (the arena
+    /// executor's allocation-free equivalent of [`Self::accumulate_grad`]).
+    pub fn accumulate_grad_slice(&mut self, id: ParamId, delta: &[f32]) {
+        let grad = self.params[id.0].grad.as_mut_slice();
+        assert_eq!(grad.len(), delta.len(), "accumulate_grad_slice: length mismatch");
+        for (g, d) in grad.iter_mut().zip(delta) {
+            *g += d;
+        }
+    }
+
+    /// Mutable value and the matching gradient, borrowed together so an
+    /// optimizer can update in place without cloning the gradient.
+    pub fn value_and_grad_mut(&mut self, id: ParamId) -> (&mut Tensor, &Tensor) {
+        let p = &mut self.params[id.0];
+        (&mut p.value, &p.grad)
+    }
+
+    /// Zeroes every gradient in place (no reallocation). Call between
+    /// optimizer steps.
     pub fn zero_grad(&mut self) {
         for p in &mut self.params {
-            let (r, c) = p.grad.shape();
-            p.grad = Tensor::zeros(r, c);
+            p.grad.as_mut_slice().fill(0.0);
         }
     }
 

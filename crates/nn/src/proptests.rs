@@ -236,6 +236,55 @@ proptest! {
         );
     }
 
+    /// The arena planner's core invariants hold on random op chains: every
+    /// slot fits inside the arena, any two slots whose live intervals
+    /// overlap get disjoint spans (the aliasing invariant the executor's
+    /// correctness rests on), and the planned size is sandwiched between
+    /// the liveness-theoretic lower bound and the no-reuse naive sum.
+    #[test]
+    fn planner_spans_are_disjoint_and_bounded(
+        seed in 0u64..1000,
+        ops in proptest::collection::vec(arb_unary(), 1..5),
+        rows in 2usize..6,
+        cols in 2usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let a = ps.add("a", Tensor::rand_normal(rows, cols, 0.0, 0.8, &mut rng));
+        let b = ps.add("b", Tensor::rand_normal(rows, cols, 0.0, 0.8, &mut rng));
+        let mut t = Tape::deferred();
+        let av = t.param(&ps, a);
+        let bv = t.param(&ps, b);
+        let mut x = t.add(av, bv);
+        for &op in &ops {
+            x = apply(&mut t, op, x);
+        }
+        // Fan `a` back in so at least one value stays live across the whole
+        // chain, forcing overlapping intervals.
+        let y = t.mul(x, av);
+        let loss = t.mean_all(y);
+        let plan = crate::plan::ExecutionPlan::build(&t, loss);
+        let report = plan.report();
+        let elems = plan.arena_elems();
+        prop_assert_eq!(report.arena_bytes, (elems * size_of::<f32>()) as u64);
+        for s in plan.slots() {
+            prop_assert!(s.start_time <= s.end_time, "inverted interval {s:?}");
+            prop_assert!(s.span.start + s.span.len <= elems, "slot out of arena: {s:?}");
+        }
+        for (i, si) in plan.slots().iter().enumerate() {
+            for sj in &plan.slots()[i + 1..] {
+                let live_overlap = si.start_time <= sj.end_time && sj.start_time <= si.end_time;
+                if live_overlap && si.span.len > 0 && sj.span.len > 0 {
+                    let disjoint = si.span.start + si.span.len <= sj.span.start
+                        || sj.span.start + sj.span.len <= si.span.start;
+                    prop_assert!(disjoint, "aliasing live slots: {si:?} vs {sj:?}");
+                }
+            }
+        }
+        prop_assert!(report.arena_bytes >= report.lower_bound_bytes, "{report}");
+        prop_assert!(report.arena_bytes <= report.naive_bytes, "{report}");
+    }
+
     /// Weighted cross-entropy equals plain cross-entropy at unit weights.
     #[test]
     fn weighted_ce_reduces_to_plain_ce(

@@ -231,6 +231,7 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     shape_only: bool,
+    deferred: bool,
     violations: Vec<ShapeViolation>,
 }
 
@@ -251,9 +252,30 @@ impl Tape {
         Self { shape_only: true, ..Self::default() }
     }
 
+    /// Creates a tape whose ops record **true** shapes but no values:
+    /// non-leaf nodes hold storage-free [`Tensor::placeholder`]s and the
+    /// whole graph executes later through an arena plan
+    /// (`hiergat_nn::plan`).
+    ///
+    /// Differences from [`Self::shape_only`]: shapes are exact (no 1x1
+    /// clamping of degenerate dims), a shape violation panics instead of
+    /// being collected (an invalid graph cannot be planned), input tensors
+    /// keep their real data (the executor copies leaf values from the tape
+    /// and the [`ParamStore`]), and dropout samples its mask with exactly
+    /// the eager RNG stream so arena execution is bitwise identical to
+    /// eager execution.
+    pub fn deferred() -> Self {
+        Self { deferred: true, ..Self::default() }
+    }
+
     /// `true` if this tape skips kernels and only tracks shapes.
     pub fn is_shape_only(&self) -> bool {
         self.shape_only
+    }
+
+    /// `true` if this tape records true shapes for arena execution.
+    pub fn is_deferred(&self) -> bool {
+        self.deferred
     }
 
     /// Shape-constraint failures collected during shape-only recording.
@@ -319,17 +341,35 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
+    /// Deferred recording: infer the exact output shape and push a
+    /// storage-free placeholder. A shape violation is a hard error here — an
+    /// invalid graph cannot be planned, so there is no best-effort fallback.
+    fn push_deferred(&mut self, op: Op) -> Var {
+        let ((rows, cols), violation) = analyze::infer_shape(self, &op);
+        if let Some(message) = violation {
+            panic!("deferred tape op #{} ({}): {message}", self.nodes.len(), op.name());
+        }
+        self.nodes.push(Node { value: Tensor::placeholder(rows, cols), op });
+        Var(self.nodes.len() - 1)
+    }
+
     /// Records `op`, computing its value with `eager` unless this is a
-    /// shape-only tape.
+    /// shape-only or deferred tape.
     fn record(&mut self, op: Op, eager: impl FnOnce(&Self) -> Tensor) -> Var {
         if self.shape_only {
             return self.push_inferred(op);
+        }
+        if self.deferred {
+            return self.push_deferred(op);
         }
         let value = eager(self);
         self.push(value, op)
     }
 
     /// Records a constant input tensor.
+    ///
+    /// Inputs keep their real data even on deferred tapes: the arena
+    /// executor reads leaf values straight from the tape.
     pub fn input(&mut self, value: Tensor) -> Var {
         self.push(value, Op::Input)
     }
@@ -341,6 +381,13 @@ impl Tape {
 
     /// Records a parameter leaf; gradients will accumulate in the store.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        if self.deferred {
+            // The executor reads the live parameter from the store at
+            // execution time; cloning the value here would be both a wasted
+            // allocation and a staleness hazard across optimizer steps.
+            let (rows, cols) = store.value(id).shape();
+            return self.push(Tensor::placeholder(rows, cols), Op::Param(id));
+        }
         self.push(store.value(id).clone(), Op::Param(id))
     }
 
@@ -570,6 +617,22 @@ impl Tape {
         }
         assert!(p < 1.0, "dropout: p must be < 1");
         let keep = 1.0 - p;
+        if self.deferred {
+            // The mask is sampled here, with exactly the eager loop below, so
+            // a deferred tape consumes the same RNG stream as an eager tape
+            // and arena execution replays identical masks. Only the product
+            // is deferred.
+            let (rows, cols) = self.value(x).shape();
+            let mut mask = Tensor::zeros(rows, cols);
+            for m in mask.as_mut_slice() {
+                if rng.gen::<f32>() < keep {
+                    *m = 1.0 / keep;
+                }
+            }
+            self.nodes
+                .push(Node { value: Tensor::placeholder(rows, cols), op: Op::Dropout { x, mask } });
+            return Var(self.nodes.len() - 1);
+        }
         let xv = self.value(x);
         let mut mask = Tensor::zeros(xv.rows(), xv.cols());
         for m in mask.as_mut_slice() {
@@ -660,10 +723,12 @@ impl Tape {
     /// accumulating parameter gradients into `store`.
     ///
     /// # Panics
-    /// Panics if `loss` is not `1 x 1`, or if called on a shape-only tape
-    /// (placeholder values have no gradients).
+    /// Panics if `loss` is not `1 x 1`, or if called on a shape-only or
+    /// deferred tape (placeholder values have no gradients; deferred tapes
+    /// differentiate through `hiergat_nn::plan::ArenaExecutor`).
     pub fn backward(&self, loss: Var, store: &mut ParamStore) {
         assert!(!self.shape_only, "backward: shape-only tapes record no values");
+        assert!(!self.deferred, "backward: deferred tapes execute through the arena planner");
         assert!(self.value(loss).is_scalar(), "backward: loss must be scalar");
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
@@ -1122,5 +1187,64 @@ mod tests {
         let y = t.dropout(x, 0.5, true, &mut rng);
         assert_eq!(t.value(y).shape(), (4, 6));
         assert_eq!(rng, before, "shape-only dropout must not consume the RNG");
+    }
+
+    #[test]
+    fn deferred_records_true_shapes_without_values() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::ones(3, 2));
+        let mut t = Tape::deferred();
+        assert!(t.is_deferred());
+        let x = t.input(Tensor::ones(4, 3));
+        let wv = t.param(&ps, w);
+        let y = t.matmul(x, wv);
+        let loss = t.sum_all(y);
+        // Inputs keep real data; everything else is a storage-free placeholder.
+        assert!(!t.value(x).is_placeholder());
+        assert!(t.value(wv).is_placeholder());
+        assert!(t.value(y).is_placeholder());
+        assert_eq!(t.value(wv).shape(), (3, 2));
+        assert_eq!(t.value(y).shape(), (4, 2));
+        assert_eq!(t.value(loss).shape(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "deferred tape op")]
+    fn deferred_shape_violation_panics() {
+        let mut t = Tape::deferred();
+        let a = t.input(Tensor::ones(2, 3));
+        let b = t.input(Tensor::ones(4, 5));
+        t.matmul(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "deferred tapes execute through the arena planner")]
+    fn backward_rejects_deferred_tapes() {
+        let mut ps = ParamStore::new();
+        let mut t = Tape::deferred();
+        let x = t.input(Tensor::zeros(1, 1));
+        let loss = t.sum_all(x);
+        t.backward(loss, &mut ps);
+    }
+
+    #[test]
+    fn deferred_dropout_consumes_eager_rng_stream() {
+        let mut rng_eager = StdRng::seed_from_u64(11);
+        let mut rng_def = rng_eager.clone();
+
+        let mut eager = Tape::new();
+        let xe = eager.input(Tensor::ones(4, 6));
+        eager.dropout(xe, 0.4, true, &mut rng_eager);
+
+        let mut def = Tape::deferred();
+        let xd = def.input(Tensor::ones(4, 6));
+        let yd = def.dropout(xd, 0.4, true, &mut rng_def);
+
+        assert_eq!(rng_eager, rng_def, "deferred dropout must match eager RNG consumption");
+        assert!(def.value(yd).is_placeholder());
+        let Op::Dropout { mask, .. } = def.op_at(yd.index()) else {
+            panic!("expected dropout node");
+        };
+        assert!(!mask.is_placeholder(), "deferred dropout mask must carry real data");
     }
 }

@@ -1,0 +1,212 @@
+//! A contiguous `f32` arena with planned spans and safe split-borrow views.
+//!
+//! The ahead-of-time planner in `hiergat-nn` assigns every tape node (and
+//! gradient buffer) a [`Span`] inside one [`Arena`], reusing storage between
+//! nodes whose live intervals do not overlap. Executing an op then needs to
+//! *write* one span while *reading* others; [`Arena::view_mut`] hands out an
+//! [`ArenaView`] that makes this safe without `unsafe`: the buffer is split
+//! around the write span with `split_at_mut`, and every read is checked
+//! against the write span.
+//!
+//! # Aliasing invariant
+//! A correct plan never asks an op to read a span that overlaps the span it
+//! is writing — two simultaneously-live buffers are assigned disjoint
+//! storage. [`ArenaView::read`] panics if that invariant is violated, so a
+//! planner bug surfaces as a loud failure instead of silent corruption.
+
+/// A range of `f32` elements inside an [`Arena`]: `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First element index.
+    pub start: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl Span {
+    /// The empty span (used for zero-sized buffers; never aliases anything).
+    pub const EMPTY: Span = Span { start: 0, len: 0 };
+
+    /// One past the last element.
+    #[inline]
+    pub fn end(self) -> usize {
+        self.start + self.len
+    }
+
+    /// `true` if the two spans share at least one element.
+    #[inline]
+    pub fn overlaps(self, other: Span) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// One contiguous `f32` buffer holding every planned span.
+#[derive(Debug, Default)]
+pub struct Arena {
+    buf: Vec<f32>,
+}
+
+impl Arena {
+    /// An arena with no storage; grow it with [`Self::ensure_len`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the buffer to at least `len` elements (never shrinks, so a
+    /// cached plan for a larger graph keeps its storage across steps).
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.buf.len() < len {
+            self.buf.resize(len, 0.0);
+        }
+    }
+
+    /// Current capacity in elements.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if the arena holds no storage.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Immutable view of a span.
+    #[inline]
+    pub fn read(&self, s: Span) -> &[f32] {
+        &self.buf[s.start..s.end()]
+    }
+
+    /// Mutable view of a span (sole borrow; use [`Self::view_mut`] when the
+    /// op also needs to read other spans).
+    #[inline]
+    pub fn write(&mut self, s: Span) -> &mut [f32] {
+        &mut self.buf[s.start..s.end()]
+    }
+
+    /// Splits the arena around write span `w`, returning a view that can
+    /// mutate `w` while reading any non-overlapping span.
+    #[inline]
+    pub fn view_mut(&mut self, w: Span) -> ArenaView<'_> {
+        let (lo, rest) = self.buf.split_at_mut(w.start);
+        let (out, hi) = rest.split_at_mut(w.len);
+        ArenaView { out, rd: SpanReader { lo, hi, w, hi_off: w.start + w.len } }
+    }
+}
+
+/// Read access to everything in an [`Arena`] *except* one write span.
+///
+/// Shared references are `Copy`, so a `SpanReader` can be captured by value
+/// while the matching write slice is lent out separately (see
+/// [`ArenaView::split`]) — the shape kernels like `matmul_into` need input
+/// and output slices at the same time.
+#[derive(Clone, Copy)]
+pub struct SpanReader<'a> {
+    lo: &'a [f32],
+    hi: &'a [f32],
+    w: Span,
+    hi_off: usize,
+}
+
+impl<'a> SpanReader<'a> {
+    /// Reads a span that must not overlap the write span.
+    ///
+    /// # Panics
+    /// Panics if `s` overlaps the write span — the planner's aliasing
+    /// invariant guarantees this never happens for a correct plan.
+    #[inline]
+    pub fn read(&self, s: Span) -> &'a [f32] {
+        if s.len == 0 {
+            return &[];
+        }
+        assert!(
+            !s.overlaps(self.w),
+            "arena aliasing violation: read span [{}, {}) overlaps write span [{}, {})",
+            s.start,
+            s.end(),
+            self.w.start,
+            self.w.end()
+        );
+        if s.end() <= self.w.start {
+            &self.lo[s.start..s.end()]
+        } else {
+            &self.hi[s.start - self.hi_off..s.end() - self.hi_off]
+        }
+    }
+}
+
+/// A split borrow of an [`Arena`]: one mutable write span plus read access
+/// to everything else.
+pub struct ArenaView<'a> {
+    out: &'a mut [f32],
+    rd: SpanReader<'a>,
+}
+
+impl<'a> ArenaView<'a> {
+    /// The write span.
+    #[inline]
+    pub fn out(&mut self) -> &mut [f32] {
+        self.out
+    }
+
+    /// Reads a span that must not overlap the write span (see
+    /// [`SpanReader::read`] for the aliasing contract).
+    #[inline]
+    pub fn read(&self, s: Span) -> &[f32] {
+        self.rd.read(s)
+    }
+
+    /// Consumes the view, handing out the write slice and the reader as
+    /// independent borrows — required when one kernel call takes both.
+    #[inline]
+    pub fn split(self) -> (&'a mut [f32], SpanReader<'a>) {
+        (self.out, self.rd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_overlap_cases() {
+        let a = Span { start: 0, len: 4 };
+        let b = Span { start: 4, len: 4 };
+        let c = Span { start: 3, len: 2 };
+        assert!(!a.overlaps(b));
+        assert!(a.overlaps(c));
+        assert!(b.overlaps(c));
+        assert!(!Span::EMPTY.overlaps(a));
+    }
+
+    #[test]
+    fn view_reads_both_sides_of_the_write_span() {
+        let mut ar = Arena::new();
+        ar.ensure_len(12);
+        ar.write(Span { start: 0, len: 4 }).copy_from_slice(&[1.0; 4]);
+        ar.write(Span { start: 8, len: 4 }).copy_from_slice(&[2.0; 4]);
+        let mut v = ar.view_mut(Span { start: 4, len: 4 });
+        let lo = v.read(Span { start: 0, len: 4 }).to_vec();
+        let hi = v.read(Span { start: 8, len: 4 }).to_vec();
+        for (o, (a, b)) in v.out().iter_mut().zip(lo.iter().zip(&hi)) {
+            *o = a + b;
+        }
+        assert_eq!(ar.read(Span { start: 4, len: 4 }), &[3.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliasing violation")]
+    fn overlapping_read_panics() {
+        let mut ar = Arena::new();
+        ar.ensure_len(8);
+        let v = ar.view_mut(Span { start: 2, len: 4 });
+        let _ = v.read(Span { start: 4, len: 2 });
+    }
+
+    #[test]
+    fn ensure_len_never_shrinks() {
+        let mut ar = Arena::new();
+        ar.ensure_len(16);
+        ar.ensure_len(4);
+        assert_eq!(ar.len(), 16);
+    }
+}

@@ -32,16 +32,24 @@ impl std::error::Error for ShapeError {}
 /// `Tensor` is the only numeric container in the workspace. Rows typically
 /// correspond to tokens (for sequences), graph nodes (for the HHG), or
 /// examples (for classifier inputs); columns are feature dimensions.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
 }
 
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        crate::stats::record(self.data.len());
+        Self { rows: self.rows, cols: self.cols, data: self.data.clone() }
+    }
+}
+
 impl Tensor {
     /// Creates a `rows x cols` tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        crate::stats::record(rows * cols);
         Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
@@ -52,12 +60,31 @@ impl Tensor {
 
     /// Creates a `rows x cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        crate::stats::record(rows * cols);
         Self { rows, cols, data: vec![value; rows * cols] }
     }
 
     /// Creates a `1 x 1` tensor holding `value`.
     pub fn scalar(value: f32) -> Self {
+        crate::stats::record(1);
         Self { rows: 1, cols: 1, data: vec![value] }
+    }
+
+    /// Creates a shape-only tensor with **no backing storage**.
+    ///
+    /// Deferred tapes record one placeholder per node: shape queries
+    /// ([`Self::rows`], [`Self::cols`], [`Self::shape`]) work, but any data
+    /// access panics on the empty buffer. Placeholders are never counted by
+    /// [`crate::alloc_stats`] — their values live in a planned
+    /// [`crate::Arena`] instead.
+    pub fn placeholder(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: Vec::new() }
+    }
+
+    /// `true` if this tensor is a shape-only [`Self::placeholder`] (a
+    /// non-empty shape whose backing buffer is missing).
+    pub fn is_placeholder(&self) -> bool {
+        self.data.len() != self.rows * self.cols
     }
 
     /// Creates an identity matrix of size `n x n`.
@@ -76,6 +103,7 @@ impl Tensor {
         if data.len() != rows * cols {
             return Err(ShapeError { rows, cols, len: data.len() });
         }
+        crate::stats::record(data.len());
         Ok(Self { rows, cols, data })
     }
 
@@ -91,16 +119,19 @@ impl Tensor {
             assert_eq!(r.len(), cols, "from_rows: row {i} has length {} != {cols}", r.len());
             data.extend_from_slice(r);
         }
+        crate::stats::record(data.len());
         Self { rows: rows.len(), cols, data }
     }
 
     /// Creates a `1 x n` row vector from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
+        crate::stats::record(values.len());
         Self { rows: 1, cols: values.len(), data: values.to_vec() }
     }
 
     /// Creates an `n x 1` column vector from a slice.
     pub fn col_vector(values: &[f32]) -> Self {
+        crate::stats::record(values.len());
         Self { rows: values.len(), cols: 1, data: values.to_vec() }
     }
 

@@ -31,6 +31,7 @@
 //! assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
 //! ```
 
+pub mod arena;
 pub mod audit;
 pub mod cost;
 mod dense;
@@ -38,10 +39,17 @@ mod init;
 mod ops;
 mod reduce;
 mod slice;
+mod stats;
 
+pub use arena::{Arena, ArenaView, Span, SpanReader};
 pub use audit::{race_audit, KernelAudit, RaceAuditReport};
 pub use dense::{ShapeError, Tensor};
-pub use ops::{gelu_grad_scalar, gelu_scalar};
+pub use ops::{
+    gelu_grad_scalar, gelu_scalar, log_softmax_rows_inplace, matmul_into, matmul_nt_into,
+    matmul_tn_into, softmax_rows_inplace,
+};
+pub use reduce::row_moments_into;
+pub use stats::{alloc_stats, AllocStats};
 
 #[cfg(test)]
 mod proptests;

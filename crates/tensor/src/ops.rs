@@ -128,6 +128,83 @@ fn log_softmax_row(row: &mut [f32]) {
     }
 }
 
+/// `out = a (r x k) * b (k x c)` over raw row-major buffers. Zero-fills
+/// `out` first, then runs the exact block geometry of [`Tensor::matmul`],
+/// so results are bitwise identical to the tensor method. This is the entry
+/// point the arena executor uses to run matmuls into planned spans.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize, c: usize) {
+    debug_assert_eq!(a.len(), r * k, "matmul_into: lhs buffer");
+    debug_assert_eq!(b.len(), k * c, "matmul_into: rhs buffer");
+    debug_assert_eq!(out.len(), r * c, "matmul_into: out buffer");
+    out.fill(0.0);
+    if r == 0 || k == 0 || c == 0 {
+        return;
+    }
+    par_row_blocks(r, c, cost::matmul_flops(r, k, c), out, |row0, block| {
+        let rows = block.len() / c;
+        matmul_rows(&a[row0 * k..(row0 + rows) * k], b, block, k, c);
+    });
+}
+
+/// `out = a^T (k x r) * b (k x c)` over raw buffers; bitwise identical to
+/// [`Tensor::matmul_tn`]. Zero-fills `out` first.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, r: usize, c: usize) {
+    debug_assert_eq!(a.len(), k * r, "matmul_tn_into: lhs buffer");
+    debug_assert_eq!(b.len(), k * c, "matmul_tn_into: rhs buffer");
+    debug_assert_eq!(out.len(), r * c, "matmul_tn_into: out buffer");
+    out.fill(0.0);
+    if r == 0 || k == 0 || c == 0 {
+        return;
+    }
+    par_row_blocks(r, c, cost::matmul_flops(r, k, c), out, |row0, block| {
+        matmul_tn_rows(a, b, block, row0, k, r, c);
+    });
+}
+
+/// `out = a (r x k) * b^T (c x k)` over raw buffers; bitwise identical to
+/// [`Tensor::matmul_nt`]. Zero-fills `out` first.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize, c: usize) {
+    debug_assert_eq!(a.len(), r * k, "matmul_nt_into: lhs buffer");
+    debug_assert_eq!(b.len(), c * k, "matmul_nt_into: rhs buffer");
+    debug_assert_eq!(out.len(), r * c, "matmul_nt_into: out buffer");
+    out.fill(0.0);
+    if r == 0 || k == 0 || c == 0 {
+        return;
+    }
+    par_row_blocks(r, c, cost::matmul_flops(r, k, c), out, |row0, block| {
+        let rows = block.len() / c;
+        matmul_nt_rows(&a[row0 * k..(row0 + rows) * k], b, block, k, c);
+    });
+}
+
+/// Row-wise softmax over a raw `r x c` buffer, in place; bitwise identical
+/// to [`Tensor::softmax_rows`] (same block geometry, same per-row kernel).
+pub fn softmax_rows_inplace(data: &mut [f32], r: usize, c: usize) {
+    debug_assert_eq!(data.len(), r * c, "softmax_rows_inplace: buffer");
+    if r == 0 || c == 0 {
+        return;
+    }
+    par_row_blocks(r, c, cost::softmax_flops(r, c), data, |_, block| {
+        for row in block.chunks_exact_mut(c) {
+            softmax_row(row);
+        }
+    });
+}
+
+/// Row-wise log-softmax over a raw `r x c` buffer, in place; bitwise
+/// identical to [`Tensor::log_softmax_rows`].
+pub fn log_softmax_rows_inplace(data: &mut [f32], r: usize, c: usize) {
+    debug_assert_eq!(data.len(), r * c, "log_softmax_rows_inplace: buffer");
+    if r == 0 || c == 0 {
+        return;
+    }
+    par_row_blocks(r, c, cost::softmax_flops(r, c), data, |_, block| {
+        for row in block.chunks_exact_mut(c) {
+            log_softmax_row(row);
+        }
+    });
+}
+
 impl Tensor {
     /// Elementwise sum `self + other`.
     ///
@@ -256,15 +333,7 @@ impl Tensor {
         );
         let (r, k, c) = (self.rows(), self.cols(), other.cols());
         let mut out = Tensor::zeros(r, c);
-        if r == 0 || k == 0 || c == 0 {
-            return out;
-        }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        par_row_blocks(r, c, cost::matmul_flops(r, k, c), out.as_mut_slice(), |row0, block| {
-            let rows = block.len() / c;
-            matmul_rows(&a[row0 * k..(row0 + rows) * k], b, block, k, c);
-        });
+        matmul_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), r, k, c);
         out
     }
 
@@ -282,14 +351,7 @@ impl Tensor {
         assert_eq!(self.rows(), other.rows(), "matmul_tn: leading dims differ");
         let (k, r, c) = (self.rows(), self.cols(), other.cols());
         let mut out = Tensor::zeros(r, c);
-        if r == 0 || k == 0 || c == 0 {
-            return out;
-        }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        par_row_blocks(r, c, cost::matmul_flops(r, k, c), out.as_mut_slice(), |row0, block| {
-            matmul_tn_rows(a, b, block, row0, k, r, c);
-        });
+        matmul_tn_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), k, r, c);
         out
     }
 
@@ -306,15 +368,7 @@ impl Tensor {
         assert_eq!(self.cols(), other.cols(), "matmul_nt: trailing dims differ");
         let (r, k, c) = (self.rows(), self.cols(), other.rows());
         let mut out = Tensor::zeros(r, c);
-        if r == 0 || k == 0 || c == 0 {
-            return out;
-        }
-        let a = self.as_slice();
-        let b = other.as_slice();
-        par_row_blocks(r, c, cost::matmul_flops(r, k, c), out.as_mut_slice(), |row0, block| {
-            let rows = block.len() / c;
-            matmul_nt_rows(&a[row0 * k..(row0 + rows) * k], b, block, k, c);
-        });
+        matmul_nt_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), r, k, c);
         out
     }
 
@@ -360,14 +414,7 @@ impl Tensor {
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
         let (r, c) = self.shape();
-        if r == 0 || c == 0 {
-            return out;
-        }
-        par_row_blocks(r, c, cost::softmax_flops(r, c), out.as_mut_slice(), |_, block| {
-            for row in block.chunks_exact_mut(c) {
-                softmax_row(row);
-            }
-        });
+        softmax_rows_inplace(out.as_mut_slice(), r, c);
         out
     }
 
@@ -380,14 +427,7 @@ impl Tensor {
     pub fn log_softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
         let (r, c) = self.shape();
-        if r == 0 || c == 0 {
-            return out;
-        }
-        par_row_blocks(r, c, cost::softmax_flops(r, c), out.as_mut_slice(), |_, block| {
-            for row in block.chunks_exact_mut(c) {
-                log_softmax_row(row);
-            }
-        });
+        log_softmax_rows_inplace(out.as_mut_slice(), r, c);
         out
     }
 

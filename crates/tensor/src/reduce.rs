@@ -2,6 +2,30 @@
 
 use crate::Tensor;
 
+/// Interleaved per-row `[mean, variance]` statistics of a raw `r x c`
+/// row-major buffer, written into `stats` (`r x 2`), with the same block
+/// geometry as [`Tensor::row_moments`] — bitwise identical to the tensor
+/// method. This is the entry point the arena executor uses for the fused
+/// layer-norm forward/backward.
+pub fn row_moments_into(src: &[f32], stats: &mut [f32], r: usize, c: usize) {
+    debug_assert_eq!(src.len(), r * c, "row_moments_into: src buffer");
+    debug_assert_eq!(stats.len(), r * 2, "row_moments_into: stats buffer");
+    if r == 0 || c == 0 {
+        return;
+    }
+    let cf = c as f32;
+    crate::ops::par_row_blocks(r, 2, crate::cost::row_moments_flops(r, c), stats, |row0, block| {
+        for (di, s) in block.chunks_exact_mut(2).enumerate() {
+            let i = row0 + di;
+            let row = &src[i * c..(i + 1) * c];
+            let m = row.iter().sum::<f32>() / cf;
+            let v = row.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / cf;
+            s[0] = m;
+            s[1] = v;
+        }
+    });
+}
+
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
@@ -90,30 +114,13 @@ impl Tensor {
     /// are bitwise identical across thread counts), then unzip serially.
     pub fn row_moments(&self) -> (Tensor, Tensor) {
         let (r, c) = self.shape();
-        let cf = c as f32;
         let mut mean = Tensor::zeros(r, 1);
         let mut var = Tensor::zeros(r, 1);
         if r == 0 || c == 0 {
             return (mean, var);
         }
-        let src = self.as_slice();
         let mut stats = Tensor::zeros(r, 2);
-        crate::ops::par_row_blocks(
-            r,
-            2,
-            crate::cost::row_moments_flops(r, c),
-            stats.as_mut_slice(),
-            |row0, block| {
-                for (di, s) in block.chunks_exact_mut(2).enumerate() {
-                    let i = row0 + di;
-                    let row = &src[i * c..(i + 1) * c];
-                    let m = row.iter().sum::<f32>() / cf;
-                    let v = row.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / cf;
-                    s[0] = m;
-                    s[1] = v;
-                }
-            },
-        );
+        row_moments_into(self.as_slice(), stats.as_mut_slice(), r, c);
         for i in 0..r {
             mean.set(i, 0, stats.get(i, 0));
             var.set(i, 0, stats.get(i, 1));

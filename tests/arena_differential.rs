@@ -1,0 +1,189 @@
+//! Differential proof of the arena executor.
+//!
+//! Every builtin model is trained twice from identical seeds — once with
+//! the default heap allocator (`Tape::backward`) and once through the
+//! ahead-of-time arena planner (`ArenaExecutor::step`) — and after every
+//! step the losses, the clipped gradients left in the parameter store, and
+//! the updated parameters must be **bitwise** identical. The whole suite
+//! runs at kernel split widths 1 and 8: the arena must not perturb the
+//! deterministic task geometry the thread pool pins.
+
+use hiergat::{HierGat, HierGatConfig};
+use hiergat_baselines::{
+    CollectiveErModel, DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig, DmPlus, DmPlusConfig,
+    GnnCollective, GnnConfig, GnnKind, PairModel,
+};
+use hiergat_data::{CollectiveExample, Entity, EntityPair};
+use hiergat_lm::LmTier;
+use hiergat_nn::ParamStore;
+
+const STEPS: usize = 3;
+
+fn pairs() -> Vec<EntityPair> {
+    let mk = |lt: &str, lp: &str, rt: &str, rp: &str, label: bool| {
+        EntityPair::new(
+            Entity::new("l", vec![("title".into(), lt.into()), ("price".into(), lp.into())]),
+            Entity::new("r", vec![("title".into(), rt.into()), ("price".into(), rp.into())]),
+            label,
+        )
+    };
+    vec![
+        mk("canon eos camera", "100", "canon eos camera kit", "102", true),
+        mk("apple macbook pro", "999", "leather wallet brown", "12", false),
+    ]
+}
+
+fn collective() -> CollectiveExample {
+    let query = Entity::new("q", vec![("title".into(), "canon eos camera".into())]);
+    let candidates = vec![
+        Entity::new("c0", vec![("title".into(), "canon eos camera kit".into())]),
+        Entity::new("c1", vec![("title".into(), "leather wallet brown".into())]),
+        Entity::new("c2", vec![("title".into(), "canon camera body".into())]),
+    ];
+    CollectiveExample::new(query, candidates, vec![true, false, false])
+}
+
+/// Asserts both stores hold bitwise-identical values *and* gradients.
+fn assert_stores_bits_eq(tag: &str, step: usize, heap: &ParamStore, arena: &ParamStore) {
+    assert_eq!(heap.len(), arena.len(), "{tag} step {step}: parameter count");
+    for id in heap.ids() {
+        let name = heap.name(id);
+        let (hv, av) = (heap.value(id).as_slice(), arena.value(id).as_slice());
+        assert_eq!(hv.len(), av.len(), "{tag} step {step}: {name} value length");
+        for (k, (h, a)) in hv.iter().zip(av).enumerate() {
+            assert_eq!(
+                h.to_bits(),
+                a.to_bits(),
+                "{tag} step {step}: param {name}[{k}] {h:?} vs {a:?}"
+            );
+        }
+        let (hg, ag) = (heap.grad(id).as_slice(), arena.grad(id).as_slice());
+        assert_eq!(hg.len(), ag.len(), "{tag} step {step}: {name} grad length");
+        for (k, (h, a)) in hg.iter().zip(ag).enumerate() {
+            assert_eq!(
+                h.to_bits(),
+                a.to_bits(),
+                "{tag} step {step}: grad {name}[{k}] {h:?} vs {a:?}"
+            );
+        }
+    }
+}
+
+fn diff_pair_model<M: PairModel>(tag: &str, mut heap: M, mut arena: M, data: &[EntityPair]) {
+    for step in 0..STEPS {
+        for (i, pair) in data.iter().enumerate() {
+            let w = if pair.label { 1.25 } else { 1.0 };
+            let lh = heap.train_pair_weighted(pair, w);
+            let la = arena.train_pair_weighted(pair, w);
+            assert!(lh.is_finite(), "{tag} step {step} pair {i}: heap loss {lh}");
+            assert_eq!(lh.to_bits(), la.to_bits(), "{tag} step {step} pair {i}: loss {lh} vs {la}");
+            assert_stores_bits_eq(tag, step, heap.params(), arena.params());
+        }
+    }
+}
+
+fn diff_collective_model<M: CollectiveErModel>(
+    tag: &str,
+    mut heap: M,
+    mut arena: M,
+    ex: &CollectiveExample,
+) {
+    for step in 0..STEPS {
+        let lh = heap.train_example_weighted(ex, 1.25);
+        let la = arena.train_example_weighted(ex, 1.25);
+        assert!(lh.is_finite(), "{tag} step {step}: heap loss {lh}");
+        assert_eq!(lh.to_bits(), la.to_bits(), "{tag} step {step}: loss {lh} vs {la}");
+        assert_stores_bits_eq(tag, step, heap.params(), arena.params());
+    }
+}
+
+fn diff_hiergat_pairwise(data: &[EntityPair]) {
+    let cfg = HierGatConfig::pairwise().with_tier(LmTier::MiniDistil);
+    let arity = data[0].left.attrs.len();
+    let mut heap = HierGat::new(cfg, arity);
+    let mut arena = HierGat::new(cfg.with_arena(true), arity);
+    for step in 0..STEPS {
+        for (i, pair) in data.iter().enumerate() {
+            let w = if pair.label { 1.25 } else { 1.0 };
+            let lh = heap.train_pair_weighted(pair, w);
+            let la = arena.train_pair_weighted(pair, w);
+            assert!(lh.is_finite(), "HierGAT step {step} pair {i}: heap loss {lh}");
+            assert_eq!(
+                lh.to_bits(),
+                la.to_bits(),
+                "HierGAT step {step} pair {i}: loss {lh} vs {la}"
+            );
+            assert_stores_bits_eq("HierGAT", step, &heap.ps, &arena.ps);
+        }
+    }
+}
+
+fn diff_hiergat_collective(ex: &CollectiveExample) {
+    let cfg = HierGatConfig::collective().with_tier(LmTier::MiniDistil);
+    let arity = ex.query.attrs.len();
+    let mut heap = HierGat::new(cfg, arity);
+    let mut arena = HierGat::new(cfg.with_arena(true), arity);
+    for step in 0..STEPS {
+        let lh = heap.train_collective_weighted(ex, 1.25);
+        let la = arena.train_collective_weighted(ex, 1.25);
+        assert!(lh.is_finite(), "HierGAT+ step {step}: heap loss {lh}");
+        assert_eq!(lh.to_bits(), la.to_bits(), "HierGAT+ step {step}: loss {lh} vs {la}");
+        assert_stores_bits_eq("HierGAT+", step, &heap.ps, &arena.ps);
+    }
+}
+
+/// Every builtin model, heap vs arena, at one kernel split width.
+fn run_all(width: usize) {
+    parallel::with_threads(width, || {
+        let data = pairs();
+        let ex = collective();
+        let arity = data[0].left.attrs.len();
+
+        diff_hiergat_pairwise(&data);
+        diff_hiergat_collective(&ex);
+
+        let ditto_cfg = DittoConfig { lm_tier: LmTier::MiniDistil, ..Default::default() };
+        diff_pair_model(
+            "Ditto",
+            Ditto::new(ditto_cfg),
+            Ditto::new(DittoConfig { use_arena: true, ..ditto_cfg }),
+            &data,
+        );
+
+        let dm_cfg = DeepMatcherConfig::default();
+        diff_pair_model(
+            "DeepMatcher",
+            DeepMatcher::new(dm_cfg, arity),
+            DeepMatcher::new(DeepMatcherConfig { use_arena: true, ..dm_cfg }, arity),
+            &data,
+        );
+
+        let dmp_cfg = DmPlusConfig::default();
+        diff_pair_model(
+            "DM+",
+            DmPlus::new(dmp_cfg, arity),
+            DmPlus::new(DmPlusConfig { use_arena: true, ..dmp_cfg }, arity),
+            &data,
+        );
+
+        let gnn_cfg = GnnConfig::default();
+        for kind in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Hgat] {
+            diff_collective_model(
+                kind.name(),
+                GnnCollective::new(kind, gnn_cfg),
+                GnnCollective::new(kind, GnnConfig { use_arena: true, ..gnn_cfg }),
+                &ex,
+            );
+        }
+    });
+}
+
+#[test]
+fn heap_vs_arena_bitwise_at_width_1() {
+    run_all(1);
+}
+
+#[test]
+fn heap_vs_arena_bitwise_at_width_8() {
+    run_all(8);
+}

@@ -1,0 +1,68 @@
+//! Steady-state allocation audit of the arena executor.
+//!
+//! After one warm-up step (plan construction, arena growth, Adam state),
+//! replaying the plan — forward, backward, gradient clip, optimizer step,
+//! grad clear — must record **zero** tensor allocations. The counters in
+//! [`hiergat_tensor::alloc_stats`] are process-global, so this assertion
+//! lives in its own test binary with a single `#[test]` (see
+//! `crates/bench/Cargo.toml`); sharing a harness with concurrently running
+//! tests would make the "zero" reading racy.
+
+use hiergat_nn::{Adam, ArenaExecutor, Optimizer, ParamStore, Tape, Var};
+use hiergat_tensor::{alloc_stats, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small two-layer training graph on a deferred tape.
+fn record(store: &ParamStore, ids: &[hiergat_nn::ParamId]) -> (Tape, Var) {
+    let mut t = Tape::deferred();
+    let x = t.input(Tensor::rand_normal(8, 16, 0.0, 1.0, &mut StdRng::seed_from_u64(7)));
+    let w1 = t.param(store, ids[0]);
+    let b1 = t.param(store, ids[1]);
+    let w2 = t.param(store, ids[2]);
+    let h = t.matmul(x, w1);
+    let h = t.add_row(h, b1);
+    let h = t.tanh(h);
+    let logits = t.matmul(h, w2);
+    let loss = t.cross_entropy_logits(logits, &[0, 1, 2, 3, 0, 1, 2, 3]);
+    (t, loss)
+}
+
+#[test]
+fn steady_state_step_allocates_no_tensors() {
+    let mut rng = StdRng::seed_from_u64(0xa3e1);
+    let mut store = ParamStore::new();
+    let ids = vec![
+        store.add("w1", Tensor::rand_normal(16, 32, 0.0, 0.1, &mut rng)),
+        store.add("b1", Tensor::zeros(1, 32)),
+        store.add("w2", Tensor::rand_normal(32, 4, 0.0, 0.1, &mut rng)),
+    ];
+    let (tape, loss) = record(&store, &ids);
+    let mut exec = ArenaExecutor::new();
+    let mut opt = Adam::new(1e-3);
+
+    // Warm-up: builds the plan, grows the arena and scratch buffers, and
+    // lets Adam allocate its moment state.
+    let warm = exec.step(&tape, loss, &mut store);
+    assert!(warm.is_finite(), "warm-up loss {warm}");
+    store.clip_grad_norm(5.0);
+    opt.step(&mut store);
+    store.zero_grad();
+    assert_eq!(exec.plans_cached(), 1, "warm-up must cache exactly one plan");
+
+    let before = alloc_stats();
+    for step in 0..5 {
+        let val = exec.step(&tape, loss, &mut store);
+        assert!(val.is_finite(), "step {step}: loss {val}");
+        store.clip_grad_norm(5.0);
+        opt.step(&mut store);
+        store.zero_grad();
+    }
+    let delta = alloc_stats().since(before);
+    assert_eq!(
+        delta.count, 0,
+        "steady-state arena steps must allocate no tensors, saw {} allocations ({} bytes)",
+        delta.count, delta.bytes
+    );
+    assert_eq!(exec.plans_cached(), 1, "replays must reuse the cached plan");
+}
