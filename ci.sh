@@ -36,6 +36,17 @@ HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test arena_differential --tes
 echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test arena_differential --test arena_zero_alloc"
 HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test arena_differential --test arena_zero_alloc
 
+# Model-registry conformance gate: every registered model's inference
+# session must reproduce eager predictions bitwise (across repeated calls
+# and pool widths), record dropout-free inference graphs that lint clean
+# under eval rules, and plan strictly less arena for inference than for
+# training — under a real 1-wide and a real 8-wide pool.
+echo "==> HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test runtime_conformance"
+HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test runtime_conformance
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test runtime_conformance"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test runtime_conformance
+
 # Lint gate: every builtin model graph must pass the rule engine with
 # warnings denied, and the kernel write-disjointness race audit must
 # verify under both pool widths (the audit itself also sweeps widths

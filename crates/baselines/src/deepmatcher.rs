@@ -149,6 +149,15 @@ impl DeepMatcher {
         let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
         hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
     }
+
+    /// Records the eval-mode scoring graph onto `t` — exactly the graph
+    /// [`PairModel::predict_pair`] evaluates (DeepMatcher has no dropout, so
+    /// eval and train graphs coincide) — and returns the `1 x 2` probability
+    /// node.
+    pub fn record_pair_scores(&self, t: &mut Tape, pair: &EntityPair) -> Var {
+        let logits = self.forward(t, pair);
+        t.softmax(logits)
+    }
 }
 
 impl PairModel for DeepMatcher {
@@ -177,8 +186,7 @@ impl PairModel for DeepMatcher {
 
     fn predict_pair(&self, pair: &EntityPair) -> f32 {
         let mut t = Tape::new();
-        let logits = self.forward(&mut t, pair);
-        let probs = t.softmax(logits);
+        let probs = self.record_pair_scores(&mut t, pair);
         t.value(probs).get(0, 1)
     }
 

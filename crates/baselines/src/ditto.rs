@@ -175,6 +175,15 @@ impl Ditto {
         let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
         hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
     }
+
+    /// Records the eval-mode scoring graph onto `t` — exactly the graph
+    /// [`PairModel::predict_pair`] evaluates (same seed, eval mode, softmax
+    /// over logits) — and returns the `1 x 2` probability node.
+    pub fn record_pair_scores(&self, t: &mut Tape, pair: &EntityPair) -> Var {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x3f);
+        let logits = self.forward_rng(t, pair, false, &mut rng);
+        t.softmax(logits)
+    }
 }
 
 impl PairModel for Ditto {
@@ -202,10 +211,8 @@ impl PairModel for Ditto {
     }
 
     fn predict_pair(&self, pair: &EntityPair) -> f32 {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x3f);
         let mut t = Tape::new();
-        let logits = self.forward_rng(&mut t, pair, false, &mut rng);
-        let probs = t.softmax(logits);
+        let probs = self.record_pair_scores(&mut t, pair);
         t.value(probs).get(0, 1)
     }
 

@@ -129,6 +129,16 @@ impl DmPlus {
         self.cls_out.forward(t, &self.ps, h)
     }
 
+    /// Statically analyzes the training graph for `pair` on a shape-only
+    /// tape (no kernels run): shape inference, parameter reachability, and
+    /// node liveness.
+    pub fn analyze(&self, pair: &EntityPair) -> hiergat_nn::GraphReport {
+        let mut t = Tape::shape_only();
+        let logits = self.forward(&mut t, pair);
+        let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
+        hiergat_nn::analyze_graph(&t, loss, &self.ps)
+    }
+
     /// Arena-planner report for the training graph of `pair` (shape-only
     /// recording; no kernels run).
     pub fn plan(&self, pair: &EntityPair) -> hiergat_nn::PlanReport {
@@ -145,6 +155,15 @@ impl DmPlus {
         let logits = self.forward(&mut t, pair);
         let loss = t.weighted_cross_entropy_logits(logits, &[usize::from(pair.label)], &[1.0]);
         hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
+    }
+
+    /// Records the eval-mode scoring graph onto `t` — exactly the graph
+    /// [`PairModel::predict_pair`] evaluates (DM+ has no dropout, so eval
+    /// and train graphs coincide) — and returns the `1 x 2` probability
+    /// node.
+    pub fn record_pair_scores(&self, t: &mut Tape, pair: &EntityPair) -> Var {
+        let logits = self.forward(t, pair);
+        t.softmax(logits)
     }
 }
 
@@ -174,8 +193,7 @@ impl PairModel for DmPlus {
 
     fn predict_pair(&self, pair: &EntityPair) -> f32 {
         let mut t = Tape::new();
-        let logits = self.forward(&mut t, pair);
-        let probs = t.softmax(logits);
+        let probs = self.record_pair_scores(&mut t, pair);
         t.value(probs).get(0, 1)
     }
 

@@ -269,6 +269,15 @@ impl GnnCollective {
         let loss = t.weighted_cross_entropy_logits(logits, &targets, &weights);
         hiergat_nn::lint_graph(&t, loss, &self.ps, &hiergat_nn::LintConfig::training())
     }
+
+    /// Records the eval-mode scoring graph onto `t` — exactly the graph
+    /// [`CollectiveErModel::predict_example`] evaluates (the GNN baselines
+    /// have no dropout, so eval and train graphs coincide) — and returns the
+    /// `n_candidates x 2` probability node.
+    pub fn record_example_scores(&self, t: &mut Tape, ex: &CollectiveExample) -> Var {
+        let logits = self.forward(t, ex);
+        t.softmax(logits)
+    }
 }
 
 impl CollectiveErModel for GnnCollective {
@@ -299,8 +308,7 @@ impl CollectiveErModel for GnnCollective {
 
     fn predict_example(&self, ex: &CollectiveExample) -> Vec<f32> {
         let mut t = Tape::new();
-        let logits = self.forward(&mut t, ex);
-        let probs = t.softmax(logits);
+        let probs = self.record_example_scores(&mut t, ex);
         (0..ex.candidates.len()).map(|i| t.value(probs).get(i, 1)).collect()
     }
 

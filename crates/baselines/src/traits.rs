@@ -8,31 +8,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
 
-fn n_workers() -> usize {
-    std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(8)
-}
-
-/// Parallel pair scoring over worker threads.
+/// Parallel pair scoring on the shared `parallel` pool (`HIERGAT_THREADS`
+/// governs the fan-out).
 fn score_pairs_parallel<M: PairModel + Sync>(model: &M, pairs: &[EntityPair]) -> Vec<f32> {
-    let workers = n_workers();
-    let mut scores = vec![0.0f32; pairs.len()];
-    if pairs.len() < 2 * workers {
-        for (s, p) in scores.iter_mut().zip(pairs) {
-            *s = model.predict_pair(p);
-        }
-    } else {
-        let chunk = pairs.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (slot, work) in scores.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-                scope.spawn(move || {
-                    for (s, p) in slot.iter_mut().zip(work) {
-                        *s = model.predict_pair(p);
-                    }
-                });
-            }
-        });
-    }
-    scores
+    parallel::par_map(pairs, |p| model.predict_pair(p))
 }
 
 /// A trainable pairwise ER model.
@@ -171,24 +150,7 @@ pub fn train_collective_model<M: CollectiveErModel + Sync>(
     let mut per_epoch_seconds = Vec::with_capacity(epochs);
 
     let score_split = |model: &M, split: &[CollectiveExample]| {
-        let workers = n_workers();
-        let mut per_example: Vec<Vec<f32>> = vec![Vec::new(); split.len()];
-        if split.len() < 2 * workers {
-            for (slot, ex) in per_example.iter_mut().zip(split) {
-                *slot = model.predict_example(ex);
-            }
-        } else {
-            let chunk = split.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                for (slot, work) in per_example.chunks_mut(chunk).zip(split.chunks(chunk)) {
-                    scope.spawn(move || {
-                        for (s, ex) in slot.iter_mut().zip(work) {
-                            *s = model.predict_example(ex);
-                        }
-                    });
-                }
-            });
-        }
+        let per_example = parallel::par_map(split, |ex| model.predict_example(ex));
         let mut scores = Vec::new();
         let mut labels = Vec::new();
         for (ex, s) in split.iter().zip(per_example) {

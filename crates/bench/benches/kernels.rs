@@ -9,7 +9,10 @@
 //! Numbers are honest for the machine they ran on: on a single hardware
 //! thread the pool has no workers and `speedup` hovers around 1.0.
 
+use hiergat_data::MagellanDataset;
+use hiergat_lm::LmTier;
 use hiergat_nn::{Adam, ArenaExecutor, Optimizer, ParamId, ParamStore, Tape, Var};
+use hiergat_runtime::{BuildContext, Example, ModelRegistry, Session};
 use hiergat_tensor::{alloc_stats, cost, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,6 +95,10 @@ impl KernelRow {
 
 fn bits(t: &Tensor) -> Vec<u32> {
     t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn bits_f32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
 }
 
 /// A two-layer classifier training graph (matmul / add_row / tanh / matmul
@@ -294,6 +301,50 @@ fn main() {
         arena.allocs_per_step
     );
 
+    // Scoring throughput: the eager predict path (fresh eager tape per
+    // pair — every parameter tensor cloned in, every node heap-allocated)
+    // vs a runtime Session replaying cached forward-only arena plans.
+    // Identical graphs, identical kernels, so the scores must match
+    // bitwise while the session skips the per-call allocation work.
+    let ds = MagellanDataset::FodorsZagats.load(0.3);
+    let pairs: Vec<_> = ds.train.iter().take(24).collect();
+    let registry = ModelRegistry::builtin();
+    let spec = registry.get("hiergat").expect("hiergat registered");
+    let cx = BuildContext { tier: LmTier::MiniDistil, arity: ds.arity().max(1) };
+    let mut session = Session::new(spec.build(&cx));
+    // Warm the plan cache so the timed loop measures steady-state replay.
+    for p in &pairs {
+        session.score(Example::Pair(p));
+    }
+    let (eager_s, eager_scores) = time_best(|| {
+        pairs.iter().map(|p| session.model().predict(Example::Pair(p))[0]).collect::<Vec<f32>>()
+    });
+    let (infer_s, infer_scores) = time_best(|| {
+        pairs.iter().map(|p| session.score(Example::Pair(p))[0]).collect::<Vec<f32>>()
+    });
+    let scores_bitwise = bits_f32(&eager_scores) == bits_f32(&infer_scores);
+    let n_pairs = pairs.len() as f64;
+    let (eager_pps, infer_pps) = (n_pairs / eager_s, n_pairs / infer_s);
+    let scoring_speedup = eager_s / infer_s;
+    let first = Example::Pair(pairs[0]);
+    let train_arena = session.model().plan_training(first).arena_bytes;
+    let infer_arena = session.model().plan_inference(first).arena_bytes;
+
+    println!("pair scoring (HierGAT pairwise, {} pairs, eager vs inference session):", pairs.len());
+    println!("  eager   {eager_pps:>8.1} pairs/s");
+    println!("  session {infer_pps:>8.1} pairs/s  speedup {scoring_speedup:>5.2}x");
+    println!("  peak arena: training plan {train_arena} B, inference plan {infer_arena} B");
+    println!("  scores bitwise {}", if scores_bitwise { "ok" } else { "MISMATCH" });
+    assert!(scores_bitwise, "session scoring must match eager predictions bitwise");
+    assert!(
+        infer_arena < train_arena,
+        "inference plan ({infer_arena} B) must undercut the training plan ({train_arena} B)"
+    );
+    assert!(
+        scoring_speedup >= 1.3,
+        "inference session must score at least 1.3x faster than eager, got {scoring_speedup:.2}x"
+    );
+
     let body: Vec<String> = rows.iter().map(KernelRow::json).collect();
     let train_json = format!(
         "  \"train_step\": {{\"graph\": \"mlp_64x128x256x10\", \"steps\": {TRAIN_STEPS}, \
@@ -308,9 +359,18 @@ fn main() {
         arena.allocs_per_step,
         arena.bytes_per_step,
     );
+    let scoring_json = format!(
+        "  \"scoring\": {{\"model\": \"hiergat-pairwise\", \"pairs\": {}, \
+         \"eager_pairs_per_s\": {eager_pps:.1}, \"session_pairs_per_s\": {infer_pps:.1}, \
+         \"speedup\": {scoring_speedup:.3}, \"bitwise_equal\": {scores_bitwise}, \
+         \"train_peak_arena_bytes\": {train_arena}, \
+         \"infer_peak_arena_bytes\": {infer_arena}}},",
+        pairs.len(),
+    );
     let json = format!(
         "{{\n  \"threads\": {threads},\n  \"all_bitwise_equal\": {all_bitwise},\n  \
-         \"max_flop_rel_err\": {max_rel_err:.4},\n{train_json}\n  \"kernels\": [\n{}\n  ]\n}}\n",
+         \"max_flop_rel_err\": {max_rel_err:.4},\n{train_json}\n{scoring_json}\n  \
+         \"kernels\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     );
     // cargo runs benches with cwd = package dir; anchor at the workspace root.

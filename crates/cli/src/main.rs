@@ -5,9 +5,12 @@
 //! * `train   --train train.csv --valid valid.csv --test test.csv --model DIR`
 //!   trains HierGAT on DeepMatcher-style labeled CSV pair files (columns
 //!   `label,ltable_*,rtable_*`) and saves the checkpoint.
-//! * `predict --model DIR --pairs pairs.csv [--threshold 0.5]`
-//!   scores a pair file with a saved model and prints `score,prediction`
-//!   rows as CSV.
+//! * `predict --model DIR --pairs pairs.csv [--threshold T]`
+//!   scores a pair file with a saved model through a forward-only
+//!   inference [`Session`] (cached arena plans, thread-pool batching;
+//!   bitwise identical to eager scoring) and prints `score,prediction`
+//!   rows as CSV. The decision threshold defaults to the checkpoint's
+//!   validation-tuned value; `--threshold` overrides it.
 //! * `block   --left tableA.csv --right tableB.csv [--top 16]`
 //!   TF-IDF top-N candidate generation between two entity tables.
 //! * `demo    [--dataset amazon-google] [--scale 0.5]`
@@ -16,6 +19,10 @@
 //!   runs the static tape analyzer (shape inference, gradient
 //!   reachability, node liveness, HHG validation) over the training
 //!   graphs of HierGAT, HierGAT+, and every baseline — no kernels run.
+//!
+//! `analyze`, `lint`, and `plan` resolve the model set through
+//! [`ModelRegistry`] — no per-model code here; adding a model to the
+//! registry adds it to all three subcommands.
 //! * `lint    [--dataset amazon-google] [--scale 0.5] [--deny warn] [--json]`
 //!   runs the numerical-stability / efficiency / gradient-hygiene rule
 //!   engine over the same model graphs plus the kernel write-disjointness
@@ -23,20 +30,20 @@
 //!   the gate severity.
 //! * `plan    [--dataset amazon-google] [--scale 0.5]`
 //!   builds the ahead-of-time arena memory plan for each model's training
-//!   graph and prints the per-model arena budget (planned arena bytes vs
-//!   the naive sum of buffer sizes vs the liveness lower bound).
+//!   graph and the forward-only inference plan its scoring session uses,
+//!   printing both arena budgets (planned arena bytes vs the naive sum of
+//!   buffer sizes vs the liveness lower bound).
 //!
 //! `train` and `demo` also accept `--analyze` to run the same static
 //! check on the model being trained before epoch 0.
 
 use hiergat::{load_model, save_model, train_pairwise, HierGat, HierGatConfig};
-use hiergat_baselines::{
-    DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig, DmPlus, DmPlusConfig, GnnCollective,
-    GnnConfig, GnnKind,
-};
 use hiergat_data::io::{read_entity_table, read_pairs};
-use hiergat_data::{MagellanDataset, PairDataset};
+use hiergat_data::{CollectiveDataset, MagellanDataset, PairDataset};
 use hiergat_lm::{corpus_from_entities, pretrain, LmTier, PretrainConfig};
+use hiergat_runtime::{
+    BuildContext, ErModel, Example, HierGatPairwise, ModelKind, ModelRegistry, ModelSpec, Session,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -163,10 +170,17 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 fn cmd_predict(args: &Args) -> Result<(), String> {
     let model = load_model(args.require("model")?).map_err(|e| e.to_string())?;
     let pairs = read_pairs(args.require("pairs")?).map_err(|e| e.to_string())?;
-    let threshold: f32 = args.get_parsed("threshold").unwrap_or(Ok(0.5))?;
+    // The session scores through cached forward-only arena plans (bitwise
+    // identical to the eager path) and carries the checkpoint's
+    // validation-tuned threshold; `--threshold` overrides it.
+    let mut session = Session::new(Box::new(HierGatPairwise(model)));
+    if let Some(threshold) = args.get_parsed("threshold") {
+        session.set_threshold(threshold?);
+    }
+    let threshold = session.threshold();
+    let scores = session.score_pairs(&pairs);
     println!("score,prediction");
-    for pair in &pairs {
-        let score = model.predict_pair(pair);
+    for score in scores {
         println!("{score:.4},{}", u8::from(score >= threshold));
     }
     Ok(())
@@ -211,43 +225,47 @@ fn cmd_demo(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(args: &Args) -> Result<(), String> {
+/// Loads the pairwise + collective views of the selected dataset along with
+/// the LM tier — the shared inputs of the registry-driven subcommands.
+fn registry_inputs(args: &Args) -> Result<(PairDataset, CollectiveDataset, LmTier), String> {
     let kind = dataset_of(args)?;
     let scale: f64 = args.get_parsed("scale").unwrap_or(Ok(0.5))?;
-    let tier = tier_of(args)?;
-    let ds = kind.load(scale);
-    let pair = ds.train.first().ok_or("dataset has no training pairs")?;
-    let arity = ds.arity().max(1);
+    Ok((kind.load(scale), kind.load_collective(scale), tier_of(args)?))
+}
 
+/// Builds every registered model with the context its kind requires and
+/// hands it to `f` together with the matching first training example.
+fn for_each_model(
+    tier: LmTier,
+    ds: &PairDataset,
+    ds_c: &CollectiveDataset,
+    mut f: impl FnMut(&ModelSpec, &dyn ErModel, Example<'_>),
+) -> Result<(), String> {
+    let pair = ds.train.first().ok_or("dataset has no training pairs")?;
+    let ex = ds_c.train.first().ok_or("collective dataset has no training examples")?;
+    let pair_cx = BuildContext { tier, arity: ds.arity().max(1) };
+    let coll_cx = BuildContext { tier, arity: ex.query.attrs.len().max(1) };
+    for spec in ModelRegistry::builtin().specs() {
+        let (cx, example) = match spec.kind() {
+            ModelKind::Pairwise => (&pair_cx, Example::Pair(pair)),
+            ModelKind::Collective => (&coll_cx, Example::Collective(ex)),
+        };
+        f(spec, &*spec.build(cx), example);
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let (ds, ds_c, tier) = registry_inputs(args)?;
     let mut dirty = 0usize;
-    let mut show = |name: &str, report: &hiergat_nn::GraphReport| {
-        println!("== {name} ==");
+    for_each_model(tier, &ds, &ds_c, |spec, model, example| {
+        let report = model.analyze(example);
+        println!("== {} ==", spec.display());
         println!("{report}");
         if !report.is_clean() {
             dirty += 1;
         }
-    };
-
-    let hiergat = HierGat::new(HierGatConfig::pairwise().with_tier(tier), arity);
-    show("HierGAT (pairwise)", &hiergat.analyze_pair(pair));
-
-    let ds_c = kind.load_collective(scale);
-    let ex = ds_c.train.first().ok_or("collective dataset has no training examples")?;
-    let plus =
-        HierGat::new(HierGatConfig::collective().with_tier(tier), ex.query.attrs.len().max(1));
-    show("HierGAT+ (collective)", &plus.analyze_collective(ex));
-
-    let ditto = Ditto::new(DittoConfig { lm_tier: tier, ..Default::default() });
-    show("Ditto", &ditto.analyze(pair));
-
-    let dm = DeepMatcher::new(DeepMatcherConfig::default(), arity);
-    show("DeepMatcher", &dm.analyze(pair));
-
-    for gk in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Hgat] {
-        let m = GnnCollective::new(gk, GnnConfig::default());
-        show(&format!("{} (collective)", gk.name()), &m.analyze(ex));
-    }
-
+    })?;
     if dirty > 0 {
         Err(format!("{dirty} model graph(s) reported static-analysis issues"))
     } else {
@@ -277,44 +295,27 @@ struct LintOutput {
 
 fn cmd_lint(args: &Args) -> Result<(), String> {
     use hiergat_nn::Severity;
-    let kind = dataset_of(args)?;
-    let scale: f64 = args.get_parsed("scale").unwrap_or(Ok(0.5))?;
-    let tier = tier_of(args)?;
     let gate = match args.get("deny").unwrap_or("deny") {
         "warn" => Severity::Warn,
         "deny" => Severity::Deny,
         other => return Err(format!("unknown --deny level '{other}' (warn|deny)")),
     };
-    let ds = kind.load(scale);
-    let pair = ds.train.first().ok_or("dataset has no training pairs")?;
-    let arity = ds.arity().max(1);
-    let ds_c = kind.load_collective(scale);
-    let ex = ds_c.train.first().ok_or("collective dataset has no training examples")?;
+    let (ds, ds_c, tier) = registry_inputs(args)?;
 
     let mut models = Vec::new();
-    let mut push = |name: &str, report: hiergat_nn::LintReport| {
-        models.push(ModelLint { model: name.to_string(), clean: report.is_clean_at(gate), report });
-    };
-    let hiergat = HierGat::new(HierGatConfig::pairwise().with_tier(tier), arity);
-    push("HierGAT (pairwise)", hiergat.lint_pair(pair));
-    let plus =
-        HierGat::new(HierGatConfig::collective().with_tier(tier), ex.query.attrs.len().max(1));
-    push("HierGAT+ (collective)", plus.lint_collective(ex));
-    push("Ditto", Ditto::new(DittoConfig { lm_tier: tier, ..Default::default() }).lint(pair));
-    push("DeepMatcher", DeepMatcher::new(DeepMatcherConfig::default(), arity).lint(pair));
-    push("DM+", DmPlus::new(DmPlusConfig::default(), arity).lint(pair));
-    for gk in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Hgat] {
-        let name = format!("{} (collective)", gk.name());
-        let report = GnnCollective::new(gk, GnnConfig::default()).lint(ex);
-        models.push(ModelLint { model: name, clean: report.is_clean_at(gate), report });
-    }
+    for_each_model(tier, &ds, &ds_c, |spec, model, example| {
+        let report = model.lint_training(example);
+        models.push(ModelLint {
+            model: spec.display().to_string(),
+            clean: report.is_clean_at(gate),
+            report,
+        });
+    })?;
 
     let race_audit = hiergat_tensor::race_audit();
     let out = LintOutput {
         gate: format!("{gate:?}").to_lowercase(),
-        skipped: vec![
-            "Magellan: classic feature-based classifiers record no tape; nothing to lint".into(),
-        ],
+        skipped: ModelRegistry::builtin().tapeless_notes(),
         failed: models.iter().any(|m| !m.clean) || !race_audit.is_clean(),
         models,
         race_audit,
@@ -353,30 +354,13 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_plan(args: &Args) -> Result<(), String> {
-    let kind = dataset_of(args)?;
-    let scale: f64 = args.get_parsed("scale").unwrap_or(Ok(0.5))?;
-    let tier = tier_of(args)?;
-    let ds = kind.load(scale);
-    let pair = ds.train.first().ok_or("dataset has no training pairs")?;
-    let arity = ds.arity().max(1);
-    let ds_c = kind.load_collective(scale);
-    let ex = ds_c.train.first().ok_or("collective dataset has no training examples")?;
-
-    let show = |name: &str, report: &hiergat_nn::PlanReport| {
-        println!("{name:24} {report}");
-    };
-    let hiergat = HierGat::new(HierGatConfig::pairwise().with_tier(tier), arity);
-    show("HierGAT (pairwise)", &hiergat.plan_pair(pair));
-    let plus =
-        HierGat::new(HierGatConfig::collective().with_tier(tier), ex.query.attrs.len().max(1));
-    show("HierGAT+ (collective)", &plus.plan_collective(ex));
-    show("Ditto", &Ditto::new(DittoConfig { lm_tier: tier, ..Default::default() }).plan(pair));
-    show("DeepMatcher", &DeepMatcher::new(DeepMatcherConfig::default(), arity).plan(pair));
-    show("DM+", &DmPlus::new(DmPlusConfig::default(), arity).plan(pair));
-    for gk in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Hgat] {
-        let name = format!("{} (collective)", gk.name());
-        show(&name, &GnnCollective::new(gk, GnnConfig::default()).plan(ex));
-    }
+    let (ds, ds_c, tier) = registry_inputs(args)?;
+    for_each_model(tier, &ds, &ds_c, |spec, model, example| {
+        // Training plan (forward + backward liveness) next to the session's
+        // forward-only inference plan, which needs strictly less arena.
+        println!("{:32} {}", spec.display(), model.plan_training(example));
+        println!("{:32} {}", format!("{} [infer]", spec.display()), model.plan_inference(example));
+    })?;
     Ok(())
 }
 

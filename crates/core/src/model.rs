@@ -36,6 +36,10 @@ pub struct HierGat {
     /// the planned buffer and plan cache alive across steps so same-shape
     /// epochs allocate nothing.
     exec: ArenaExecutor,
+    /// Validation-tuned decision threshold (0.5 until tuning sets it);
+    /// persisted in checkpoints so a restored session can emit boolean
+    /// match decisions.
+    decision_threshold: f32,
 }
 
 impl HierGat {
@@ -101,7 +105,18 @@ impl HierGat {
             arity,
             d,
             exec: ArenaExecutor::new(),
+            decision_threshold: 0.5,
         }
+    }
+
+    /// Validation-tuned decision threshold (0.5 until tuning sets it).
+    pub fn decision_threshold(&self) -> f32 {
+        self.decision_threshold
+    }
+
+    /// Records the validation-tuned decision threshold.
+    pub fn set_decision_threshold(&mut self, threshold: f32) {
+        self.decision_threshold = threshold;
     }
 
     /// Loads pre-trained `lm.*` weights; returns the number of tensors
@@ -180,11 +195,20 @@ impl HierGat {
 
     /// Match probability for one pair (inference mode; thread-safe).
     pub fn predict_pair(&self, pair: &EntityPair) -> f32 {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x1f);
         let mut t = Tape::new();
-        let logits = self.forward_pair_rng(&mut t, pair, false, &mut rng);
-        let probs = t.softmax(logits);
+        let probs = self.record_pair_scores(&mut t, pair);
         t.value(probs).get(0, 1)
+    }
+
+    /// Records the eval-mode pairwise scoring graph onto `t` — exactly the
+    /// graph [`Self::predict_pair`] evaluates (same seed, eval mode, softmax
+    /// over logits) — and returns the `1 x 2` probability node. Works on any
+    /// tape kind; inference tapes replay it through a forward-only arena
+    /// plan bitwise-identically.
+    pub fn record_pair_scores(&self, t: &mut Tape, pair: &EntityPair) -> Var {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x1f);
+        let logits = self.forward_pair_rng(t, pair, false, &mut rng);
+        t.softmax(logits)
     }
 
     /// One training step on a pair; returns the loss.
@@ -275,11 +299,18 @@ impl HierGat {
     /// Match probabilities for every candidate of a collective example
     /// (thread-safe).
     pub fn predict_collective(&self, ex: &CollectiveExample) -> Vec<f32> {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x2f);
         let mut t = Tape::new();
-        let logits = self.forward_collective_rng(&mut t, ex, false, &mut rng);
-        let probs = t.softmax(logits);
+        let probs = self.record_collective_scores(&mut t, ex);
         (0..ex.candidates.len()).map(|i| t.value(probs).get(i, 1)).collect()
+    }
+
+    /// Records the eval-mode collective scoring graph onto `t` — exactly the
+    /// graph [`Self::predict_collective`] evaluates — and returns the
+    /// `n_candidates x 2` probability node.
+    pub fn record_collective_scores(&self, t: &mut Tape, ex: &CollectiveExample) -> Var {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x2f);
+        let logits = self.forward_collective_rng(t, ex, false, &mut rng);
+        t.softmax(logits)
     }
 
     /// One training step on a collective example (the batch is the

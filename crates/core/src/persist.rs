@@ -55,30 +55,51 @@ struct Manifest {
     config: HierGatConfig,
     arity: usize,
     format_version: u32,
+    /// Validation-tuned decision threshold. Absent in format-version-1
+    /// manifests; those load with the untuned default.
+    #[serde(default = "default_decision_threshold")]
+    decision_threshold: f32,
 }
 
-const FORMAT_VERSION: u32 = 1;
+fn default_decision_threshold() -> f32 {
+    0.5
+}
+
+/// Format version 2 adds the tuned decision threshold (manifest field +
+/// weights-file metadata); version-1 checkpoints still load.
+const FORMAT_VERSION: u32 = 2;
 
 /// Saves a trained model: `<dir>/manifest.json` + `<dir>/weights.bin`.
 pub fn save_model(model: &HierGat, dir: impl AsRef<Path>) -> Result<(), PersistError> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
-    let manifest =
-        Manifest { config: *model.config(), arity: model.arity(), format_version: FORMAT_VERSION };
+    let manifest = Manifest {
+        config: *model.config(),
+        arity: model.arity(),
+        format_version: FORMAT_VERSION,
+        decision_threshold: model.decision_threshold(),
+    };
     fs::write(dir.join("manifest.json"), serde_json::to_string_pretty(&manifest)?)?;
-    checkpoint::save_binary(&model.ps, dir.join("weights.bin"))?;
+    checkpoint::save_binary_with_meta(
+        &model.ps,
+        &[("decision_threshold", model.decision_threshold())],
+        dir.join("weights.bin"),
+    )?;
     Ok(())
 }
 
 /// Loads a model saved by [`save_model`]. The architecture is rebuilt from
-/// the manifest, then the weights are copied in by name.
+/// the manifest, the weights are copied in by name, and the tuned decision
+/// threshold is restored (0.5 for version-1 checkpoints, which predate
+/// threshold persistence).
 pub fn load_model(dir: impl AsRef<Path>) -> Result<HierGat, PersistError> {
     let dir = dir.as_ref();
     let manifest: Manifest = serde_json::from_str(&fs::read_to_string(dir.join("manifest.json"))?)?;
-    let weights = checkpoint::load_binary(dir.join("weights.bin"))?;
+    let (weights, _meta) = checkpoint::load_binary_with_meta(dir.join("weights.bin"))?;
     let mut model = HierGat::new(manifest.config, manifest.arity);
     let copied = model.ps.load_matching(&weights);
     debug_assert!(copied > 0, "checkpoint contained no matching tensors");
+    model.set_decision_threshold(manifest.decision_threshold);
     Ok(model)
 }
 
@@ -112,6 +133,37 @@ mod tests {
             "prediction must survive the roundtrip: {before} vs {after}"
         );
         assert_eq!(loaded.arity(), 1);
+    }
+
+    #[test]
+    fn tuned_threshold_survives_the_roundtrip() {
+        let dir = std::env::temp_dir().join("hiergat-persist-threshold-test");
+        let mut model = HierGat::new(HierGatConfig::fast_test(), 1);
+        model.set_decision_threshold(0.73);
+        save_model(&model, &dir).expect("save");
+        let loaded = load_model(&dir).expect("load");
+        assert_eq!(loaded.decision_threshold().to_bits(), 0.73f32.to_bits());
+    }
+
+    #[test]
+    fn version_1_checkpoint_without_threshold_still_loads() {
+        // A v1 checkpoint directory: manifest without the threshold field,
+        // weights in the v1 binary layout (written here as a v2 file with no
+        // metadata — the binary reader accepts both; the manifest is the
+        // backward-compat surface under test).
+        let dir = std::env::temp_dir().join("hiergat-persist-v1-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let model = HierGat::new(HierGatConfig::fast_test(), 1);
+        let config = serde_json::to_string(model.config()).expect("config json");
+        let manifest = format!("{{\"config\":{config},\"arity\":1,\"format_version\":1}}");
+        fs::write(dir.join("manifest.json"), manifest).expect("manifest");
+        checkpoint::save_binary(&model.ps, dir.join("weights.bin")).expect("weights");
+        let loaded = load_model(&dir).expect("v1 checkpoints must keep loading");
+        assert_eq!(
+            loaded.decision_threshold().to_bits(),
+            0.5f32.to_bits(),
+            "missing threshold defaults to the untuned operating point"
+        );
     }
 
     #[test]

@@ -12,13 +12,6 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
 
-/// Number of worker threads for parallel scoring. Follows the same
-/// `HIERGAT_THREADS` override as the kernel pool so one knob governs both
-/// inter-pair scoring fan-out and intra-op parallelism.
-fn n_workers() -> usize {
-    parallel::configured_threads().min(8)
-}
-
 /// Outcome of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
@@ -46,24 +39,7 @@ impl TrainReport {
 /// Scores every pair with the model, fanning out over worker threads
 /// (inference is `&self` and the parameter store is read-only here).
 pub fn score_pairs(model: &HierGat, pairs: &[EntityPair]) -> (Vec<f32>, Vec<bool>) {
-    let workers = n_workers();
-    let mut scores = vec![0.0f32; pairs.len()];
-    if pairs.len() < 2 * workers {
-        for (s, p) in scores.iter_mut().zip(pairs) {
-            *s = model.predict_pair(p);
-        }
-    } else {
-        let chunk = pairs.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (slot, work) in scores.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-                scope.spawn(move || {
-                    for (s, p) in slot.iter_mut().zip(work) {
-                        *s = model.predict_pair(p);
-                    }
-                });
-            }
-        });
-    }
+    let scores = parallel::par_map(pairs, |p| model.predict_pair(p));
     let labels: Vec<bool> = pairs.iter().map(|p| p.label).collect();
     (scores, labels)
 }
@@ -167,9 +143,12 @@ pub fn train_pairwise(model: &mut HierGat, ds: &PairDataset) -> TrainReport {
     }
     model.ps.restore(&best_snapshot);
 
-    // Tune the threshold on validation, evaluate once on test.
+    // Tune the threshold on validation, evaluate once on test. The tuned
+    // operating point is kept on the model so checkpoints persist it and a
+    // restored session can emit boolean decisions.
     let (v_scores, v_labels) = score_pairs(model, &ds.valid);
     let (threshold, _) = best_threshold(&v_scores, &v_labels);
+    model.set_decision_threshold(threshold);
     let (t_scores, t_labels) = score_pairs(model, &ds.test);
     let confusion = evaluate_at_threshold(&t_scores, &t_labels, threshold);
     TrainReport {
@@ -184,24 +163,7 @@ pub fn train_pairwise(model: &mut HierGat, ds: &PairDataset) -> TrainReport {
 
 /// Scores every candidate pair of a collective split (parallel).
 pub fn score_collective(model: &HierGat, examples: &[CollectiveExample]) -> (Vec<f32>, Vec<bool>) {
-    let workers = n_workers();
-    let mut per_example: Vec<Vec<f32>> = vec![Vec::new(); examples.len()];
-    if examples.len() < 2 * workers {
-        for (slot, ex) in per_example.iter_mut().zip(examples) {
-            *slot = model.predict_collective(ex);
-        }
-    } else {
-        let chunk = examples.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (slot, work) in per_example.chunks_mut(chunk).zip(examples.chunks(chunk)) {
-                scope.spawn(move || {
-                    for (s, ex) in slot.iter_mut().zip(work) {
-                        *s = model.predict_collective(ex);
-                    }
-                });
-            }
-        });
-    }
+    let per_example = parallel::par_map(examples, |ex| model.predict_collective(ex));
     let mut scores = Vec::new();
     let mut labels = Vec::new();
     for (ex, s) in examples.iter().zip(per_example) {
@@ -244,6 +206,7 @@ pub fn train_collective(model: &mut HierGat, ds: &CollectiveDataset) -> TrainRep
 
     let (v_scores, v_labels) = score_collective(model, &ds.valid);
     let (threshold, _) = best_threshold(&v_scores, &v_labels);
+    model.set_decision_threshold(threshold);
     let (t_scores, t_labels) = score_collective(model, &ds.test);
     let confusion = evaluate_at_threshold(&t_scores, &t_labels, threshold);
     TrainReport {

@@ -49,7 +49,11 @@ impl From<serde_json::Error> for CheckpointError {
 }
 
 const MAGIC: u32 = 0x4847_4154; // "HGAT"
-const VERSION: u16 = 1;
+/// Current write version. Version 2 adds a named-f32 metadata section
+/// (e.g. the validation-tuned decision threshold) between the header and
+/// the tensor table; version-1 buffers (no metadata) still load.
+const VERSION: u16 = 2;
+const MIN_VERSION: u16 = 1;
 
 /// Big-endian header fields, little-endian tensor payloads — matching the
 /// original on-disk layout so old checkpoints keep loading.
@@ -87,11 +91,25 @@ impl<'a> Reader<'a> {
 }
 
 /// Serializes all parameters (names, shapes, values) into a compact binary
-/// buffer.
+/// buffer with no metadata entries.
 pub fn to_bytes(store: &ParamStore) -> Vec<u8> {
+    to_bytes_with_meta(store, &[])
+}
+
+/// Serializes all parameters plus named scalar metadata (tuned thresholds,
+/// calibration constants — anything a restored inference session needs
+/// beyond the weights).
+pub fn to_bytes_with_meta(store: &ParamStore, meta: &[(&str, f32)]) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&MAGIC.to_be_bytes());
     buf.extend_from_slice(&VERSION.to_be_bytes());
+    buf.extend_from_slice(&(meta.len() as u16).to_be_bytes());
+    for (key, value) in meta {
+        let key_bytes = key.as_bytes();
+        buf.extend_from_slice(&(key_bytes.len() as u16).to_be_bytes());
+        buf.extend_from_slice(key_bytes);
+        buf.extend_from_slice(&value.to_le_bytes());
+    }
     buf.extend_from_slice(&(store.len() as u32).to_be_bytes());
     for (_, name, value) in store.iter() {
         let name_bytes = name.as_bytes();
@@ -113,12 +131,34 @@ pub fn to_bytes(store: &ParamStore) -> Vec<u8> {
 /// panics on untrusted bytes, and the tensor payload is bounds-checked
 /// against the buffer *before* any allocation is sized from the header.
 pub fn from_bytes(buf: &[u8]) -> Result<ParamStore, CheckpointError> {
+    Ok(from_bytes_with_meta(buf)?.0)
+}
+
+/// Decodes a binary checkpoint into a fresh [`ParamStore`] plus its scalar
+/// metadata entries. Version-1 buffers have no metadata section and decode
+/// with an empty metadata list — old checkpoints keep loading.
+#[allow(clippy::type_complexity)]
+pub fn from_bytes_with_meta(
+    buf: &[u8],
+) -> Result<(ParamStore, Vec<(String, f32)>), CheckpointError> {
     let mut buf = Reader::new(buf);
     if buf.get_u32()? != MAGIC {
         return Err(CheckpointError::Malformed("bad magic"));
     }
-    if buf.get_u16()? != VERSION {
+    let version = buf.get_u16()?;
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CheckpointError::Malformed("unsupported version"));
+    }
+    let mut meta = Vec::new();
+    if version >= 2 {
+        let meta_count = buf.get_u16()? as usize;
+        for _ in 0..meta_count {
+            let key_len = buf.get_u16()? as usize;
+            let key = String::from_utf8(buf.take(key_len)?.to_vec())
+                .map_err(|_| CheckpointError::Malformed("non-utf8 metadata key"))?;
+            let raw = buf.take(4)?;
+            meta.push((key, f32::from_le_bytes(raw.try_into().expect("4-byte slice"))));
+        }
     }
     let count = buf.get_u32()? as usize;
     let mut store = ParamStore::new();
@@ -141,7 +181,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<ParamStore, CheckpointError> {
             Tensor::from_vec(rows, cols, data).map_err(|_| CheckpointError::Malformed("shape"))?;
         store.add(name, tensor);
     }
-    Ok(store)
+    Ok((store, meta))
 }
 
 /// Writes a binary checkpoint to disk.
@@ -150,10 +190,29 @@ pub fn save_binary(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), Che
     Ok(())
 }
 
+/// Writes a binary checkpoint with scalar metadata to disk.
+pub fn save_binary_with_meta(
+    store: &ParamStore,
+    meta: &[(&str, f32)],
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    fs::write(path, to_bytes_with_meta(store, meta))?;
+    Ok(())
+}
+
 /// Reads a binary checkpoint from disk.
 pub fn load_binary(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError> {
     let data = fs::read(path)?;
     from_bytes(&data)
+}
+
+/// Reads a binary checkpoint and its scalar metadata from disk.
+#[allow(clippy::type_complexity)]
+pub fn load_binary_with_meta(
+    path: impl AsRef<Path>,
+) -> Result<(ParamStore, Vec<(String, f32)>), CheckpointError> {
+    let data = fs::read(path)?;
+    from_bytes_with_meta(&data)
 }
 
 /// Writes a JSON checkpoint to disk.
@@ -234,12 +293,58 @@ mod tests {
         let mut raw = Vec::new();
         raw.extend_from_slice(&MAGIC.to_be_bytes());
         raw.extend_from_slice(&VERSION.to_be_bytes());
+        raw.extend_from_slice(&0u16.to_be_bytes()); // empty metadata section
         raw.extend_from_slice(&1u32.to_be_bytes());
         raw.extend_from_slice(&1u16.to_be_bytes());
         raw.push(b'w');
         raw.extend_from_slice(&u32::MAX.to_be_bytes());
         raw.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(from_bytes(&raw).is_err());
+    }
+
+    #[test]
+    fn metadata_roundtrips() {
+        let ps = sample_store();
+        let raw = to_bytes_with_meta(&ps, &[("decision_threshold", 0.62), ("calib", -1.5)]);
+        let (loaded, meta) = from_bytes_with_meta(&raw).expect("roundtrip");
+        assert_eq!(loaded.len(), ps.len());
+        assert_eq!(meta.len(), 2);
+        assert_eq!(meta[0].0, "decision_threshold");
+        assert_eq!(meta[0].1.to_bits(), 0.62f32.to_bits());
+        assert_eq!(meta[1], ("calib".to_string(), -1.5));
+    }
+
+    /// The exact version-1 writer layout: no metadata section between the
+    /// header and the tensor table.
+    fn v1_bytes(store: &ParamStore) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes());
+        buf.extend_from_slice(&(store.len() as u32).to_be_bytes());
+        for (_, name, value) in store.iter() {
+            let name_bytes = name.as_bytes();
+            buf.extend_from_slice(&(name_bytes.len() as u16).to_be_bytes());
+            buf.extend_from_slice(name_bytes);
+            buf.extend_from_slice(&(value.rows() as u32).to_be_bytes());
+            buf.extend_from_slice(&(value.cols() as u32).to_be_bytes());
+            for &v in value.as_slice() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn version_1_checkpoints_still_load() {
+        let ps = sample_store();
+        let raw = v1_bytes(&ps);
+        let (loaded, meta) = from_bytes_with_meta(&raw).expect("v1 backward compat");
+        assert!(meta.is_empty(), "v1 has no metadata section");
+        assert_eq!(loaded.len(), ps.len());
+        for (_, name, value) in ps.iter() {
+            let lid = loaded.id_of(name).expect("name survives");
+            assert!(loaded.value(lid).allclose(value, 0.0));
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::params::ParamStore;
 use crate::tape::{Op, Tape, Var};
 use hiergat_tensor::{
     gelu_grad_scalar, log_softmax_rows_inplace, matmul_into, matmul_nt_into, matmul_tn_into,
-    row_moments_into, softmax_rows_inplace, Arena, Span, SpanReader,
+    row_moments_into, softmax_rows_inplace, Arena, Span, SpanReader, Tensor,
 };
 use std::cmp::Reverse;
 use std::collections::hash_map::DefaultHasher;
@@ -129,9 +129,11 @@ fn op_code(op: &Op) -> u64 {
 /// Shape/topology fingerprint of `tape[0..=loss]`. Two tapes with equal
 /// signatures produce identical plans (payloads like scale factors, slice
 /// starts, dropout masks, and loss targets are read from the *current* tape
-/// at execution time and never baked into the plan).
-fn signature(tape: &Tape, loss: Var) -> Vec<u64> {
-    let mut sig = vec![loss.index() as u64];
+/// at execution time and never baked into the plan). The mode tag keeps
+/// training and inference plans for the same graph distinct in the plan
+/// cache — their liveness (and therefore their spans) differ.
+fn signature(tape: &Tape, loss: Var, inference: bool) -> Vec<u64> {
+    let mut sig = vec![loss.index() as u64, u64::from(inference)];
     for i in 0..=loss.index() {
         let v = Var::from_index(i);
         let op = tape.op_at(i);
@@ -275,6 +277,7 @@ impl FreeList {
 /// An ahead-of-time memory plan for one `(graph shape, loss)` pair.
 pub struct ExecutionPlan {
     loss: Var,
+    inference: bool,
     reachable: Vec<bool>,
     value_span: Vec<Span>,
     grad_span: Vec<Span>,
@@ -296,12 +299,33 @@ impl ExecutionPlan {
     /// recorded shape-only (clamped shapes would corrupt the plan; use
     /// [`Tape::deferred`], which records true shapes).
     pub fn build(tape: &Tape, loss: Var) -> ExecutionPlan {
+        assert!(tape.value(loss).is_scalar(), "plan: loss must be 1x1");
+        Self::build_with_mode(tape, loss, false)
+    }
+
+    /// Plans arena storage for a **forward-only** evaluation of `tape` up to
+    /// `output` (any shape — inference outputs are logit/probability
+    /// matrices, not scalar losses).
+    ///
+    /// There is no adjoint timeline: gradients are never requested, and a
+    /// node's value span is recycled as soon as its last *forward* consumer
+    /// has run — none of the keep-alive extensions the backward sweep forces
+    /// (`backward_value_reads`, output re-reads) apply. Peak arena bytes are
+    /// therefore at most, and in practice well below, the training plan's.
+    ///
+    /// # Panics
+    /// Panics if `output` is not on the tape or the tape was recorded
+    /// shape-only (use [`Tape::inference`], which records true shapes).
+    pub fn build_inference(tape: &Tape, output: Var) -> ExecutionPlan {
+        Self::build_with_mode(tape, output, true)
+    }
+
+    fn build_with_mode(tape: &Tape, loss: Var, inference: bool) -> ExecutionPlan {
         assert!(loss.index() < tape.len(), "plan: loss is not a node of this tape");
         assert!(
             !tape.is_shape_only(),
             "plan: shape-only tapes clamp shapes; record with Tape::deferred"
         );
-        assert!(tape.value(loss).is_scalar(), "plan: loss must be 1x1");
         let l = loss.index();
         let n = l + 1;
         let t_bwd = |i: usize| 2 * l + 1 - i;
@@ -321,7 +345,9 @@ impl ExecutionPlan {
 
         let is_leaf = |i: usize| matches!(tape.op_at(i), Op::Input | Op::Param(_));
 
-        // Liveness on the combined timeline (see module docs).
+        // Liveness on the combined timeline (see module docs). Inference
+        // plans stop at the forward sweep: no adjoint times, no backward
+        // keep-alives — a value dies at its last forward consumer.
         let mut value_last: Vec<usize> = (0..n).collect();
         let mut grad_first: Vec<usize> = (0..n).map(t_bwd).collect();
         for j in 0..n {
@@ -336,6 +362,9 @@ impl ExecutionPlan {
                 }
                 grad_first[vi] = grad_first[vi].min(t_bwd(j));
             }
+            if inference {
+                continue;
+            }
             for v in backward_value_reads(op) {
                 let vi = v.index();
                 if !is_leaf(vi) {
@@ -347,9 +376,10 @@ impl ExecutionPlan {
             }
         }
 
-        // Storage requests: values for non-leaf reachable nodes, gradients
-        // for every reachable node (the heap path accumulates adjoints for
-        // leaves too — parameters flush to the store at their backward time).
+        // Storage requests: values for non-leaf reachable nodes, and — on
+        // training plans only — gradients for every reachable node (the heap
+        // path accumulates adjoints for leaves too; parameters flush to the
+        // store at their backward time).
         let mut requests: Vec<Request> = Vec::new();
         let mut max_node_elems = 0;
         let mut max_rows = 0;
@@ -377,18 +407,20 @@ impl ExecutionPlan {
                     elems,
                 });
             }
-            requests.push(Request {
-                node: i,
-                grad: true,
-                start: grad_first[i],
-                end: t_bwd(i),
-                elems,
-            });
+            if !inference {
+                requests.push(Request {
+                    node: i,
+                    grad: true,
+                    start: grad_first[i],
+                    end: t_bwd(i),
+                    elems,
+                });
+            }
         }
         requests.sort_by_key(|r| (r.start, r.node, r.grad));
 
         // Liveness-theoretic lower bound: peak of simultaneously-live elems.
-        let mut delta = vec![0i64; 2 * l + 3];
+        let mut delta = vec![0i64; if inference { n + 1 } else { 2 * l + 3 }];
         let mut naive_elems = 0u64;
         for r in &requests {
             delta[r.start] += r.elems as i64;
@@ -459,9 +491,10 @@ impl ExecutionPlan {
             lower_bound_bytes,
             exceeds_lower_bound: arena_bytes > lower_bound_bytes,
         };
-        let sig = signature(tape, loss);
+        let sig = signature(tape, loss, inference);
         ExecutionPlan {
             loss,
+            inference,
             reachable,
             value_span,
             grad_span,
@@ -478,6 +511,11 @@ impl ExecutionPlan {
     /// The loss node this plan executes to.
     pub fn loss(&self) -> Var {
         self.loss
+    }
+
+    /// `true` if this is a forward-only inference plan (no gradient spans).
+    pub fn is_inference(&self) -> bool {
+        self.inference
     }
 
     /// Total arena elements the plan requires.
@@ -550,31 +588,39 @@ impl ArenaExecutor {
         plans: &'p mut HashMap<u64, ExecutionPlan>,
         tape: &Tape,
         loss: Var,
+        inference: bool,
     ) -> &'p ExecutionPlan {
-        let sig = signature(tape, loss);
+        let sig = signature(tape, loss, inference);
         let key = hash_signature(&sig);
         if plans.len() > 512 && !plans.contains_key(&key) {
             // Runaway shape diversity (e.g. per-pair graph sizes): cap the
             // cache rather than grow without bound.
             plans.clear();
         }
-        let entry = plans.entry(key).or_insert_with(|| ExecutionPlan::build(tape, loss));
+        let build = || ExecutionPlan::build_with_mode(tape, loss, inference);
+        let entry = plans.entry(key).or_insert_with(build);
         if entry.signature != sig {
             // Hash collision between distinct shapes: rebuild for the
             // current tape (correctness first; collisions are ~never).
-            *entry = ExecutionPlan::build(tape, loss);
+            *entry = build();
         }
         entry
     }
 
     /// Plans (or reuses a cached plan for) `tape` and returns its report.
     pub fn plan_report(&mut self, tape: &Tape, loss: Var) -> PlanReport {
-        Self::cached_plan(&mut self.plans, tape, loss).report.clone()
+        Self::cached_plan(&mut self.plans, tape, loss, false).report.clone()
+    }
+
+    /// Plans (or reuses a cached **inference** plan for) `tape` up to
+    /// `output` and returns its report.
+    pub fn infer_report(&mut self, tape: &Tape, output: Var) -> PlanReport {
+        Self::cached_plan(&mut self.plans, tape, output, true).report.clone()
     }
 
     /// Runs forward only, returning the loss value.
     pub fn forward(&mut self, tape: &Tape, loss: Var, store: &ParamStore) -> f32 {
-        let plan = Self::cached_plan(&mut self.plans, tape, loss);
+        let plan = Self::cached_plan(&mut self.plans, tape, loss, false);
         self.arena.ensure_len(plan.arena_elems);
         grow(&mut self.scratch.a, plan.max_node_elems);
         grow(&mut self.scratch.b, 2 * plan.max_rows);
@@ -583,11 +629,48 @@ impl ArenaExecutor {
         read_loss(plan, tape, store, &self.arena, loss)
     }
 
+    /// Executes an inference tape through its forward-only plan and copies
+    /// the values of `output` (row-major) into `out`.
+    ///
+    /// Zero allocations in steady state: once the graph shape is planned and
+    /// the arena/scratch are grown, replaying a same-shape tape touches only
+    /// pre-owned buffers. Bitwise identical to recording the same graph
+    /// eagerly — every forward arm reproduces the eager kernels exactly.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the element count of `output`.
+    pub fn infer_into(&mut self, tape: &Tape, output: Var, store: &ParamStore, out: &mut [f32]) {
+        let plan = Self::cached_plan(&mut self.plans, tape, output, true);
+        self.arena.ensure_len(plan.arena_elems);
+        grow(&mut self.scratch.a, plan.max_node_elems);
+        grow(&mut self.scratch.b, 2 * plan.max_rows);
+        grow(&mut self.scratch.c, 4 * plan.max_cols);
+        run_forward(plan, tape, store, &mut self.arena, &mut self.scratch);
+        let vals = value_slice_in(&self.arena, plan, tape, store, output);
+        assert_eq!(out.len(), vals.len(), "infer_into: output buffer size mismatch");
+        out.copy_from_slice(vals);
+    }
+
+    /// Convenience wrapper over [`Self::infer_into`] that allocates the
+    /// output tensor.
+    pub fn infer(&mut self, tape: &Tape, output: Var, store: &ParamStore) -> Tensor {
+        let (rows, cols) = tape.value(output).shape();
+        let mut t = Tensor::zeros(rows, cols);
+        self.infer_into(tape, output, store, t.as_mut_slice());
+        t
+    }
+
+    /// Bytes of arena storage this executor currently owns (peak across all
+    /// plans it has replayed).
+    pub fn arena_capacity_bytes(&self) -> u64 {
+        self.arena.capacity_bytes()
+    }
+
     /// Runs one full forward + backward step, accumulating parameter
     /// gradients into `store` (bitwise identical to recording the same graph
     /// eagerly and calling `Tape::backward`). Returns the loss value.
     pub fn step(&mut self, tape: &Tape, loss: Var, store: &mut ParamStore) -> f32 {
-        let plan = Self::cached_plan(&mut self.plans, tape, loss);
+        let plan = Self::cached_plan(&mut self.plans, tape, loss, false);
         self.arena.ensure_len(plan.arena_elems);
         grow(&mut self.scratch.a, plan.max_node_elems);
         grow(&mut self.scratch.b, 2 * plan.max_rows);
@@ -1802,5 +1885,106 @@ mod tests {
         let a = t.input(Tensor::zeros(2, 2));
         let s = t.sum_all(a);
         ExecutionPlan::build(&t, s);
+    }
+
+    /// The attention graph in eval mode (dropout elided), ending at the
+    /// softmax probabilities instead of a loss — an inference output.
+    fn record_attention_eval_graph(t: &mut Tape, ps: &ParamStore) -> Var {
+        let mut rng = StdRng::seed_from_u64(0); // never consumed: eval mode
+        let emb = t.param(ps, pid(ps, "emb"));
+        let x = t.gather_rows(emb, &[0, 2, 1, 4, 3, 2]);
+        let w1 = t.param(ps, pid(ps, "w1"));
+        let h = t.matmul(x, w1);
+        let b1 = t.param(ps, pid(ps, "b1"));
+        let h = t.add_row(h, b1);
+        let gamma = t.param(ps, pid(ps, "gamma"));
+        let beta = t.param(ps, pid(ps, "beta"));
+        let h = t.layer_norm(h, gamma, beta, 1e-5);
+        let h = t.leaky_relu(h, 0.2);
+        let h = t.dropout(h, 0.25, false, &mut rng);
+        let att = t.matmul_nt(h, h);
+        let att = t.softmax(att);
+        let ctx = t.matmul(att, h);
+        let cat = t.concat_cols(&[h, ctx]);
+        let s = t.slice_cols(cat, 4, 10);
+        let w2 = t.param(ps, pid(ps, "w2"));
+        let logits = t.matmul(s, w2);
+        t.softmax(logits)
+    }
+
+    #[test]
+    fn inference_matches_eager_eval_bitwise() {
+        let ps = build_store(31);
+        let mut th = Tape::new();
+        let probs_h = record_attention_eval_graph(&mut th, &ps);
+
+        let mut exec = ArenaExecutor::new();
+        for round in 0..2 {
+            let mut ti = Tape::inference();
+            let probs_i = record_attention_eval_graph(&mut ti, &ps);
+            let out = exec.infer(&ti, probs_i, &ps);
+            assert_bits_eq(
+                th.value(probs_h).as_slice(),
+                out.as_slice(),
+                &format!("round {round} inference probs"),
+            );
+        }
+        assert_eq!(exec.plans_cached(), 1, "same-shape inference reuses one plan");
+    }
+
+    #[test]
+    fn inference_plan_needs_less_arena_than_training_plan() {
+        let ps = build_store(37);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tt = Tape::deferred();
+        let loss = record_attention_graph(&mut tt, &ps, &mut rng);
+        let training = ExecutionPlan::build(&tt, loss).report().clone();
+
+        let mut ti = Tape::inference();
+        let probs = record_attention_eval_graph(&mut ti, &ps);
+        let plan = ExecutionPlan::build_inference(&ti, probs);
+        assert!(plan.is_inference());
+        let inference = plan.report().clone();
+        assert!(
+            inference.arena_bytes < training.arena_bytes,
+            "forward-only liveness must shrink the arena: inference {inference} vs training {training}"
+        );
+        // No gradient slots on an inference plan.
+        assert!(plan.slots().iter().all(|s| !s.grad));
+    }
+
+    #[test]
+    fn inference_slots_respect_aliasing_invariant() {
+        let ps = build_store(41);
+        let mut t = Tape::inference();
+        let probs = record_attention_eval_graph(&mut t, &ps);
+        let plan = ExecutionPlan::build_inference(&t, probs);
+        let slots = plan.slots();
+        for (x, sa) in slots.iter().enumerate() {
+            for sb in &slots[x + 1..] {
+                let time_overlap = sa.start_time <= sb.end_time && sb.start_time <= sa.end_time;
+                if time_overlap {
+                    assert!(
+                        !sa.span.overlaps(sb.span),
+                        "live-interval overlap shares storage: {sa:?} vs {sb:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn training_and_inference_plans_cached_separately() {
+        let ps = build_store(43);
+        let mut exec = ArenaExecutor::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut t = Tape::deferred();
+        let loss = record_attention_graph(&mut t, &ps, &mut rng);
+        let training = exec.plan_report(&t, loss);
+        // Same tape, same root: the forward-only plan is a distinct cache
+        // entry with a strictly smaller footprint.
+        let inference = exec.infer_report(&t, loss);
+        assert_eq!(exec.plans_cached(), 2, "mode tag must split the cache");
+        assert!(inference.arena_bytes < training.arena_bytes);
     }
 }

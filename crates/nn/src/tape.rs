@@ -232,6 +232,7 @@ pub struct Tape {
     nodes: Vec<Node>,
     shape_only: bool,
     deferred: bool,
+    inference: bool,
     violations: Vec<ShapeViolation>,
 }
 
@@ -268,6 +269,21 @@ impl Tape {
         Self { deferred: true, ..Self::default() }
     }
 
+    /// Creates an eval-mode deferred tape for the forward-only inference
+    /// engine.
+    ///
+    /// Like [`Self::deferred`], ops record exact shapes and storage-free
+    /// placeholders for later arena execution — but the graph is a pure
+    /// forward pass: dropout is elided entirely (no mask sampled, no RNG
+    /// consumed, matching eager eval mode bitwise), [`Self::backward`] is
+    /// rejected, and the plan built from it
+    /// ([`crate::ExecutionPlan::build_inference`]) has no adjoint timeline,
+    /// so gradients are never allocated and value spans are recycled as soon
+    /// as their last forward consumer runs.
+    pub fn inference() -> Self {
+        Self { deferred: true, inference: true, ..Self::default() }
+    }
+
     /// `true` if this tape skips kernels and only tracks shapes.
     pub fn is_shape_only(&self) -> bool {
         self.shape_only
@@ -276,6 +292,11 @@ impl Tape {
     /// `true` if this tape records true shapes for arena execution.
     pub fn is_deferred(&self) -> bool {
         self.deferred
+    }
+
+    /// `true` if this tape records an eval-mode forward-only graph.
+    pub fn is_inference(&self) -> bool {
+        self.inference
     }
 
     /// Shape-constraint failures collected during shape-only recording.
@@ -605,9 +626,11 @@ impl Tape {
         })
     }
 
-    /// Inverted dropout. Identity when `train` is false or `p == 0`.
+    /// Inverted dropout. Identity when `train` is false or `p == 0`, and
+    /// always on inference tapes (eval mode never drops; like eager eval, no
+    /// RNG is consumed, so the streams stay aligned).
     pub fn dropout(&mut self, x: Var, p: f32, train: bool, rng: &mut impl Rng) -> Var {
-        if !train || p <= 0.0 {
+        if !train || p <= 0.0 || self.inference {
             return x;
         }
         if self.shape_only {
@@ -1111,6 +1134,22 @@ mod tests {
         let x = t.input(Tensor::ones(2, 4));
         let y = t.dropout(x, 0.5, false, &mut rng);
         assert_eq!(y, x); // same var: identity shortcut
+    }
+
+    #[test]
+    fn inference_tape_elides_dropout_without_consuming_rng() {
+        let mut t = Tape::inference();
+        assert!(t.is_inference());
+        assert!(t.is_deferred());
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = t.input(Tensor::ones(2, 4));
+        // Even with train=true, an inference tape records no dropout node...
+        let y = t.dropout(x, 0.5, true, &mut rng);
+        assert_eq!(y, x);
+        assert_eq!(t.len(), 1);
+        // ...and leaves the RNG stream untouched (matches eager eval mode).
+        let mut fresh = StdRng::seed_from_u64(7);
+        assert_eq!(rng.gen::<f32>().to_bits(), fresh.gen::<f32>().to_bits());
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! [`ModelRegistry`]: the one name → constructor table for every
+//! tape-recording model in the workspace.
+//!
+//! Consumers (CLI subcommands, benches, the conformance suite) iterate the
+//! registry instead of hand-enumerating model types; adding a model means
+//! adding one [`ModelSpec`] here. Construction parameters that depend on
+//! the data (schema arity) or the run (LM tier) arrive via
+//! [`BuildContext`].
+
+use crate::model::{ErModel, HierGatCollective, HierGatPairwise, ModelKind};
+use hiergat::{HierGat, HierGatConfig};
+use hiergat_baselines::{
+    DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig, DmPlus, DmPlusConfig, GnnCollective,
+    GnnConfig, GnnKind,
+};
+use hiergat_lm::LmTier;
+
+/// Run- and data-dependent construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildContext {
+    /// Language-model tier (§6.5 ablates DistilBERT/RoBERTa sizes).
+    pub tier: LmTier,
+    /// Schema arity (attributes per entity) of the dataset being scored.
+    pub arity: usize,
+}
+
+/// One registry entry: stable name, display label, example side, and a
+/// constructor.
+pub struct ModelSpec {
+    name: &'static str,
+    display: &'static str,
+    kind: ModelKind,
+    build: fn(&BuildContext) -> Box<dyn ErModel>,
+}
+
+impl ModelSpec {
+    /// Stable lookup key (lowercase, e.g. `"hiergat+"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Human-readable label used in CLI report headers.
+    pub fn display(&self) -> &'static str {
+        self.display
+    }
+
+    /// Which example side the model consumes.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Constructs the model for `cx`.
+    pub fn build(&self, cx: &BuildContext) -> Box<dyn ErModel> {
+        (self.build)(cx)
+    }
+}
+
+/// The model table. [`ModelRegistry::builtin`] lists the eight
+/// tape-recording models of the paper's evaluation; Magellan is absent by
+/// design (classic feature classifiers record no tape — see
+/// [`ModelRegistry::tapeless_notes`]).
+pub struct ModelRegistry {
+    specs: Vec<ModelSpec>,
+}
+
+impl ModelRegistry {
+    /// The eight built-in models, in the evaluation's reporting order.
+    pub fn builtin() -> Self {
+        let specs = vec![
+            ModelSpec {
+                name: "hiergat",
+                display: "HierGAT (pairwise)",
+                kind: ModelKind::Pairwise,
+                build: |cx| {
+                    Box::new(HierGatPairwise(HierGat::new(
+                        HierGatConfig::pairwise().with_tier(cx.tier),
+                        cx.arity,
+                    )))
+                },
+            },
+            ModelSpec {
+                name: "hiergat+",
+                display: "HierGAT+ (collective)",
+                kind: ModelKind::Collective,
+                build: |cx| {
+                    Box::new(HierGatCollective(HierGat::new(
+                        HierGatConfig::collective().with_tier(cx.tier),
+                        cx.arity,
+                    )))
+                },
+            },
+            ModelSpec {
+                name: "ditto",
+                display: "Ditto",
+                kind: ModelKind::Pairwise,
+                build: |cx| {
+                    Box::new(Ditto::new(DittoConfig { lm_tier: cx.tier, ..Default::default() }))
+                },
+            },
+            ModelSpec {
+                name: "deepmatcher",
+                display: "DeepMatcher",
+                kind: ModelKind::Pairwise,
+                build: |cx| Box::new(DeepMatcher::new(DeepMatcherConfig::default(), cx.arity)),
+            },
+            ModelSpec {
+                name: "dm+",
+                display: "DM+",
+                kind: ModelKind::Pairwise,
+                build: |cx| Box::new(DmPlus::new(DmPlusConfig::default(), cx.arity)),
+            },
+            ModelSpec {
+                name: "gcn",
+                display: "GCN (collective)",
+                kind: ModelKind::Collective,
+                build: |_| Box::new(GnnCollective::new(GnnKind::Gcn, GnnConfig::default())),
+            },
+            ModelSpec {
+                name: "gat",
+                display: "GAT (collective)",
+                kind: ModelKind::Collective,
+                build: |_| Box::new(GnnCollective::new(GnnKind::Gat, GnnConfig::default())),
+            },
+            ModelSpec {
+                name: "hgat",
+                display: "HGAT (collective)",
+                kind: ModelKind::Collective,
+                build: |_| Box::new(GnnCollective::new(GnnKind::Hgat, GnnConfig::default())),
+            },
+        ];
+        Self { specs }
+    }
+
+    /// All entries, in registration order.
+    pub fn specs(&self) -> &[ModelSpec] {
+        &self.specs
+    }
+
+    /// Looks an entry up by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&ModelSpec> {
+        self.specs.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Evaluation models that record no tape and therefore have no entry:
+    /// one explanatory note per model, for `lint`-style reports.
+    pub fn tapeless_notes(&self) -> Vec<String> {
+        vec!["Magellan: classic feature-based classifiers record no tape; nothing to lint".into()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx() -> BuildContext {
+        BuildContext { tier: LmTier::MiniDistil, arity: 3 }
+    }
+
+    #[test]
+    fn registry_lists_all_eight_models_with_unique_names() {
+        let reg = ModelRegistry::builtin();
+        assert_eq!(reg.specs().len(), 8);
+        let mut names: Vec<&str> = reg.specs().iter().map(ModelSpec::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8, "registry names must be unique");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let reg = ModelRegistry::builtin();
+        assert!(reg.get("HierGAT").is_some());
+        assert!(reg.get("DM+").is_some());
+        assert!(reg.get("nonesuch").is_none());
+    }
+
+    #[test]
+    fn built_models_report_their_registered_kind() {
+        let reg = ModelRegistry::builtin();
+        for spec in reg.specs() {
+            let model = spec.build(&cx());
+            assert_eq!(model.kind(), spec.kind(), "{}", spec.name());
+            assert!(!model.params().is_empty(), "{} has no parameters", spec.name());
+        }
+    }
+}

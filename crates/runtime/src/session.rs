@@ -1,0 +1,189 @@
+//! [`Session`]: a model plus its tuned threshold plus cached inference
+//! plans, behind a batched scoring API.
+//!
+//! A session records each example's eval-mode scoring graph on a
+//! forward-only tape ([`Tape::inference`]) and replays it through the arena
+//! executor's cached inference plans: parameters enter as placeholders
+//! (no per-call weight cloning, unlike eager tapes) and node values live in
+//! one planned arena (no per-node heap allocation). Scores are bitwise
+//! identical to the model's eager `predict` path — same graph, same
+//! kernels, same evaluation order — so a session is a drop-in, faster
+//! scorer.
+//!
+//! [`Session::score_batch`] fans examples out over the `parallel` pool
+//! (`HIERGAT_THREADS` governs the width). Each worker slot keeps its own
+//! [`ArenaExecutor`] whose plan cache persists across calls; every example
+//! is scored independently, so results never depend on the chunk geometry
+//! and a 1-thread and an 8-thread run are bitwise identical.
+
+use crate::model::{ErModel, Example};
+use hiergat_nn::{ArenaExecutor, Tape};
+use std::sync::Mutex;
+
+/// An inference session over one model.
+pub struct Session {
+    model: Box<dyn ErModel>,
+    threshold: f32,
+    exec: ArenaExecutor,
+    workers: Vec<ArenaExecutor>,
+}
+
+/// Records `ex`'s scoring graph on an inference tape and replays it through
+/// `exec`, returning the match probability per output.
+fn score_one(model: &dyn ErModel, exec: &mut ArenaExecutor, ex: Example<'_>) -> Vec<f32> {
+    let n = ex.n_outputs();
+    let mut t = Tape::inference();
+    let probs = model.record_scores(&mut t, ex);
+    // The probability node is row-major `n x 2`; column 1 is P(match).
+    let mut buf = vec![0.0f32; n * 2];
+    exec.infer_into(&t, probs, model.params(), &mut buf);
+    (0..n).map(|i| buf[i * 2 + 1]).collect()
+}
+
+impl Session {
+    /// Wraps a model, adopting its persisted decision threshold.
+    pub fn new(model: Box<dyn ErModel>) -> Self {
+        let threshold = model.decision_threshold();
+        Self { model, threshold, exec: ArenaExecutor::new(), workers: Vec::new() }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &dyn ErModel {
+        &*self.model
+    }
+
+    /// The session's decision threshold (`score >= threshold` ⇒ match).
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Overrides the decision threshold for this session.
+    pub fn set_threshold(&mut self, threshold: f32) {
+        self.threshold = threshold;
+    }
+
+    /// Capacity of the serial scoring arena, in bytes (grows to the largest
+    /// inference plan seen; 0 before the first call).
+    pub fn arena_capacity_bytes(&self) -> u64 {
+        self.exec.arena_capacity_bytes()
+    }
+
+    /// Scores one example: match probability per output, bitwise identical
+    /// to the model's eager `predict`.
+    pub fn score(&mut self, ex: Example<'_>) -> Vec<f32> {
+        score_one(&*self.model, &mut self.exec, ex)
+    }
+
+    /// Boolean decisions for one example at the session threshold.
+    pub fn decide(&mut self, ex: Example<'_>) -> Vec<bool> {
+        let threshold = self.threshold;
+        self.score(ex).into_iter().map(|s| s >= threshold).collect()
+    }
+
+    /// Scores a batch in parallel over the shared thread pool. Output
+    /// order matches input order; values are independent of the pool
+    /// width (each example's graph is scored in isolation).
+    pub fn score_batch(&mut self, examples: &[Example<'_>]) -> Vec<Vec<f32>> {
+        let workers = parallel::current_split().max(1);
+        // Small batches (or a 1-wide pool) run serially on the session's
+        // own executor, keeping its plan cache warm.
+        if workers == 1 || examples.len() < 2 * workers {
+            let model = &*self.model;
+            return examples.iter().map(|ex| score_one(model, &mut self.exec, *ex)).collect();
+        }
+        while self.workers.len() < workers {
+            self.workers.push(ArenaExecutor::new());
+        }
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); examples.len()];
+        let chunk = examples.len().div_ceil(workers);
+        let model = &*self.model;
+        // One job per worker slot: its persistent executor plus the slice
+        // of outputs/examples it owns. The Mutex hands each spawned task
+        // exclusive access to exactly its own job.
+        type Job<'j, 'e> = Mutex<(&'j mut ArenaExecutor, &'j mut [Vec<f32>], &'j [Example<'e>])>;
+        let jobs: Vec<Job<'_, '_>> = self
+            .workers
+            .iter_mut()
+            .zip(out.chunks_mut(chunk))
+            .zip(examples.chunks(chunk))
+            .map(|((exec, slots), exs)| Mutex::new((exec, slots, exs)))
+            .collect();
+        parallel::run(jobs.len(), |i| {
+            let mut job = jobs[i].lock().expect("session job lock");
+            let (exec, slots, exs) = &mut *job;
+            for (slot, ex) in slots.iter_mut().zip(exs.iter()) {
+                *slot = score_one(model, exec, *ex);
+            }
+        });
+        out
+    }
+
+    /// Convenience over [`Self::score_batch`] for pairwise models: one
+    /// match probability per pair.
+    pub fn score_pairs(&mut self, pairs: &[hiergat_data::EntityPair]) -> Vec<f32> {
+        let examples: Vec<Example<'_>> = pairs.iter().map(Example::Pair).collect();
+        self.score_batch(&examples)
+            .into_iter()
+            .map(|mut v| {
+                debug_assert_eq!(v.len(), 1);
+                v.pop().unwrap_or_default()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{BuildContext, ModelRegistry};
+    use hiergat_data::MagellanDataset;
+    use hiergat_lm::LmTier;
+
+    #[test]
+    fn session_scores_match_eager_predictions_bitwise() {
+        let ds = MagellanDataset::FodorsZagats.load(0.15);
+        let pair = ds.train.first().expect("pair");
+        let reg = ModelRegistry::builtin();
+        let spec = reg.get("hiergat").expect("spec");
+        let cx = BuildContext { tier: LmTier::MiniDistil, arity: ds.arity().max(1) };
+        let model = spec.build(&cx);
+        let eager = model.predict(Example::Pair(pair));
+        let mut session = Session::new(model);
+        for _ in 0..2 {
+            let scored = session.score(Example::Pair(pair));
+            assert_eq!(scored.len(), eager.len());
+            for (s, e) in scored.iter().zip(&eager) {
+                assert_eq!(s.to_bits(), e.to_bits(), "session must match eager bitwise");
+            }
+        }
+        assert!(session.arena_capacity_bytes() > 0);
+    }
+
+    #[test]
+    fn batch_scores_match_serial_scores_and_preserve_order() {
+        let ds = MagellanDataset::FodorsZagats.load(0.15);
+        let pairs = &ds.train[..ds.train.len().min(12)];
+        let reg = ModelRegistry::builtin();
+        let cx = BuildContext { tier: LmTier::MiniDistil, arity: ds.arity().max(1) };
+        let mut session = Session::new(reg.get("deepmatcher").expect("spec").build(&cx));
+        let batched = session.score_pairs(pairs);
+        for (pair, score) in pairs.iter().zip(&batched) {
+            let serial = session.score(Example::Pair(pair));
+            assert_eq!(serial[0].to_bits(), score.to_bits());
+        }
+    }
+
+    #[test]
+    fn decide_applies_the_session_threshold() {
+        let ds = MagellanDataset::FodorsZagats.load(0.15);
+        let pair = ds.train.first().expect("pair");
+        let reg = ModelRegistry::builtin();
+        let cx = BuildContext { tier: LmTier::MiniDistil, arity: ds.arity().max(1) };
+        let mut session = Session::new(reg.get("dm+").expect("spec").build(&cx));
+        let score = session.score(Example::Pair(pair))[0];
+        session.set_threshold(score);
+        assert!(session.decide(Example::Pair(pair))[0], "score == threshold is a match");
+        session.set_threshold(score + f32::EPSILON.max(score * 1e-6));
+        assert!(!session.decide(Example::Pair(pair))[0]);
+    }
+}

@@ -70,6 +70,12 @@ impl Arena {
         self.buf.is_empty()
     }
 
+    /// Current capacity in bytes — the high-water mark of every plan this
+    /// arena has backed (`ensure_len` never shrinks).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.buf.len() as u64 * size_of::<f32>() as u64
+    }
+
     /// Immutable view of a span.
     #[inline]
     pub fn read(&self, s: Span) -> &[f32] {

@@ -300,6 +300,37 @@ pub fn par_chunks_mut<T: Send>(data: &mut [T], chunk: usize, f: impl Fn(usize, &
     });
 }
 
+/// Maps `f` over `items` with one output slot per item, fanning contiguous
+/// chunks out over the pool — the shared scoring loop for model inference.
+///
+/// The fan-out width follows [`current_split`] (so `HIERGAT_THREADS` and
+/// [`with_threads`] govern it like every other kernel); inputs smaller than
+/// two chunks per worker run serially, where fan-out overhead would
+/// dominate. Chunk geometry never affects results: each item writes only
+/// its own slot, so the output is identical at every width.
+pub fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send + Default,
+    F: Fn(&I) -> O + Sync,
+{
+    let mut out: Vec<O> = std::iter::repeat_with(O::default).take(items.len()).collect();
+    let workers = current_split();
+    if items.len() < 2 * workers {
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = f(item);
+        }
+    } else {
+        let chunk = items.len().div_ceil(workers);
+        par_chunks_mut(&mut out, chunk, |ci, slots| {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                *slot = f(&items[ci * chunk + k]);
+            }
+        });
+    }
+    out
+}
+
 /// Runs two closures, potentially in parallel, and returns both results —
 /// the rayon `join` shape.
 pub fn par_join<RA: Send, RB: Send>(

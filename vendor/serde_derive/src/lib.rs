@@ -4,7 +4,8 @@
 //! which are unavailable offline). Supports exactly the shapes this
 //! workspace serializes:
 //!
-//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * structs with named fields (honouring `#[serde(skip)]`,
+//!   `#[serde(default)]`, and `#[serde(default = "path")]`),
 //! * tuple structs (newtypes serialize transparently, wider ones as arrays),
 //! * enums whose variants are all unit variants (serialized as strings).
 //!
@@ -16,6 +17,10 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    /// `None`: required on deserialize. `Some(None)`: `#[serde(default)]`
+    /// (falls back to `Default::default()` when the field is absent).
+    /// `Some(Some(path))`: `#[serde(default = "path")]` (calls `path()`).
+    default: Option<Option<String>>,
 }
 
 enum Shape {
@@ -29,31 +34,54 @@ fn compile_error(msg: &str) -> TokenStream {
     format!("compile_error!({msg:?});").parse().expect("error tokens")
 }
 
-/// Returns `true` if an attribute group's tokens are `serde(skip)`.
-fn is_serde_skip(group: &proc_macro::Group) -> bool {
+/// Per-field `#[serde(...)]` options understood by the derive.
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: Option<Option<String>>,
+}
+
+/// Folds one attribute group's `serde(...)` options into `attrs`.
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
     let mut it = group.stream().into_iter();
-    match (it.next(), it.next()) {
-        (Some(TokenTree::Ident(head)), Some(TokenTree::Group(args))) => {
-            head.to_string() == "serde"
-                && args
-                    .stream()
-                    .into_iter()
-                    .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+    let (Some(TokenTree::Ident(head)), Some(TokenTree::Group(args))) = (it.next(), it.next())
+    else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => attrs.skip = true,
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                attrs.default = Some(None);
+                if matches!(toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    if let Some(TokenTree::Literal(lit)) = toks.get(i + 2) {
+                        let path = lit.to_string().trim_matches('"').to_string();
+                        attrs.default = Some(Some(path));
+                        i += 2;
+                    }
+                }
+            }
+            _ => {}
         }
-        _ => false,
+        i += 1;
     }
 }
 
-/// Skips `#[...]` attributes at `i`, returning whether any was `serde(skip)`.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
-    let mut skip = false;
+/// Skips `#[...]` attributes at `i`, collecting any `serde(...)` options.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
-            skip |= is_serde_skip(g);
+            parse_serde_attr(g, &mut attrs);
         }
         *i += 2;
     }
-    skip
+    attrs
 }
 
 /// Skips `pub` / `pub(...)` at `i`.
@@ -72,7 +100,7 @@ fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let skip = skip_attrs(&tokens, &mut i);
+        let attrs = skip_attrs(&tokens, &mut i);
         skip_vis(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -98,7 +126,7 @@ fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
             i += 1;
         }
         i += 1; // past the comma (or end)
-        fields.push(Field { name, skip });
+        fields.push(Field { name, skip: attrs.skip, default: attrs.default });
     }
     Ok(fields)
 }
@@ -272,11 +300,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     if f.skip {
                         format!("{}: ::std::default::Default::default(),", f.name)
                     } else {
+                        // Absent fields: error unless the field opted into a
+                        // fallback via `#[serde(default)]` / `default = "path"`.
+                        let missing = match &f.default {
+                            None => format!(
+                                "return ::std::result::Result::Err(
+                                    ::serde::DeError::custom(\"{name}: missing field `{0}`\"))",
+                                f.name
+                            ),
+                            Some(None) => "::std::default::Default::default()".to_string(),
+                            Some(Some(path)) => format!("{path}()"),
+                        };
                         format!(
                             "{0}: match ::serde::Value::get_field(fields, \"{0}\") {{
                                 ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,
-                                ::std::option::Option::None => return ::std::result::Result::Err(
-                                    ::serde::DeError::custom(\"{name}: missing field `{0}`\")),
+                                ::std::option::Option::None => {missing},
                             }},",
                             f.name
                         )
