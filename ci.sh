@@ -47,6 +47,17 @@ HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test runtime_conformance
 echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test runtime_conformance"
 HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test runtime_conformance
 
+# Interval-audit differential gate: for every builtin model, the abstract
+# interpreter's proven per-node intervals must contain every concrete
+# value an eager scoring run records, under observed and symbolic
+# seeding — at both pool widths, since eager recording uses the kernel
+# pool while the proven intervals must not depend on it.
+echo "==> HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test absint_containment"
+HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test absint_containment
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test absint_containment"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test absint_containment
+
 # Lint gate: every builtin model graph must pass the rule engine with
 # warnings denied, and the kernel write-disjointness race audit must
 # verify under both pool widths (the audit itself also sweeps widths
@@ -57,6 +68,13 @@ HIERGAT_THREADS=1 ./target/release/hiergat lint \
 
 echo "==> hiergat lint --deny warn (HIERGAT_THREADS=8)"
 HIERGAT_THREADS=8 ./target/release/hiergat lint \
+  --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn
+
+# Numerical-safety gate: the interval audit of every builtin model's
+# inference scoring graph must report zero findings (no reachable
+# overflow, underflow-to-zero, or NaN under symbolic input boxes).
+echo "==> hiergat audit --deny warn"
+./target/release/hiergat audit \
   --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn
 
 echo "==> ci gate passed"

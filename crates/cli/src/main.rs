@@ -20,9 +20,9 @@
 //!   reachability, node liveness, HHG validation) over the training
 //!   graphs of HierGAT, HierGAT+, and every baseline — no kernels run.
 //!
-//! `analyze`, `lint`, and `plan` resolve the model set through
+//! `analyze`, `lint`, `plan`, and `audit` resolve the model set through
 //! [`ModelRegistry`] — no per-model code here; adding a model to the
-//! registry adds it to all three subcommands.
+//! registry adds it to all four subcommands.
 //! * `lint    [--dataset amazon-google] [--scale 0.5] [--deny warn] [--json]`
 //!   runs the numerical-stability / efficiency / gradient-hygiene rule
 //!   engine over the same model graphs plus the kernel write-disjointness
@@ -33,6 +33,14 @@
 //!   graph and the forward-only inference plan its scoring session uses,
 //!   printing both arena budgets (planned arena bytes vs the naive sum of
 //!   buffer sizes vs the liveness lower bound).
+//! * `audit   [--dataset amazon-google] [--scale 0.5] [--deny warn] [--json]
+//!   [--weights DIR] [--input-bound B] [--param-bound W]`
+//!   runs the interval abstract interpreter over each model's inference
+//!   scoring graph: proven per-node value ranges, overflow/underflow/NaN
+//!   findings, and the int8/f16/f32 quantisation feasibility table.
+//!   Symbolic by default (inputs in `[-B, B]`, parameters in `[-W, W]`);
+//!   `--weights DIR` audits a saved HierGAT checkpoint with concrete
+//!   per-parameter ranges instead (weight-aware seeding).
 //!
 //! `train` and `demo` also accept `--analyze` to run the same static
 //! check on the model being trained before epoch 0.
@@ -85,7 +93,9 @@ usage:
   hiergat demo    [--dataset NAME] [--scale S] [--epochs N]
   hiergat analyze [--dataset NAME] [--scale S]
   hiergat lint    [--dataset NAME] [--scale S] [--deny warn|deny] [--json]
-  hiergat plan    [--dataset NAME] [--scale S]";
+  hiergat plan    [--dataset NAME] [--scale S]
+  hiergat audit   [--dataset NAME] [--scale S] [--deny warn|deny] [--json]
+                  [--weights DIR] [--input-bound B] [--param-bound W]";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
@@ -98,6 +108,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "analyze" => cmd_analyze(&args),
         "lint" => cmd_lint(&args),
         "plan" => cmd_plan(&args),
+        "audit" => cmd_audit(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -293,13 +304,17 @@ struct LintOutput {
     failed: bool,
 }
 
+/// Parses the `--deny` gate severity shared by `lint` and `audit`.
+fn deny_gate(args: &Args) -> Result<hiergat_nn::Severity, String> {
+    match args.get("deny").unwrap_or("deny") {
+        "warn" => Ok(hiergat_nn::Severity::Warn),
+        "deny" => Ok(hiergat_nn::Severity::Deny),
+        other => Err(format!("unknown --deny level '{other}' (warn|deny)")),
+    }
+}
+
 fn cmd_lint(args: &Args) -> Result<(), String> {
-    use hiergat_nn::Severity;
-    let gate = match args.get("deny").unwrap_or("deny") {
-        "warn" => Severity::Warn,
-        "deny" => Severity::Deny,
-        other => return Err(format!("unknown --deny level '{other}' (warn|deny)")),
-    };
+    let gate = deny_gate(args)?;
     let (ds, ds_c, tier) = registry_inputs(args)?;
 
     let mut models = Vec::new();
@@ -364,13 +379,103 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One audited model graph in the `audit --json` document.
+#[derive(serde::Serialize)]
+struct ModelAudit {
+    model: String,
+    clean: bool,
+    report: hiergat_nn::AuditReport,
+}
+
+/// The full `audit --json` document: per-model interval-audit reports
+/// (proven ranges, findings, quantisation table) under one seeding.
+#[derive(serde::Serialize)]
+struct AuditOutput {
+    gate: String,
+    seed: String,
+    models: Vec<ModelAudit>,
+    skipped: Vec<String>,
+    failed: bool,
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let gate = deny_gate(args)?;
+    let input_bound: f64 = args.get_parsed("input-bound").unwrap_or(Ok(8.0))?;
+    let param_bound: f64 = args.get_parsed("param-bound").unwrap_or(Ok(4.0))?;
+    if input_bound <= 0.0 || param_bound <= 0.0 {
+        return Err("--input-bound and --param-bound must be positive".into());
+    }
+    let (ds, ds_c, tier) = registry_inputs(args)?;
+
+    let mut models = Vec::new();
+    let cfg;
+    if let Some(dir) = args.get("weights") {
+        // Weight-aware: audit the saved HierGAT checkpoint with concrete
+        // per-parameter ranges read from its store.
+        cfg = hiergat_nn::AbsintConfig::weight_aware(input_bound);
+        let pair = ds.train.first().ok_or("dataset has no training pairs")?;
+        let model = HierGatPairwise(load_model(dir).map_err(|e| e.to_string())?);
+        let report = model.audit(Example::Pair(pair), &cfg);
+        models.push(ModelAudit {
+            model: format!("hiergat [checkpoint {dir}]"),
+            clean: report.is_clean_at(gate),
+            report,
+        });
+    } else {
+        cfg = hiergat_nn::AbsintConfig::symbolic(input_bound, param_bound);
+        for_each_model(tier, &ds, &ds_c, |spec, model, example| {
+            let report = model.audit(example, &cfg);
+            models.push(ModelAudit {
+                model: spec.display().to_string(),
+                clean: report.is_clean_at(gate),
+                report,
+            });
+        })?;
+    }
+
+    let out = AuditOutput {
+        gate: format!("{gate:?}").to_lowercase(),
+        seed: cfg.describe(),
+        skipped: ModelRegistry::builtin().tapeless_notes(),
+        failed: models.iter().any(|m| !m.clean),
+        models,
+    };
+
+    if args.has_flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| format!("serializing report: {e}"))?
+        );
+    } else {
+        for m in &out.models {
+            println!("== {} ==", m.model);
+            println!("{}", m.report);
+        }
+        for note in &out.skipped {
+            println!("note: {note}");
+        }
+    }
+    if out.failed {
+        let dirty = out.models.iter().filter(|m| !m.clean).count();
+        Err(format!(
+            "audit gate failed: {dirty} model graph(s) with findings at or above --deny {}",
+            out.gate
+        ))
+    } else {
+        if !args.has_flag("json") {
+            println!("all model graphs audit clean at --deny {} ({})", out.gate, out.seed);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn usage_lists_all_subcommands() {
-        for cmd in ["train", "predict", "block", "demo", "analyze", "lint", "plan"] {
+        for cmd in ["train", "predict", "block", "demo", "analyze", "lint", "plan", "audit"] {
             assert!(USAGE.contains(cmd));
         }
     }
@@ -465,6 +570,34 @@ mod tests {
         let args = Args::parse(&["--deny".into(), "everything".into()]).expect("parse");
         let err = cmd_lint(&args).expect_err("bad deny level must fail");
         assert!(err.contains("unknown --deny level"));
+    }
+
+    #[test]
+    fn audit_reports_clean_graphs_for_all_models_at_deny_warn() {
+        let argv: Vec<String> = [
+            "audit",
+            "--dataset",
+            "fodors-zagats",
+            "--scale",
+            "0.2",
+            "--tier",
+            "dbert",
+            "--deny",
+            "warn",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        run(&argv).expect("audit");
+    }
+
+    #[test]
+    fn audit_rejects_nonpositive_bounds() {
+        let args =
+            Args::parse(&["--input-bound".into(), "0".into(), "--deny".into(), "warn".into()])
+                .expect("parse");
+        let err = cmd_audit(&args).expect_err("zero input bound must fail");
+        assert!(err.contains("must be positive"));
     }
 
     #[test]

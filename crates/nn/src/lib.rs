@@ -11,6 +11,7 @@
 //! checker itself is exported in [`gradcheck`] so downstream crates can
 //! verify composite models.
 
+pub mod absint;
 pub mod analyze;
 pub mod checkpoint;
 pub mod gradcheck;
@@ -24,6 +25,10 @@ mod tape;
 #[cfg(test)]
 mod proptests;
 
+pub use absint::{
+    audit_graph, propagate, AbsintConfig, AuditReport, Finding, Interval, NodeRange, QuantEntry,
+    QuantSummary, SeedMode,
+};
 pub use analyze::{
     analyze_graph, cost_analysis, finite_audit, peak_bytes_backward, CostReport, DeadParam,
     GraphReport, OpCost, SentinelHit, ShapeViolation, UnusedNode,

@@ -10,15 +10,20 @@
 //!
 //! # Rule catalogue
 //!
+//! Value facts (upper bounds, positivity) come from the interval abstract
+//! interpreter ([`crate::absint`]) run with unbounded leaf seeds, so a
+//! property proven here holds for *every* input the graph could see:
+//! `tanh`/`sigmoid`/`softmax` outputs, max-subtracted rows
+//! (`x - max_cols(x)`), epsilon shifts, and their compositions all carry
+//! real proven ranges, not boolean flags.
+//!
 //! Numerical stability (deny by default):
-//! * `naked-exp` — `exp` of an input that is not provably bounded above
-//!   (overflows to `+inf` past ~88.7 in `f32`). Bounded inputs are proven
-//!   by a small abstract interpretation: `tanh`/`sigmoid`/`softmax`
-//!   outputs, max-subtracted rows (`x - max_cols(x)`), and compositions
-//!   that preserve an upper bound.
+//! * `naked-exp` — `exp` of an input whose proven upper bound exceeds
+//!   ~88.7 (`exp` overflows `f32` to `+inf` past `ln(f32::MAX)`).
 //! * `log-of-possibly-zero` — `ln` of a value not provably positive
 //!   (`-inf` at zero, NaN below). An epsilon shift (`add_scalar` with a
-//!   positive constant on a non-negative value) proves positivity.
+//!   positive constant on a non-negative value) proves positivity, as does
+//!   any interval the domain can bound away from zero.
 //! * `log-softmax-unfused` — `ln(softmax(x))`: underflows for any row
 //!   where one logit dominates; the fused `log_softmax` is exact.
 //! * `div-missing-eps` — division whose denominator is not provably
@@ -249,134 +254,6 @@ impl fmt::Display for LintReport {
     }
 }
 
-/// Per-node abstract value bounds, propagated forward over the tape.
-///
-/// `pos` ⇒ every element > 0; `nonneg` ⇒ every element ≥ 0; `ub` ⇒ the
-/// value is bounded above by some finite constant derivable from the graph
-/// (shapes are static, so sums of bounded values stay bounded).
-#[derive(Debug, Clone, Copy, Default)]
-struct Bounds {
-    pos: bool,
-    nonneg: bool,
-    ub: bool,
-}
-
-fn bounds_of(tape: &Tape, n: usize) -> Vec<Bounds> {
-    let mut b: Vec<Bounds> = vec![Bounds::default(); n];
-    let and = |x: Bounds, y: Bounds| Bounds {
-        pos: x.pos && y.pos,
-        nonneg: (x.nonneg || x.pos) && (y.nonneg || y.pos),
-        ub: x.ub && y.ub,
-    };
-    for i in 0..n {
-        let g = |v: &Var| b[v.index()];
-        b[i] = match tape.op_at(i) {
-            Op::Input | Op::Param(_) => Bounds::default(),
-            // x + y: positivity needs one side > 0 and the other >= 0.
-            Op::Add(a, c) | Op::AddRow(a, c) | Op::AddCol(a, c) => {
-                let (xa, xc) = (g(a), g(c));
-                let mut out = Bounds {
-                    pos: (xa.pos && (xc.nonneg || xc.pos)) || (xc.pos && (xa.nonneg || xa.pos)),
-                    nonneg: (xa.nonneg || xa.pos) && (xc.nonneg || xc.pos),
-                    ub: xa.ub && xc.ub,
-                };
-                // Max-subtraction: add_col(x, scale(max_cols(x), k<0)) caps
-                // every element at 0 — the canonical softmax stabilizer.
-                if let Op::AddCol(x, col) = tape.op_at(i) {
-                    if let Op::Scale(m, k) = tape.op_at(col.index()) {
-                        if *k < 0.0 {
-                            if let Op::MaxCols(src) = tape.op_at(m.index()) {
-                                if src.index() == x.index() {
-                                    out.ub = true;
-                                    out.pos = false;
-                                }
-                            }
-                        }
-                    }
-                }
-                out
-            }
-            // x - y: stays bounded above when y cannot go negative.
-            Op::Sub(a, c) => {
-                Bounds { pos: false, nonneg: false, ub: g(a).ub && (g(c).nonneg || g(c).pos) }
-            }
-            Op::Mul(a, c) | Op::MulCol(a, c) => {
-                let (xa, xc) = (g(a), g(c));
-                let same = a.index() == c.index(); // x*x is a square
-                Bounds {
-                    pos: xa.pos && xc.pos,
-                    nonneg: same || ((xa.nonneg || xa.pos) && (xc.nonneg || xc.pos)),
-                    ub: xa.ub && xc.ub && (xa.nonneg || xa.pos) && (xc.nonneg || xc.pos),
-                }
-            }
-            Op::Div(a, c) => Bounds {
-                pos: g(a).pos && g(c).pos,
-                nonneg: (g(a).nonneg || g(a).pos) && g(c).pos,
-                ub: false,
-            },
-            Op::Scale(a, k) => {
-                let x = g(a);
-                if *k > 0.0 {
-                    x
-                } else if *k == 0.0 {
-                    Bounds { pos: false, nonneg: true, ub: true }
-                } else {
-                    // -x is bounded above when x is bounded below by 0.
-                    Bounds { pos: false, nonneg: false, ub: x.nonneg || x.pos }
-                }
-            }
-            Op::AddScalar(a, k) => {
-                let x = g(a);
-                Bounds {
-                    pos: (x.pos && *k >= 0.0) || ((x.nonneg || x.pos) && *k > 0.0),
-                    nonneg: (x.nonneg || x.pos) && *k >= 0.0,
-                    ub: x.ub,
-                }
-            }
-            // Bounded activations.
-            Op::Tanh(_) => Bounds { pos: false, nonneg: false, ub: true },
-            Op::Sigmoid(_) => Bounds { pos: true, nonneg: true, ub: true },
-            // Softmax rows can underflow to exactly 0, so nonneg, not pos.
-            Op::Softmax(_) => Bounds { pos: false, nonneg: true, ub: true },
-            Op::LogSoftmax(_) => Bounds { pos: false, nonneg: false, ub: true },
-            Op::Exp(a) => Bounds { pos: true, nonneg: true, ub: g(a).ub },
-            Op::Ln(a) => Bounds { pos: false, nonneg: false, ub: g(a).ub },
-            Op::Sqrt(a) => Bounds { pos: g(a).pos, nonneg: true, ub: g(a).ub },
-            Op::Relu(a) => Bounds { pos: false, nonneg: true, ub: g(a).ub },
-            Op::LeakyRelu(a, _) | Op::Gelu(a) => Bounds { pos: false, nonneg: false, ub: g(a).ub },
-            // Monotone structural / reduction ops preserve the flags (static
-            // shapes make sums of bounded values bounded).
-            Op::Transpose(a)
-            | Op::SumAll(a)
-            | Op::MeanAll(a)
-            | Op::SumRows(a)
-            | Op::SumCols(a)
-            | Op::MaxCols(a)
-            | Op::SliceCols { x: a, .. }
-            | Op::SliceRows { x: a, .. }
-            | Op::GatherRows { table: a, .. } => g(a),
-            // Dropout zeroes elements: kills strict positivity.
-            Op::Dropout { x, .. } => {
-                let xa = g(x);
-                Bounds { pos: false, nonneg: xa.nonneg || xa.pos, ub: xa.ub }
-            }
-            Op::ConcatCols(parts) | Op::ConcatRows(parts) => {
-                parts.iter().map(|p| b[p.index()]).reduce(and).unwrap_or_default()
-            }
-            // LayerNorm re-centers; losses are unconstrained scalars.
-            Op::LayerNorm { .. }
-            | Op::Matmul(..)
-            | Op::MatmulNt(..)
-            | Op::MatmulTn(..)
-            | Op::CrossEntropyLogits { .. }
-            | Op::WeightedCrossEntropyLogits { .. }
-            | Op::BceWithLogits { .. }
-            | Op::MseLoss { .. } => Bounds::default(),
-        };
-    }
-    b
-}
-
 /// Lints the graph rooted at `loss` on a (typically shape-only) tape.
 pub fn lint_graph(tape: &Tape, loss: Var, ps: &ParamStore, cfg: &LintConfig) -> LintReport {
     let n = tape.len();
@@ -402,7 +279,15 @@ pub fn lint_graph(tape: &Tape, loss: Var, ps: &ParamStore, cfg: &LintConfig) -> 
             }
         }
     }
-    let bounds = bounds_of(tape, n);
+    // Value facts come from the interval abstract interpreter under its
+    // strongest assumption — every leaf is any finite f32 — so a property
+    // proven here holds for every input the graph could ever see. The
+    // rules read proven ranges instead of boolean flags: `naked-exp`
+    // compares the proven input upper bound against the actual f32
+    // overflow threshold, and the positivity rules accept any proof the
+    // domain can make (epsilon shifts, squares-plus-eps, sigmoid/softmax
+    // outputs with narrow inputs, bounded-activation compositions).
+    let iv = crate::absint::propagate(tape, ps, &crate::absint::AbsintConfig::unbounded());
 
     let mut diagnostics = Vec::new();
     let mut emit = |rule: &str, i: usize, message: String, fix: String| {
@@ -440,13 +325,19 @@ pub fn lint_graph(tape: &Tape, loss: Var, ps: &ParamStore, cfg: &LintConfig) -> 
 
     for i in 0..n {
         match tape.op_at(i) {
-            Op::Exp(a) if !bounds[a.index()].ub => {
+            Op::Exp(a) if iv[a.index()].hi > crate::absint::EXP_OVERFLOW_BOUND => {
                 emit(
                     "naked-exp",
                     i,
-                    "exp of an input with no proven upper bound overflows f32 to +inf \
-                     once any element exceeds ~88.7"
-                        .to_string(),
+                    format!(
+                        "exp of an input whose proven upper bound ({}) exceeds ~88.7 \
+                         overflows f32 to +inf",
+                        if iv[a.index()].hi.is_finite() {
+                            format!("{:.1}", iv[a.index()].hi)
+                        } else {
+                            "unbounded".to_string()
+                        }
+                    ),
                     "subtract the per-row max first (max_cols + scale(-1) + add_col), \
                      or use softmax/log_softmax which stabilize internally"
                         .to_string(),
@@ -462,7 +353,7 @@ pub fn lint_graph(tape: &Tape, loss: Var, ps: &ParamStore, cfg: &LintConfig) -> 
                             .to_string(),
                         "replace softmax followed by ln with the single log_softmax op".to_string(),
                     );
-                } else if !bounds[a.index()].pos {
+                } else if !iv[a.index()].proven_positive() {
                     emit(
                         "log-of-possibly-zero",
                         i,
@@ -475,7 +366,7 @@ pub fn lint_graph(tape: &Tape, loss: Var, ps: &ParamStore, cfg: &LintConfig) -> 
                     );
                 }
             }
-            Op::Div(_, d) if !bounds[d.index()].pos => {
+            Op::Div(_, d) if !iv[d.index()].proven_positive() => {
                 emit(
                     "div-missing-eps",
                     i,
@@ -674,6 +565,20 @@ mod tests {
     }
 
     #[test]
+    fn log_of_proven_positive_interval_is_silent_without_epsilon() {
+        // The boolean lattice could not prove tanh(x) + 2 > 0 (only an
+        // epsilon shift on a non-negative value counted) and fired a false
+        // positive here; the interval domain proves [1, 3] directly.
+        let (mut t, ps, wv) = fixture();
+        let h = t.tanh(wv);
+        let shifted = t.add_scalar(h, 2.0);
+        let l = t.ln(shifted);
+        let loss = t.mean_all(l);
+        let report = lint_graph(&t, loss, &ps, &LintConfig::training());
+        assert!(report.diagnostics.is_empty(), "ln of proven-positive interval flagged: {report}");
+    }
+
+    #[test]
     fn log_softmax_unfused_fires_on_ln_of_softmax() {
         let (mut t, ps, wv) = fixture();
         let s = t.softmax(wv);
@@ -715,6 +620,20 @@ mod tests {
         let loss = t.mean_all(q);
         let report = lint_graph(&t, loss, &ps, &LintConfig::training());
         assert!(report.diagnostics.is_empty(), "epsilon-guarded div flagged: {report}");
+    }
+
+    #[test]
+    fn div_by_proven_positive_interval_is_silent_without_epsilon() {
+        // Same false-positive fix for division: tanh(x) + 2 lies in
+        // [1, 3], so the denominator needs no epsilon to be provably
+        // positive — the old lattice flagged this.
+        let (mut t, ps, wv) = fixture();
+        let h = t.tanh(wv);
+        let denom = t.add_scalar(h, 2.0);
+        let q = t.div(wv, denom);
+        let loss = t.mean_all(q);
+        let report = lint_graph(&t, loss, &ps, &LintConfig::training());
+        assert!(report.diagnostics.is_empty(), "div by proven-positive interval flagged: {report}");
     }
 
     #[test]

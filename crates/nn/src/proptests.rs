@@ -2,6 +2,7 @@
 //! finite-difference gradient check, and optimizer/parameter invariants
 //! must hold for arbitrary shapes.
 
+use crate::absint::{propagate, AbsintConfig};
 use crate::gradcheck::check_gradients;
 use crate::lint::{lint_graph, LintConfig};
 use crate::params::ParamStore;
@@ -53,6 +54,194 @@ fn apply(t: &mut Tape, op: UnaryOp, x: Var) -> Var {
         UnaryOp::Transpose2 => {
             let tr = t.transpose(x);
             t.transpose(tr)
+        }
+    }
+}
+
+/// Step codes for the absint soundness property (indexes into
+/// [`apply_abs_step`]'s match; a plain range composes with proptest
+/// shrinking better than a 30-variant enum strategy).
+const ABS_STEPS: usize = 30;
+
+fn fresh_input(t: &mut Tape, rng: &mut StdRng, rows: usize, cols: usize, b: f32) -> Var {
+    t.input(Tensor::rand_uniform(rows, cols, -b, b, rng))
+}
+
+/// Largest absolute eager value at `x` (the chain's growth monitor).
+fn eager_mag(t: &Tape, x: Var) -> f32 {
+    let v = t.value(x);
+    v.max().abs().max(v.min().abs())
+}
+
+/// Squashes `x` before magnitude-growing steps so random chains cannot
+/// overflow the eager tape (which panics on non-finite values in debug);
+/// the squash is itself a recorded op and so also containment-checked.
+fn squash_if_large(t: &mut Tape, x: Var) -> Var {
+    if eager_mag(t, x) > 1e15 {
+        t.tanh(x)
+    } else {
+        x
+    }
+}
+
+/// Applies one random chain step, returning the new head and its shape.
+/// Domain-restricted ops (exp/ln/sqrt/div) get their inputs guarded the
+/// same way real models do — via bounded activations and epsilon shifts —
+/// so the eager pass stays finite while the abstract pass still has to
+/// prove it.
+fn apply_abs_step(
+    t: &mut Tape,
+    rng: &mut StdRng,
+    step: usize,
+    x: Var,
+    r: usize,
+    c: usize,
+    b: f32,
+) -> (Var, usize, usize) {
+    match step {
+        0 => (t.relu(x), r, c),
+        1 => (t.leaky_relu(x, 0.2), r, c),
+        2 => (t.tanh(x), r, c),
+        3 => (t.sigmoid(x), r, c),
+        4 => (t.gelu(x), r, c),
+        5 => (t.softmax(x), r, c),
+        6 => (t.log_softmax(x), r, c),
+        7 => {
+            // exp over a genuinely wide but provably bounded input.
+            let h = t.tanh(x);
+            let wide = t.scale(h, 8.0);
+            (t.exp(wide), r, c)
+        }
+        8 => {
+            // ln of a proven-positive interval (square + epsilon).
+            let h = t.tanh(x);
+            let sq = t.mul(h, h);
+            let shifted = t.add_scalar(sq, 0.5);
+            (t.ln(shifted), r, c)
+        }
+        9 => {
+            let h = t.tanh(x);
+            let sq = t.mul(h, h);
+            let shifted = t.add_scalar(sq, 0.1);
+            (t.sqrt(shifted), r, c)
+        }
+        10 => {
+            // Division by a proven-positive denominator in [1, 2].
+            let h = t.tanh(x);
+            let sq = t.mul(h, h);
+            let den = t.add_scalar(sq, 1.0);
+            (t.div(x, den), r, c)
+        }
+        11 => (t.scale(x, -0.7), r, c),
+        12 => (t.add_scalar(x, 0.3), r, c),
+        13 => {
+            // The softmax max-subtraction stabilizer pattern.
+            let m = t.max_cols(x);
+            let neg = t.scale(m, -1.0);
+            (t.add_col(x, neg), r, c)
+        }
+        14 => {
+            let s = squash_if_large(t, x);
+            (t.mul(s, s), r, c)
+        }
+        15 => {
+            let f = fresh_input(t, rng, r, c, b);
+            (t.add(x, f), r, c)
+        }
+        16 => {
+            let f = fresh_input(t, rng, r, c, b);
+            (t.sub(x, f), r, c)
+        }
+        17 => {
+            let col = fresh_input(t, rng, r, 1, b);
+            (t.mul_col(x, col), r, c)
+        }
+        18 => {
+            let s = squash_if_large(t, x);
+            let k = 2 + (r + c) % 3;
+            let f = fresh_input(t, rng, c, k, b);
+            (t.matmul(s, f), r, k)
+        }
+        19 => {
+            let tr = t.transpose(x);
+            (tr, c, r)
+        }
+        20 => {
+            if c >= 4 {
+                (t.slice_cols(x, 1, c - 1), r, c - 1)
+            } else {
+                (t.concat_cols(&[x, x]), r, c * 2)
+            }
+        }
+        21 => (t.dropout(x, 0.3, true, rng), r, c),
+        22 => {
+            let row = fresh_input(t, rng, 1, c, b);
+            (t.add_row(x, row), r, c)
+        }
+        23 => {
+            let s = squash_if_large(t, x);
+            let k = 2 + (r + c) % 3;
+            let f = fresh_input(t, rng, k, c, b);
+            (t.matmul_nt(s, f), r, k)
+        }
+        24 => {
+            let s = squash_if_large(t, x);
+            let k = 2 + (r + c) % 3;
+            let f = fresh_input(t, rng, r, k, b);
+            (t.matmul_tn(s, f), c, k)
+        }
+        25 => (t.sum_rows(x), 1, c),
+        26 => (t.sum_cols(x), r, 1),
+        27 => {
+            if r >= 4 {
+                (t.slice_rows(x, 1, r - 1), r - 1, c)
+            } else {
+                (t.concat_rows(&[x, x]), r * 2, c)
+            }
+        }
+        28 => (t.gather_rows(x, &[0, r - 1, 0]), 3, c),
+        _ => {
+            // LayerNorm needs in-f32-range row statistics; models feed it
+            // bounded activations, mirrored here.
+            let h = t.tanh(x);
+            let wide = t.scale(h, 50.0);
+            let gamma = fresh_input(t, rng, 1, c, b);
+            let beta = fresh_input(t, rng, 1, c, b);
+            (t.layer_norm(wide, gamma, beta, 1e-5), r, c)
+        }
+    }
+}
+
+/// Terminal step: reductions and the loss kernels (which demand specific
+/// shapes, so they close the chain rather than extend it).
+fn apply_abs_terminal(t: &mut Tape, rng: &mut StdRng, terminal: usize, x: Var, r: usize, c: usize) {
+    match terminal {
+        0 => {
+            t.mean_all(x);
+        }
+        1 => {
+            t.sum_all(x);
+        }
+        2 => {
+            let targets: Vec<usize> = (0..r).map(|i| i % c).collect();
+            t.cross_entropy_logits(x, &targets);
+        }
+        3 => {
+            let targets: Vec<usize> = (0..r).map(|i| i % c).collect();
+            let weights = vec![0.5f32; r];
+            t.weighted_cross_entropy_logits(x, &targets, &weights);
+        }
+        4 => {
+            let col = t.slice_cols(x, 0, 1);
+            let targets: Vec<f32> = Tensor::rand_uniform(r, 1, 0.0, 1.0, rng).as_slice().to_vec();
+            t.bce_with_logits(col, &targets);
+        }
+        _ => {
+            // MSE squares the difference, so squash first to keep the
+            // eager pass finite on huge chains.
+            let h = t.tanh(x);
+            let target = Tensor::rand_uniform(r, c, -1.0, 1.0, rng);
+            t.mse_loss(h, &target);
         }
     }
 }
@@ -283,6 +472,49 @@ proptest! {
         }
         prop_assert!(report.arena_bytes >= report.lower_bound_bytes, "{report}");
         prop_assert!(report.arena_bytes <= report.naive_bytes, "{report}");
+    }
+
+    /// Per-op abstract-interpretation soundness: every concrete value an
+    /// eager forward pass produces lies inside the proven interval, for
+    /// every node of a random op chain, under both symbolic-box and
+    /// observed seeding. A failure here means a transfer function in
+    /// `absint` is not conservative for the f32 kernels.
+    #[test]
+    fn abstract_intervals_contain_eager_values(
+        seed in 0u64..2000,
+        steps in proptest::collection::vec(0usize..ABS_STEPS, 1..6),
+        terminal in 0usize..6,
+        rows in 2usize..5,
+        cols in 2usize..5,
+        bound in 0.5f64..4.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = bound as f32;
+        let mut t = Tape::new();
+        let mut x = fresh_input(&mut t, &mut rng, rows, cols, b);
+        let (mut r, mut c) = (rows, cols);
+        for &s in &steps {
+            (x, r, c) = apply_abs_step(&mut t, &mut rng, s, x, r, c, b);
+        }
+        apply_abs_terminal(&mut t, &mut rng, terminal, x, r, c);
+        let ps = ParamStore::new();
+        for cfg in [AbsintConfig::symbolic(bound, bound), AbsintConfig::observed()] {
+            let iv = propagate(&t, &ps, &cfg);
+            for (i, node_iv) in iv.iter().enumerate() {
+                for &v in t.node_value(i).as_slice() {
+                    prop_assert!(
+                        node_iv.contains(v),
+                        "op #{} ({}) value {} escapes {:?} under {} (steps {:?})",
+                        i,
+                        t.op_name(i),
+                        v,
+                        node_iv,
+                        cfg.describe(),
+                        steps
+                    );
+                }
+            }
+        }
     }
 
     /// Weighted cross-entropy equals plain cross-entropy at unit weights.

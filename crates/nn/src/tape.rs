@@ -319,6 +319,14 @@ impl Tape {
         &self.nodes[v.0].value
     }
 
+    /// The forward value at tape index `i` — the by-index sibling of
+    /// [`Self::value`] for analyses that walk the whole tape (the absint
+    /// containment tests compare every recorded value against its proven
+    /// interval).
+    pub fn node_value(&self, i: usize) -> &Tensor {
+        &self.nodes[i].value
+    }
+
     pub(crate) fn op_at(&self, i: usize) -> &Op {
         &self.nodes[i].op
     }

@@ -13,8 +13,8 @@ use hiergat_baselines::traits::{CollectiveErModel, PairModel};
 use hiergat_baselines::{DeepMatcher, Ditto, DmPlus, GnnCollective};
 use hiergat_data::{CollectiveExample, EntityPair};
 use hiergat_nn::{
-    lint_graph, ExecutionPlan, GraphReport, LintConfig, LintReport, ParamStore, PlanReport, Tape,
-    Var,
+    audit_graph, lint_graph, AbsintConfig, AuditReport, ExecutionPlan, GraphReport, LintConfig,
+    LintReport, ParamStore, PlanReport, Tape, Var,
 };
 
 /// Whether a model scores independent pairs or whole candidate sets.
@@ -115,6 +115,18 @@ pub trait ErModel: Send + Sync {
         let mut t = Tape::shape_only();
         let probs = self.record_scores(&mut t, ex);
         lint_graph(&t, probs, self.params(), &LintConfig::eval())
+    }
+
+    /// Interval abstract-interpretation audit of the inference scoring
+    /// graph: proven per-node value ranges, overflow/underflow/NaN-risk
+    /// findings, and the quantisation feasibility table, under the given
+    /// seeding (symbolic input boxes, or [`AbsintConfig::weight_aware`]
+    /// to read concrete per-parameter ranges from this model's store —
+    /// load a checkpoint first for weight-aware proofs).
+    fn audit(&self, ex: Example<'_>, cfg: &AbsintConfig) -> AuditReport {
+        let mut t = Tape::shape_only();
+        let probs = self.record_scores(&mut t, ex);
+        audit_graph(&t, probs, self.params(), cfg)
     }
 
     /// Arena memory plan of the inference scoring graph (forward-only

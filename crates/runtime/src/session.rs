@@ -74,6 +74,16 @@ impl Session {
         score_one(&*self.model, &mut self.exec, ex)
     }
 
+    /// Interval abstract-interpretation audit of the scoring graph this
+    /// session executes (see [`ErModel::audit`]).
+    pub fn audit(
+        &self,
+        ex: Example<'_>,
+        cfg: &hiergat_nn::AbsintConfig,
+    ) -> hiergat_nn::AuditReport {
+        self.model.audit(ex, cfg)
+    }
+
     /// Boolean decisions for one example at the session threshold.
     pub fn decide(&mut self, ex: Example<'_>) -> Vec<bool> {
         let threshold = self.threshold;
@@ -171,6 +181,23 @@ mod tests {
             let serial = session.score(Example::Pair(pair));
             assert_eq!(serial[0].to_bits(), score.to_bits());
         }
+    }
+
+    #[test]
+    fn session_audit_proves_probability_node_inside_unit_interval() {
+        let ds = MagellanDataset::FodorsZagats.load(0.15);
+        let pair = ds.train.first().expect("pair");
+        let reg = ModelRegistry::builtin();
+        let cx = BuildContext { tier: LmTier::MiniDistil, arity: ds.arity().max(1) };
+        let session = Session::new(reg.get("hiergat").expect("spec").build(&cx));
+        let report =
+            session.audit(Example::Pair(pair), &hiergat_nn::AbsintConfig::symbolic(8.0, 4.0));
+        // The scoring graph ends in a softmax: the audited root must be
+        // proven finite, NaN-free, and inside [0, 1].
+        let root = report.ranges.last().expect("root range");
+        assert!(root.finite && root.nan_free, "softmax output must be proven safe");
+        assert!(root.lo >= 0.0 && root.hi <= 1.0 + 1e-3, "probabilities in [0,1]: {root:?}");
+        assert!(report.is_clean_at(hiergat_nn::Severity::Warn), "{report}");
     }
 
     #[test]

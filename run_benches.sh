@@ -1,8 +1,9 @@
 #!/bin/sh
 # Runs every table/figure harness in priority order, appending to bench_output.txt.
-# The machine-readable lint + race-audit report for the benched build is
-# attached first so regressions in the audited graphs surface alongside
-# the numbers they would taint.
+# The machine-readable lint + race-audit report and the interval-audit
+# report (proven value ranges, numerical-safety findings, quantisation
+# feasibility) for the benched build are attached first so regressions in
+# the audited graphs surface alongside the numbers they would taint.
 set -x
 cd /root/repo
 : > bench_output.txt
@@ -10,6 +11,10 @@ echo "### lint report (hiergat lint --json)" >> bench_output.txt
 cargo run --release -q --bin hiergat -- lint \
   --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn --json \
   >> bench_output.txt 2>&1 || echo "### lint gate FAILED" >> bench_output.txt
+echo "### interval audit report (hiergat audit --json)" >> bench_output.txt
+cargo run --release -q --bin hiergat -- audit \
+  --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn --json \
+  >> bench_output.txt 2>&1 || echo "### audit gate FAILED" >> bench_output.txt
 for b in kernels table4_magellan table7_collective table3_lm_sizes fig10_wdc fig9_attention table9_context_ablation table10_views table11_modules table8_collective_lms fig11_training_time micro; do
   echo "### running $b" >> bench_output.txt
   cargo bench -p hiergat-bench --bench "$b" >> bench_output.txt 2>&1

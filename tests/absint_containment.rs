@@ -1,0 +1,122 @@
+//! Whole-model soundness gate for the interval abstract interpreter
+//! (`hiergat_nn::absint`): for every model in [`ModelRegistry::builtin`],
+//! record the eval-mode scoring graph on an *eager* tape (real dataset
+//! inputs, real initialised weights — every node carries its concrete
+//! forward value) and check that the abstract interpretation of the same
+//! tape contains every recorded value, node by node, element by element.
+//!
+//! Three seedings are exercised per model, mirroring the ways `hiergat
+//! audit` is used:
+//!
+//! * **observed** — leaves seeded with their concrete per-tensor min/max
+//!   (the tightest sound seed; any containment failure here is a transfer-
+//!   function bug, not slack in the seed),
+//! * **symbolic** — leaves seeded with boxes `[-B, B]` wide enough to
+//!   cover the recorded leaf values, the shape of a deploy-time audit
+//!   where concrete inputs are unknown, and
+//! * **weight-aware** — symbolic input box, concrete per-parameter
+//!   ranges from the model's store (`hiergat audit --weights`).
+//!
+//! `ci.sh` runs this suite under `HIERGAT_THREADS=1` and `=8`: the
+//! interpreter itself is serial, but the eager recording uses the kernel
+//! pool, so the sweep pins down that the proven intervals are
+//! width-independent facts about the graph, not artefacts of one schedule.
+
+use hiergat_data::{CollectiveDataset, MagellanDataset, PairDataset};
+use hiergat_lm::LmTier;
+use hiergat_nn::{propagate, AbsintConfig, Interval, Tape};
+use hiergat_runtime::{BuildContext, Example, ModelKind, ModelRegistry};
+
+struct Fixture {
+    ds: PairDataset,
+    ds_c: CollectiveDataset,
+}
+
+impl Fixture {
+    fn load() -> Self {
+        let kind = MagellanDataset::FodorsZagats;
+        Self { ds: kind.load(0.15), ds_c: kind.load_collective(0.15) }
+    }
+
+    fn context(&self, kind: ModelKind) -> BuildContext {
+        let arity = match kind {
+            ModelKind::Pairwise => self.ds.arity().max(1),
+            ModelKind::Collective => {
+                self.ds_c.train.first().map_or(1, |ex| ex.query.attrs.len().max(1))
+            }
+        };
+        BuildContext { tier: LmTier::MiniDistil, arity }
+    }
+
+    fn example(&self, kind: ModelKind) -> Example<'_> {
+        match kind {
+            ModelKind::Pairwise => Example::Pair(self.ds.train.first().expect("pair")),
+            ModelKind::Collective => Example::Collective(self.ds_c.train.first().expect("example")),
+        }
+    }
+}
+
+/// Asserts every concrete element of every tape node lies inside its
+/// proven interval.
+fn assert_contained(model: &str, seed: &str, tape: &Tape, iv: &[Interval]) {
+    for (i, interval) in iv.iter().enumerate() {
+        for (j, &v) in tape.node_value(i).as_slice().iter().enumerate() {
+            assert!(
+                interval.contains(v),
+                "{model} [{seed}]: node {i} element {j} = {v} escapes proven {interval:?}"
+            );
+        }
+    }
+}
+
+/// Smallest symbolic half-width covering every recorded leaf value: the
+/// abstract interpreter seeds exactly the no-input ops (inputs and
+/// parameter placeholders), so a box that covers those leaves must — by
+/// soundness of every transfer function — cover the whole graph.
+fn leaf_bound(tape: &Tape, n: usize) -> f64 {
+    let mut bound = 0.0f64;
+    for i in 0..n {
+        if tape.op_inputs(i).is_empty() {
+            for &v in tape.node_value(i).as_slice() {
+                bound = bound.max(f64::from(v.abs()));
+            }
+        }
+    }
+    bound + 1.0
+}
+
+#[test]
+fn abstract_intervals_contain_eager_values_for_every_model() {
+    let fx = Fixture::load();
+    for spec in ModelRegistry::builtin().specs() {
+        let model = spec.build(&fx.context(spec.kind()));
+        let ex = fx.example(spec.kind());
+        // Eager tape: every node records its concrete forward value.
+        let mut tape = Tape::new();
+        let probs = model.record_scores(&mut tape, ex);
+
+        let observed = propagate(&tape, model.params(), &AbsintConfig::observed());
+        assert!(probs.index() < observed.len(), "{}: root not on tape", spec.name());
+        assert_contained(spec.name(), "observed", &tape, &observed);
+
+        let bound = leaf_bound(&tape, observed.len());
+        let symbolic = propagate(&tape, model.params(), &AbsintConfig::symbolic(bound, bound));
+        assert_contained(spec.name(), "symbolic", &tape, &symbolic);
+
+        // Weight-aware: symbolic input box, concrete per-parameter ranges
+        // from the model's store — what `hiergat audit --weights` runs.
+        let aware = propagate(&tape, model.params(), &AbsintConfig::weight_aware(bound));
+        assert_contained(spec.name(), "weight-aware", &tape, &aware);
+
+        // Non-vacuity: observed seeding must prove every node bounded
+        // (eager values are finite, so a top interval would mean the
+        // interpreter gave up somewhere it did not need to).
+        for (i, interval) in observed.iter().enumerate() {
+            assert!(
+                interval.is_bounded(),
+                "{}: observed seeding left node {i} unbounded: {interval:?}",
+                spec.name()
+            );
+        }
+    }
+}
