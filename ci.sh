@@ -10,6 +10,11 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The simd cfg gates the crate's only unsafe code; lint it explicitly so
+# the feature-flagged path cannot rot behind the default build.
+echo "==> cargo clippy --features simd (tensor + bench) -- -D warnings"
+cargo clippy -p hiergat-tensor -p hiergat-bench --all-targets --features simd -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -18,12 +23,21 @@ cargo test -q
 
 # Kernel-equivalence sweep: the tensor suite's bitwise serial-vs-parallel
 # tests must hold under a real single-thread pool and a real 8-wide pool,
-# not just the in-process width override.
+# not just the in-process width override. The sweep runs in both feature
+# configs: the portable microkernel (pinned bitwise to the naive i-k-j
+# reference) and the AVX2+FMA tile (pinned bitwise across widths within
+# its own build).
 echo "==> HIERGAT_THREADS=1 cargo test -q -p hiergat-tensor -p parallel"
 HIERGAT_THREADS=1 cargo test -q -p hiergat-tensor -p parallel
 
 echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor -p parallel"
 HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor -p parallel
+
+echo "==> HIERGAT_THREADS=1 cargo test -q -p hiergat-tensor --features simd"
+HIERGAT_THREADS=1 cargo test -q -p hiergat-tensor --features simd
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor --features simd"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-tensor --features simd
 
 # Arena differential gate: heap-vs-arena training must be bitwise
 # identical for every builtin model under a real single-thread pool and a
@@ -46,6 +60,18 @@ HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test runtime_conformance
 
 echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test runtime_conformance"
 HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test runtime_conformance
+
+# The same differential gates under the simd microkernel tile: FMA rounds
+# each term once, so the simd build's values differ from the portable
+# build — but heap-vs-arena, eager-vs-session, and width-1-vs-width-8 must
+# all still be bitwise identical *within* the simd build.
+echo "==> HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --features simd --test arena_differential --test arena_zero_alloc --test runtime_conformance"
+HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --features simd \
+  --test arena_differential --test arena_zero_alloc --test runtime_conformance
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --test arena_differential --test arena_zero_alloc --test runtime_conformance"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd \
+  --test arena_differential --test arena_zero_alloc --test runtime_conformance
 
 # Interval-audit differential gate: for every builtin model, the abstract
 # interpreter's proven per-node intervals must contain every concrete

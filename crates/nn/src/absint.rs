@@ -461,6 +461,10 @@ fn propagate_state(tape: &Tape, ps: &ParamStore, cfg: &AbsintConfig) -> AbsState
                 seal_elem(lo, hi, 1, x.finite, nan)
             }
             Op::AddScalar(a, k) => add_iv(&g(a), &Interval::point(f64::from(*k)), 1),
+            // The tensor kernels evaluate every `a_ik * b_kj` term (no
+            // zero-skipping), so `inf` meeting a possibly-zero operand
+            // really can produce NaN at runtime — exactly what
+            // `mul_nan_free` assumes.
             Op::Matmul(a, b) | Op::MatmulNt(a, b) | Op::MatmulTn(a, b) => {
                 let (xa, xb) = (g(a), g(b));
                 let k = match tape.op_at(i) {

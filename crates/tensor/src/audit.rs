@@ -1,11 +1,15 @@
 //! Write-disjointness race audit over the routed kernels.
 //!
 //! The pool-side recorder ([`parallel::audit`]) can capture the output
-//! range each task claims; this module drives it over every kernel that
-//! routes through [`crate::ops::par_row_blocks`] — the `matmul` family,
-//! the row-wise softmaxes, and `row_moments` — at a set of split widths,
-//! and asserts via [`parallel::audit::verify`] that every split was
-//! pairwise disjoint and covered the output exactly.
+//! range each task claims; this module drives it over every routed kernel
+//! — the `matmul` family (which splits its [`crate::microkernel`] tile
+//! grid into `MR`-aligned row bands), the row-wise softmaxes, and
+//! `row_moments` (row-block splits) — at a set of split widths, and
+//! asserts via [`parallel::audit::verify`] that every split was pairwise
+//! disjoint and covered the output exactly. For the tiled matmul split
+//! the audit additionally asserts every non-tail claim starts **on a tile
+//! boundary** (a multiple of `MR` output rows): a band that split
+//! mid-tile would compute tiles from rows it does not own.
 //!
 //! Width 1 is part of the sweep on purpose: `par_row_blocks` must take the
 //! direct serial call there (no pool entry point at all), so the audit
@@ -98,12 +102,16 @@ pub fn race_audit() -> RaceAuditReport {
 /// not divide evenly by the split width, exercising the ragged tail block.
 pub fn race_audit_at(widths: &[usize]) -> RaceAuditReport {
     let mut rng = StdRng::seed_from_u64(0x5EED);
-    // matmul family: 37 x 64 by 64 x 33 -> 156,288 FLOPs, over the 64K gate.
-    let a = Tensor::rand_normal(37, 64, 0.0, 1.0, &mut rng);
-    let b = Tensor::rand_normal(64, 33, 0.0, 1.0, &mut rng);
-    // Transposed operands: 64 x 37 for matmul_tn, 33 x 64 for matmul_nt.
+    // matmul family: 37 x 96 by 96 x 80 -> 568,320 FLOPs, over the tiled
+    // path's 512K gate, with a ragged tile grid (ceil(37 / MR) = 7 tiles).
+    let a = Tensor::rand_normal(37, 96, 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(96, 80, 0.0, 1.0, &mut rng);
+    debug_assert!(crate::microkernel::takes_micro_path(37, 96, 80));
+    // Transposed operands: 96 x 37 for matmul_tn, 80 x 96 for matmul_nt.
     let at = a.transpose();
     let bt = b.transpose();
+    // Every matmul output is 37 x 80; tile-boundary checks need the width.
+    let matmul_out_cols = b.cols();
     // softmax family: 67 x 128 -> 12 * 8,576 = 102,912 estimated FLOPs.
     let logits = Tensor::rand_normal(67, 128, 0.0, 1.0, &mut rng);
     // row_moments: 67 x 300 -> 67 * 1,202 = 80,534 estimated FLOPs.
@@ -145,6 +153,18 @@ pub fn race_audit_at(widths: &[usize]) -> RaceAuditReport {
                              shape should be over the FLOP threshold"
                                 .to_string(),
                         )
+                    } else if name.starts_with("matmul") {
+                        // Tiled-split claim geometry: every band must start
+                        // on an MR-row tile boundary of the output.
+                        let band = crate::microkernel::MR * matmul_out_cols;
+                        claims.iter().find(|cl| cl.start % band != 0).map(|cl| {
+                            format!(
+                                "band claim at element {} is not MR-tile-aligned \
+                                 (MR = {}, output width {matmul_out_cols})",
+                                cl.start,
+                                crate::microkernel::MR,
+                            )
+                        })
                     } else {
                         None
                     };

@@ -22,6 +22,14 @@ pub const TRANSCENDENTAL_FLOPS: u64 = 8;
 /// kernel runtime.
 pub const PAR_FLOP_THRESHOLD: u64 = 64 * 1024;
 
+/// Minimum FLOPs before the **packed microkernel** matmul path considers a
+/// parallel tile split. The tiled kernel retires arithmetic several times
+/// faster than the row loops the generic [`PAR_FLOP_THRESHOLD`] was
+/// calibrated for (~60 vs ~15 GFLOP/s on an AVX2 core), so the same
+/// few-microsecond job-publishing cost only amortizes at a proportionally
+/// larger product.
+pub const MATMUL_PAR_FLOP_THRESHOLD: u64 = 512 * 1024;
+
 /// FLOPs of an `r x k` by `k x c` matrix product (also `matmul_tn` /
 /// `matmul_nt` after mapping their operand shapes to the same triple).
 pub fn matmul_flops(r: usize, k: usize, c: usize) -> u64 {
@@ -77,6 +85,23 @@ pub fn plan_pieces(flops: u64, rows: usize, split: usize) -> usize {
     }
 }
 
+/// Number of row-**band** pieces the tiled matmul path should split its
+/// `MR`-tile grid into, given the product's FLOP estimate, its tile count
+/// (`ceil(rows / MR)`), and the caller's split width. Returns 1 for "stay
+/// serial".
+///
+/// Same reproducibility rule as [`plan_pieces`] — the decision depends
+/// only on shape and requested width — but gated on the stricter
+/// [`MATMUL_PAR_FLOP_THRESHOLD`], because the microkernel finishes small
+/// products before a pool job would even launch.
+pub fn plan_matmul_pieces(flops: u64, tiles: usize, split: usize) -> usize {
+    if split <= 1 || tiles <= 1 || flops < MATMUL_PAR_FLOP_THRESHOLD {
+        1
+    } else {
+        split.min(tiles)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +124,20 @@ mod tests {
     fn big_ops_split_to_min_of_rows_and_width() {
         assert_eq!(plan_pieces(matmul_flops(256, 256, 256), 256, 8), 8);
         assert_eq!(plan_pieces(matmul_flops(3, 4096, 64), 3, 8), 3);
+    }
+
+    #[test]
+    fn tiled_matmul_needs_a_bigger_product_to_split() {
+        // 156K FLOPs splits under the generic threshold but stays serial
+        // on the tiled path; 256^3 splits on both.
+        let small = matmul_flops(37, 64, 33);
+        assert!(worth_parallelizing(small));
+        assert_eq!(plan_matmul_pieces(small, 7, 8), 1);
+        let big = matmul_flops(256, 256, 256);
+        assert_eq!(plan_matmul_pieces(big, 43, 8), 8);
+        assert_eq!(plan_matmul_pieces(big, 3, 8), 3);
+        assert_eq!(plan_matmul_pieces(big, 43, 1), 1);
+        assert_eq!(plan_matmul_pieces(big, 1, 8), 1);
     }
 
     #[test]

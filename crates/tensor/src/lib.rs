@@ -16,8 +16,14 @@
 //!   the arithmetic kernels `assert!` with a descriptive message (the same
 //!   contract `ndarray` uses). Fallible construction from user input goes
 //!   through [`Tensor::from_vec`], which returns a [`ShapeError`].
-//! * Everything is safe Rust; the hot loop (matmul) uses the cache-friendly
-//!   `i-k-j` ordering over contiguous rows so the compiler can vectorize it.
+//! * The hot loop (matmul) routes through a register-blocked, cache-tiled
+//!   microkernel ([`microkernel`]; packed operand panels, `MR x NR`
+//!   accumulator tiles) written so the autovectoriser emits SIMD from safe
+//!   Rust. The optional `simd` cargo feature adds a runtime-detected
+//!   AVX2+FMA `std::arch` tile — the crate's only unsafe code, gated on
+//!   `is_x86_feature_detected!`. Results are bitwise identical across
+//!   thread widths on every path; the `simd` build differs from the
+//!   portable one only by FMA's single rounding per term.
 
 //! # Example
 //!
@@ -36,6 +42,7 @@ pub mod audit;
 pub mod cost;
 mod dense;
 mod init;
+pub mod microkernel;
 mod ops;
 mod reduce;
 mod slice;

@@ -1,0 +1,456 @@
+//! Register-blocked, cache-tiled matmul microkernels.
+//!
+//! The matmul family (`matmul`, `matmul_tn`, `matmul_nt`) routes every
+//! non-degenerate product through one shared GEMM core:
+//!
+//! 1. **Pack B** into panel-major layout: the `k x c` right operand is
+//!    copied once into `ceil(c / NR)` contiguous panels of `k x NR`
+//!    (zero-padded on the ragged last panel), so the microkernel streams
+//!    it with unit stride regardless of the original layout (`matmul_nt`
+//!    packs from a transposed operand with the same result layout).
+//! 2. **Read or pack A** one `MR`-row tile at a time: full tiles of a
+//!    row-major left operand are broadcast straight from the operand
+//!    (stride `k` between rows — no copy), while `matmul_tn`'s strided
+//!    column reads and ragged tail tiles are packed into `k x MR`
+//!    interleaved layout (`apack[p * MR + m]`) first.
+//! 3. **Microkernel**: an `MR x NR` register block accumulates the full
+//!    contraction for one output tile in a fixed loop order (`p`
+//!    ascending, one multiply and one add per term) and is written back
+//!    exactly once.
+//!
+//! # Determinism contract
+//!
+//! Every output element is produced by exactly one register tile, and
+//! within a tile the contraction index `p` ascends over the **entire**
+//! depth `k` — there is deliberately no `k`-blocking, because splitting
+//! the depth would re-associate the per-element sum and break bitwise
+//! reproducibility against the single-pass reference order. The parallel
+//! split carves the `MR`-tile grid into contiguous row bands (each band a
+//! multiple of `MR` rows, except the ragged tail), so tile geometry — and
+//! therefore every element's accumulation order — is identical at every
+//! `HIERGAT_THREADS` width.
+//!
+//! Without the `simd` feature the microkernel is plain safe Rust whose
+//! `MR x NR` accumulator loop the autovectoriser turns into SIMD; each
+//! term is a separately-rounded multiply and add, which keeps the result
+//! **bitwise identical to the naive `i-k-j` scalar loop** (the proptests
+//! pin this). With `--features simd` on `x86_64`, runtime detection of
+//! AVX2+FMA switches the tile loop to `std::arch` fused multiply-adds:
+//! the `p`-ascending order per element is unchanged, so results are still
+//! bitwise identical across thread widths and run-to-run, but each term
+//! is rounded once instead of twice, so values differ from the scalar
+//! build by ordinary FMA rounding (the differential suites compare
+//! in-build, so both builds stay self-consistent).
+
+use crate::cost;
+use std::cell::RefCell;
+
+/// Output rows per register tile.
+pub const MR: usize = 6;
+/// Output columns per register tile (two 8-lane AVX2 vectors).
+pub const NR: usize = 16;
+
+/// Minimum FLOPs before the packed path amortizes its packing passes;
+/// below this (or for outputs skinnier than a tile) the plain row loops
+/// in `ops` win.
+pub const MICRO_MIN_FLOPS: u64 = 8 * 1024;
+
+thread_local! {
+    /// Reusable panel-major B buffer (per thread: kernels may run inside
+    /// pool tasks, e.g. the scoring fan-out). Steady state never
+    /// reallocates once the largest shape has been seen.
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Reusable `k x MR` A-tile buffer, borrowed only inside row bands —
+    /// disjoint from `PACK_B`, so a band running on the packing thread
+    /// never double-borrows.
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Left operand of the shared GEMM core.
+#[derive(Clone, Copy)]
+pub(crate) enum Lhs<'a> {
+    /// Row-major `r x k` (`matmul`, `matmul_nt`).
+    RowMajor(&'a [f32]),
+    /// Row-major `k x r`, read as its transpose (`matmul_tn`).
+    Transposed(&'a [f32]),
+}
+
+/// Right operand of the shared GEMM core.
+#[derive(Clone, Copy)]
+pub(crate) enum Rhs<'a> {
+    /// Row-major `k x c` (`matmul`, `matmul_tn`).
+    RowMajor(&'a [f32]),
+    /// Row-major `c x k`, read as its transpose (`matmul_nt`).
+    Transposed(&'a [f32]),
+}
+
+/// `true` when an `r x k x c` product should take the packed microkernel
+/// path: at least one full tile of rows, at least half a tile of columns,
+/// and enough arithmetic to amortize the packing passes. Public so audits
+/// and benches can assert which path a shape takes.
+pub fn takes_micro_path(r: usize, k: usize, c: usize) -> bool {
+    r >= MR && c >= NR / 2 && cost::matmul_flops(r, k, c) >= MICRO_MIN_FLOPS
+}
+
+/// Packs row-major `b` (`k x c`) into panel-major layout: panel `pj`
+/// holds columns `[pj * NR, pj * NR + NR)` as `k` rows of `NR` values,
+/// zero-padded past column `c`.
+fn pack_b_row_major(b: &[f32], k: usize, c: usize, buf: &mut [f32]) {
+    for (pj, panel) in buf.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = pj * NR;
+        let nr = NR.min(c - j0);
+        for (dst, src_row) in panel.chunks_exact_mut(NR).zip(b.chunks_exact(c)) {
+            dst[..nr].copy_from_slice(&src_row[j0..j0 + nr]);
+        }
+    }
+}
+
+/// Packs `b` given as row-major `c x k` (the `matmul_nt` right operand)
+/// into the same panel-major layout as [`pack_b_row_major`].
+fn pack_b_transposed(b: &[f32], k: usize, c: usize, buf: &mut [f32]) {
+    for (pj, panel) in buf.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = pj * NR;
+        let nr = NR.min(c - j0);
+        for (j, brow) in b[j0 * k..(j0 + nr) * k].chunks_exact(k).enumerate() {
+            for (p, &v) in brow.iter().enumerate() {
+                panel[p * NR + j] = v;
+            }
+        }
+    }
+}
+
+/// Packs `mr` rows of row-major `a` (`r x k`) starting at absolute row
+/// `i0` into interleaved `apack[p * MR + m]` layout, zero-padding rows
+/// `mr..MR` (defensive: the register tiles only compute `mr` rows, so
+/// padded lanes are never read).
+fn pack_a_row_major(a: &[f32], k: usize, i0: usize, mr: usize, buf: &mut [f32]) {
+    for (m, arow) in a[i0 * k..(i0 + mr) * k].chunks_exact(k).enumerate() {
+        for (p, &v) in arow.iter().enumerate() {
+            buf[p * MR + m] = v;
+        }
+    }
+    if mr < MR {
+        for chunk in buf.chunks_exact_mut(MR) {
+            chunk[mr..].fill(0.0);
+        }
+    }
+}
+
+/// Packs `mr` columns of row-major `a` (`k x r`, the `matmul_tn` left
+/// operand) starting at column `i0` into the same interleaved layout as
+/// [`pack_a_row_major`].
+fn pack_a_transposed(a: &[f32], r: usize, i0: usize, mr: usize, buf: &mut [f32]) {
+    for (p, arow) in a.chunks_exact(r).enumerate() {
+        buf[p * MR..p * MR + mr].copy_from_slice(&arow[i0..i0 + mr]);
+    }
+    if mr < MR {
+        for chunk in buf.chunks_exact_mut(MR) {
+            chunk[mr..].fill(0.0);
+        }
+    }
+}
+
+/// How one `MR`-row A tile is read inside the register tile: `a(p, m) =
+/// data[m * row_stride + p * col_stride]`.
+///
+/// Full tiles of a row-major left operand are read **in place**
+/// (`row_stride = k`, `col_stride = 1`) — no packing pass at all; packed
+/// tiles (transposed operands and ragged tails, zero-padded) use the
+/// interleaved layout (`row_stride = 1`, `col_stride = MR`). Only the
+/// addressing differs — every element still sees one multiply and one
+/// add per term with `p` ascending, so both layouts produce bitwise
+/// identical results.
+#[derive(Clone, Copy)]
+struct ATile<'a> {
+    data: &'a [f32],
+    row_stride: usize,
+    col_stride: usize,
+}
+
+impl<'a> ATile<'a> {
+    fn packed(buf: &'a [f32]) -> Self {
+        Self { data: buf, row_stride: 1, col_stride: MR }
+    }
+
+    fn in_place(a: &'a [f32], i0: usize, k: usize) -> Self {
+        Self { data: &a[i0 * k..], row_stride: k, col_stride: 1 }
+    }
+}
+
+/// Portable `MR x NR` register tile, writing each output row to
+/// `out[m * out_stride + ..nr]`. One output row at a time: only one
+/// `NR`-wide accumulator (4 SSE registers at the x86-64 baseline) is
+/// live per pass, so the autovectorised loop never spills — the full
+/// `MR x NR` block would need more vector registers than the baseline
+/// ISA has. The B panel is re-streamed per row but stays L1-resident
+/// (`k x NR x 4` bytes). One multiply and one add per term, `p`
+/// ascending per element — bitwise identical to the naive scalar loop.
+#[inline]
+fn micro_tile_generic(
+    a: ATile<'_>,
+    bpanel: &[f32],
+    out: &mut [f32],
+    out_stride: usize,
+    mr: usize,
+    nr: usize,
+) {
+    for m in 0..mr {
+        let mut acc = [0.0f32; NR];
+        for (p, bv) in bpanel.chunks_exact(NR).enumerate() {
+            let av = a.data[m * a.row_stride + p * a.col_stride];
+            for (o, &b) in acc.iter_mut().zip(bv) {
+                *o += av * b;
+            }
+        }
+        let start = m * out_stride;
+        out[start..start + nr].copy_from_slice(&acc[..nr]);
+    }
+}
+
+/// AVX2+FMA `MR x NR` register tile: same `p`-ascending order per
+/// element as [`micro_tile_generic`], but each term is one fused
+/// multiply-add (single rounding). Full tiles (`mr == MR`, `nr == NR`)
+/// store the accumulator registers straight into the output rows;
+/// ragged tiles stage through a stack buffer.
+///
+/// # Safety
+/// Callers must have verified at runtime that the CPU supports AVX2 and
+/// FMA (see [`simd_active`]).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn micro_tile_avx2(
+    a: ATile<'_>,
+    bpanel: &[f32],
+    out: &mut [f32],
+    out_stride: usize,
+    mr: usize,
+    nr: usize,
+) {
+    use std::arch::x86_64::{
+        __m256, _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+    let k = bpanel.len() / NR;
+    let mut c: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+    let ap = a.data.as_ptr();
+    let (rs, cs) = (a.row_stride, a.col_stride);
+    let bp = bpanel.as_ptr();
+    // Two contraction steps per iteration to halve loop overhead; within
+    // each element the `p` order is still strictly ascending.
+    let mut p = 0;
+    while p + 2 <= k {
+        let b0 = _mm256_loadu_ps(bp.add(p * NR));
+        let b1 = _mm256_loadu_ps(bp.add(p * NR + 8));
+        for (m, cm) in c.iter_mut().enumerate().take(mr) {
+            let av = _mm256_broadcast_ss(&*ap.add(m * rs + p * cs));
+            cm[0] = _mm256_fmadd_ps(av, b0, cm[0]);
+            cm[1] = _mm256_fmadd_ps(av, b1, cm[1]);
+        }
+        let b0 = _mm256_loadu_ps(bp.add((p + 1) * NR));
+        let b1 = _mm256_loadu_ps(bp.add((p + 1) * NR + 8));
+        for (m, cm) in c.iter_mut().enumerate().take(mr) {
+            let av = _mm256_broadcast_ss(&*ap.add(m * rs + (p + 1) * cs));
+            cm[0] = _mm256_fmadd_ps(av, b0, cm[0]);
+            cm[1] = _mm256_fmadd_ps(av, b1, cm[1]);
+        }
+        p += 2;
+    }
+    if p < k {
+        let b0 = _mm256_loadu_ps(bp.add(p * NR));
+        let b1 = _mm256_loadu_ps(bp.add(p * NR + 8));
+        for (m, cm) in c.iter_mut().enumerate().take(mr) {
+            let av = _mm256_broadcast_ss(&*ap.add(m * rs + p * cs));
+            cm[0] = _mm256_fmadd_ps(av, b0, cm[0]);
+            cm[1] = _mm256_fmadd_ps(av, b1, cm[1]);
+        }
+    }
+    if nr == NR {
+        for (m, cm) in c.iter().enumerate().take(mr) {
+            let dst = out.as_mut_ptr().add(m * out_stride);
+            _mm256_storeu_ps(dst, cm[0]);
+            _mm256_storeu_ps(dst.add(8), cm[1]);
+        }
+    } else {
+        let mut stage = [0.0f32; NR];
+        for (m, cm) in c.iter().enumerate().take(mr) {
+            _mm256_storeu_ps(stage.as_mut_ptr(), cm[0]);
+            _mm256_storeu_ps(stage.as_mut_ptr().add(8), cm[1]);
+            let start = m * out_stride;
+            out[start..start + nr].copy_from_slice(&stage[..nr]);
+        }
+    }
+}
+
+/// `true` when the intrinsics tile is compiled in **and** the CPU
+/// supports it (checked once per process).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn simd_active() -> bool {
+    static AVX2_FMA: std::sync::LazyLock<bool> = std::sync::LazyLock::new(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    });
+    *AVX2_FMA
+}
+
+/// Runs one register tile, dispatching to the intrinsics path when it is
+/// compiled in and supported. Writes `mr` rows of `nr` valid lanes into
+/// `out` at `out_stride`-element row pitch.
+#[inline]
+fn micro_tile(
+    a: ATile<'_>,
+    bpanel: &[f32],
+    out: &mut [f32],
+    out_stride: usize,
+    mr: usize,
+    nr: usize,
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active` verified AVX2+FMA support at runtime.
+        unsafe { micro_tile_avx2(a, bpanel, out, out_stride, mr, nr) };
+        return;
+    }
+    micro_tile_generic(a, bpanel, out, out_stride, mr, nr);
+}
+
+/// Computes one contiguous band of output rows (`band`, starting at
+/// absolute row `row0`): reads each `MR`-row A tile in place when it can
+/// (row-major operand, full tile) or packs it otherwise, then runs the
+/// register tile over every B panel, writing each output element exactly
+/// once.
+fn row_band(
+    a: Lhs<'_>,
+    r: usize,
+    bpack: &[f32],
+    row0: usize,
+    band: &mut [f32],
+    k: usize,
+    c: usize,
+) {
+    let rows = band.len() / c;
+    PACK_A.with(|cell| {
+        let mut abuf = cell.borrow_mut();
+        abuf.clear();
+        abuf.resize(k * MR, 0.0);
+        let mut m0 = 0;
+        while m0 < rows {
+            let mr = MR.min(rows - m0);
+            let atile = match a {
+                Lhs::RowMajor(av) if mr == MR => ATile::in_place(av, row0 + m0, k),
+                Lhs::RowMajor(av) => {
+                    pack_a_row_major(av, k, row0 + m0, mr, &mut abuf);
+                    ATile::packed(&abuf)
+                }
+                Lhs::Transposed(av) => {
+                    pack_a_transposed(av, r, row0 + m0, mr, &mut abuf);
+                    ATile::packed(&abuf)
+                }
+            };
+            for (pj, bpanel) in bpack.chunks_exact(k * NR).enumerate() {
+                let j0 = pj * NR;
+                let nr = NR.min(c - j0);
+                micro_tile(atile, bpanel, &mut band[m0 * c + j0..], c, mr, nr);
+            }
+            m0 += MR;
+        }
+    });
+}
+
+/// Packed, tiled `out = A * B` over raw buffers (`r x k` times `k x c`);
+/// operand layouts select the `matmul` / `matmul_tn` / `matmul_nt`
+/// variants. Callers guarantee `takes_micro_path(r, k, c)` and
+/// `out.len() == r * c`.
+///
+/// B is packed once on the calling thread; the tile grid is then carved
+/// into contiguous `MR`-aligned row bands sized by
+/// [`cost::plan_matmul_pieces`] and fanned out over the pool (band
+/// geometry depends only on shape and split width, never on pool
+/// availability).
+pub(crate) fn matmul_tiled(a: Lhs<'_>, b: Rhs<'_>, out: &mut [f32], r: usize, k: usize, c: usize) {
+    debug_assert!(takes_micro_path(r, k, c), "matmul_tiled: caller must gate on takes_micro_path");
+    let panels = c.div_ceil(NR);
+    PACK_B.with(|cell| {
+        let mut bbuf = cell.borrow_mut();
+        bbuf.clear();
+        bbuf.resize(panels * k * NR, 0.0);
+        match b {
+            Rhs::RowMajor(bv) => pack_b_row_major(bv, k, c, &mut bbuf),
+            Rhs::Transposed(bv) => pack_b_transposed(bv, k, c, &mut bbuf),
+        }
+        let bpack: &[f32] = &bbuf;
+        let tiles = r.div_ceil(MR);
+        let pieces =
+            cost::plan_matmul_pieces(cost::matmul_flops(r, k, c), tiles, parallel::current_split());
+        if pieces <= 1 {
+            row_band(a, r, bpack, 0, out, k, c);
+        } else {
+            let band_rows = tiles.div_ceil(pieces) * MR;
+            parallel::par_chunks_mut(out, band_rows * c, |ci, band| {
+                row_band(a, r, bpack, ci * band_rows, band, k, c);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_path_gate() {
+        // 256^3 and the attention shapes qualify.
+        assert!(takes_micro_path(256, 256, 256));
+        assert!(takes_micro_path(128, 64, 128));
+        // Fewer rows than a tile, skinnier than half a tile, or too few
+        // FLOPs fall back to the row loops.
+        assert!(!takes_micro_path(5, 4096, 64));
+        assert!(!takes_micro_path(64, 4096, 7));
+        assert!(!takes_micro_path(6, 8, 8));
+        assert!(!takes_micro_path(64, 0, 64));
+    }
+
+    #[test]
+    fn b_packing_layouts_agree() {
+        // Packing k x c row-major and its c x k transpose must produce
+        // identical panels.
+        let (k, c) = (5, 19);
+        let b: Vec<f32> = (0..k * c).map(|i| i as f32).collect();
+        let mut bt = vec![0.0; k * c];
+        for p in 0..k {
+            for j in 0..c {
+                bt[j * k + p] = b[p * c + j];
+            }
+        }
+        // Both packers only write valid lanes; the caller pre-zeroes the
+        // buffer, which is what pads the ragged last panel.
+        let panels = c.div_ceil(NR);
+        let mut packed = vec![0.0; panels * k * NR];
+        let mut packed_t = vec![0.0; panels * k * NR];
+        pack_b_row_major(&b, k, c, &mut packed);
+        pack_b_transposed(&bt, k, c, &mut packed_t);
+        assert_eq!(packed, packed_t);
+        // Spot-check layout: element (p=2, j=17) lives in panel 1.
+        assert_eq!(packed[k * NR + 2 * NR + 1], b[2 * c + 17]);
+    }
+
+    #[test]
+    fn a_packing_layouts_agree_and_pad() {
+        let (r, k) = (7, 4);
+        let a: Vec<f32> = (0..r * k).map(|i| i as f32 + 1.0).collect();
+        let mut at = vec![0.0; r * k];
+        for i in 0..r {
+            for p in 0..k {
+                at[p * r + i] = a[i * k + p];
+            }
+        }
+        let mut buf = vec![9.0; k * MR];
+        let mut buf_t = vec![9.0; k * MR];
+        // Ragged tail tile: rows 6..7 (mr = 1).
+        pack_a_row_major(&a, k, 6, 1, &mut buf);
+        pack_a_transposed(&at, r, 6, 1, &mut buf_t);
+        assert_eq!(buf, buf_t);
+        for (p, chunk) in buf.chunks_exact(MR).enumerate() {
+            assert_eq!(chunk[0], a[6 * k + p]);
+            assert!(chunk[1..].iter().all(|&v| v == 0.0), "tail rows must be zero-padded");
+        }
+    }
+}

@@ -3,14 +3,26 @@
 //! # Parallel execution and determinism
 //!
 //! The heavy kernels (`matmul` family, row-wise softmax/log-softmax) split
-//! their **output rows** into contiguous blocks and run the blocks on the
+//! their output into contiguous row blocks and run the blocks on the
 //! vendored `parallel` pool when the [`crate::cost`] model says the op is
-//! big enough to amortize the scheduling overhead. Each output element is
-//! always accumulated by exactly one task in exactly the same order as the
-//! serial loop, so results are **bitwise identical** across thread counts
-//! and run-to-run. The `*_serial` variants force a single block and exist
-//! as the reference point for the equivalence suite and benches.
+//! big enough to amortize the scheduling overhead. Non-degenerate matrix
+//! products route through the register-blocked, cache-tiled microkernel in
+//! [`crate::microkernel`], whose parallel split carves the `MR`-tile grid
+//! into `MR`-aligned row bands; skinny or tiny products keep the plain row
+//! loops below. On either path each output element is accumulated by
+//! exactly one task with the contraction index ascending over the full
+//! depth, so results are **bitwise identical** across thread counts and
+//! run-to-run. The `*_serial` variants force a single block and exist as
+//! the reference point for the equivalence suite and benches.
+//!
+//! # IEEE semantics
+//!
+//! The matmul kernels evaluate every `a_ik * b_kj` term — there is no
+//! zero-skipping shortcut — so non-finite operands propagate exactly as
+//! the mathematical definition (and the `nn::absint` transfer functions)
+//! demand: `0.0 * inf` contributes `NaN`, never silently `0`.
 
+use crate::microkernel::{self, Lhs, Rhs};
 use crate::{cost, Tensor};
 
 /// Splits the `r`-row output buffer `out` (row width `w` elements) into
@@ -37,13 +49,12 @@ pub(crate) fn par_row_blocks(
 }
 
 /// `o_block += a_block * b` for a block of output rows; `a_block` holds the
-/// matching rows of `a`. Cache-friendly `i-k-j` order with a zero-skip.
+/// matching rows of `a`. Cache-friendly `i-k-j` order, every term evaluated
+/// (no zero-skip — `0.0 * inf` must surface as `NaN`). Fallback path for
+/// products too skinny or small for the packed microkernel.
 fn matmul_rows(a_block: &[f32], b: &[f32], o_block: &mut [f32], k: usize, c: usize) {
     for (a_row, o_row) in a_block.chunks_exact(k).zip(o_block.chunks_exact_mut(c)) {
         for (p, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
-                continue;
-            }
             let b_row = &b[p * c..(p + 1) * c];
             for (o_v, &b_v) in o_row.iter_mut().zip(b_row) {
                 *o_v += a_ik * b_v;
@@ -52,10 +63,10 @@ fn matmul_rows(a_block: &[f32], b: &[f32], o_block: &mut [f32], k: usize, c: usi
     }
 }
 
-/// `matmul_tn` rows `[i0, i0 + block_rows)` of the output. For each output
-/// row the contraction index `p` ascends exactly as in the historical
-/// serial kernel (including its zero-skip), so restructuring from `p`-outer
-/// to row-of-output order keeps every element bitwise identical.
+/// `matmul_tn` rows `[i0, i0 + block_rows)` of the output, fallback path.
+/// For each output row the contraction index `p` ascends over the full
+/// depth — the same per-element order as the microkernel's generic tile,
+/// with every term evaluated.
 fn matmul_tn_rows(
     a: &[f32],
     b: &[f32],
@@ -69,9 +80,6 @@ fn matmul_tn_rows(
         let i = i0 + di;
         for p in 0..k {
             let a_pi = a[p * r + i];
-            if a_pi == 0.0 {
-                continue;
-            }
             let b_row = &b[p * c..(p + 1) * c];
             for (o_v, &b_v) in o_row.iter_mut().zip(b_row) {
                 *o_v += a_pi * b_v;
@@ -119,9 +127,20 @@ fn softmax_row(row: &mut [f32]) {
     }
 }
 
-/// In-place log-softmax of one row.
+/// In-place log-softmax of one row. See [`Tensor::log_softmax_rows`] for
+/// the fully-masked-row contract (mirrors [`Tensor::softmax_rows`]).
 fn log_softmax_row(row: &mut [f32]) {
     let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        // Fully masked row: `v - max` would be `-inf - -inf = NaN` for
+        // every entry. Mirror softmax_row's contract instead of emitting
+        // an all-NaN row.
+        if cfg!(debug_assertions) {
+            panic!("log_softmax_rows: fully masked row (every logit is -inf)");
+        }
+        row.fill(f32::NEG_INFINITY);
+        return;
+    }
     let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
     for v in row.iter_mut() {
         *v -= log_sum;
@@ -140,6 +159,10 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize, c:
     if r == 0 || k == 0 || c == 0 {
         return;
     }
+    if microkernel::takes_micro_path(r, k, c) {
+        microkernel::matmul_tiled(Lhs::RowMajor(a), Rhs::RowMajor(b), out, r, k, c);
+        return;
+    }
     par_row_blocks(r, c, cost::matmul_flops(r, k, c), out, |row0, block| {
         let rows = block.len() / c;
         matmul_rows(&a[row0 * k..(row0 + rows) * k], b, block, k, c);
@@ -156,6 +179,10 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, r: usize,
     if r == 0 || k == 0 || c == 0 {
         return;
     }
+    if microkernel::takes_micro_path(r, k, c) {
+        microkernel::matmul_tiled(Lhs::Transposed(a), Rhs::RowMajor(b), out, r, k, c);
+        return;
+    }
     par_row_blocks(r, c, cost::matmul_flops(r, k, c), out, |row0, block| {
         matmul_tn_rows(a, b, block, row0, k, r, c);
     });
@@ -169,6 +196,10 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize,
     debug_assert_eq!(out.len(), r * c, "matmul_nt_into: out buffer");
     out.fill(0.0);
     if r == 0 || k == 0 || c == 0 {
+        return;
+    }
+    if microkernel::takes_micro_path(r, k, c) {
+        microkernel::matmul_tiled(Lhs::RowMajor(a), Rhs::Transposed(b), out, r, k, c);
         return;
     }
     par_row_blocks(r, c, cost::matmul_flops(r, k, c), out, |row0, block| {
@@ -318,8 +349,10 @@ impl Tensor {
 
     /// Matrix product `self (r x k) * other (k x c) -> r x c`.
     ///
-    /// Uses the cache-friendly `i-k-j` loop over contiguous rows; large
-    /// products split output rows across the `parallel` pool (bitwise
+    /// Non-degenerate products run the packed, register-blocked
+    /// microkernel ([`crate::microkernel`]); skinny or tiny ones use the
+    /// cache-friendly `i-k-j` loop over contiguous rows. Large products
+    /// split their tile grid across the `parallel` pool (bitwise
     /// identical to [`Tensor::matmul_serial`], see the module docs).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
@@ -424,6 +457,13 @@ impl Tensor {
     }
 
     /// Row-wise log-softmax.
+    ///
+    /// # Contract: fully masked rows
+    /// Same contract as [`Tensor::softmax_rows`]: a row whose entries are
+    /// **all** `-inf` is a caller bug. Debug builds panic on such a row;
+    /// release builds define the result as all `-inf` (the log of the
+    /// all-zero distribution `softmax_rows` defines for that case) rather
+    /// than the all-NaN row the naive `v - max` rewrite would produce.
     pub fn log_softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
         let (r, c) = self.shape();
@@ -716,13 +756,17 @@ mod tests {
         }
     }
 
-    /// Shapes chosen so `cost::plan_pieces` actually takes the pool path
-    /// (flops over the threshold) with row counts that do not divide evenly
-    /// by the split width, plus degenerate 1xn / nx1 outputs.
+    /// Shapes chosen so the kernels actually take the pool path with row
+    /// counts that do not divide evenly by the split width, plus
+    /// degenerate 1xn / nx1 outputs. (37, 96, 80) clears the tiled-path
+    /// `MATMUL_PAR_FLOP_THRESHOLD` with a ragged tile grid; (65, 512, 1)
+    /// splits on the skinny fallback path; (37, 64, 33) and (8, 64, 64)
+    /// run the microkernel serially; (1, 4096, 17) stays on the row loop.
     #[test]
     fn parallel_kernels_bitwise_match_serial_across_widths() {
         let mut rng = StdRng::seed_from_u64(42);
-        let cases = [(37usize, 64usize, 33usize), (1, 4096, 17), (65, 512, 1), (8, 64, 64)];
+        let cases =
+            [(37usize, 96usize, 80usize), (37, 64, 33), (1, 4096, 17), (65, 512, 1), (8, 64, 64)];
         for &(r, k, c) in &cases {
             let a = Tensor::rand_normal(r, k, 0.0, 1.0, &mut rng);
             let b = Tensor::rand_normal(k, c, 0.0, 1.0, &mut rng);
@@ -751,17 +795,18 @@ mod tests {
 
     #[test]
     fn restructured_matmul_tn_matches_historical_p_outer_kernel() {
-        // The pre-parallel kernel iterated p in the outer loop; keep a copy
-        // here to pin the restructured row-of-output kernel to it bitwise.
+        // The pre-parallel kernel iterated p in the outer loop; keep a
+        // copy here to pin the restructured row-of-output kernel to it
+        // bitwise. (The historical kernel's zero-skip was dropped along
+        // with the production one's — on IEEE semantics skipping `a == 0`
+        // silently loses `0 * inf -> NaN`; this data is zero-free, so the
+        // pin covers the arithmetic order either way.)
         fn historical_tn(a: &Tensor, b: &Tensor) -> Tensor {
             let (k, r, c) = (a.rows(), a.cols(), b.cols());
             let mut out = Tensor::zeros(r, c);
             for p in 0..k {
                 for i in 0..r {
                     let a_pi = a.get(p, i);
-                    if a_pi == 0.0 {
-                        continue;
-                    }
                     for j in 0..c {
                         out.set(i, j, out.get(i, j) + a_pi * b.get(p, j));
                     }
@@ -773,5 +818,83 @@ mod tests {
         let a = Tensor::rand_normal(19, 7, 0.0, 1.0, &mut rng);
         let b = Tensor::rand_normal(19, 11, 0.0, 1.0, &mut rng);
         assert_bitwise_eq(&a.matmul_tn(&b), &historical_tn(&a, &b), "matmul_tn vs historical");
+    }
+
+    /// Regression for the zero-skip bugfix: a zero left operand times a
+    /// non-finite right operand must produce `NaN` (`0 * inf` is `NaN` in
+    /// IEEE 754), on the fallback row loops and the packed microkernel
+    /// alike. The old kernels skipped `a_ik == 0.0` and silently reported
+    /// finite results that disagreed with the mathematical definition.
+    #[test]
+    fn matmul_family_propagates_zero_times_inf_as_nan() {
+        // Small shapes: fallback row-loop path.
+        let a = t(&[vec![0.0, 1.0], vec![2.0, 3.0]]);
+        let b = t(&[vec![f32::INFINITY, 1.0], vec![1.0, 1.0]]);
+        let out = a.matmul(&b);
+        assert!(out.get(0, 0).is_nan(), "0 * inf must propagate NaN, got {}", out.get(0, 0));
+        assert_eq!(out.get(1, 1), 5.0, "finite lanes stay exact");
+        let tn = a.transpose().matmul_tn(&b);
+        assert!(tn.get(0, 0).is_nan(), "matmul_tn dropped 0 * inf");
+        let nt = a.matmul_nt(&b.transpose());
+        assert!(nt.get(0, 0).is_nan(), "matmul_nt dropped 0 * inf");
+
+        // NaN operands poison their whole output row/column too.
+        let a_nan = t(&[vec![f32::NAN, 0.0], vec![1.0, 1.0]]);
+        let ones = Tensor::ones(2, 2);
+        assert!(a_nan.matmul(&ones).get(0, 1).is_nan());
+
+        // Micro-path shape (8 x 32 x 16, over MICRO_MIN_FLOPS): an all-zero
+        // lhs against a rhs with one inf must put NaN in that column.
+        let az = Tensor::zeros(8, 32);
+        let mut bz = Tensor::ones(32, 16);
+        bz.set(5, 3, f32::INFINITY);
+        let mz = az.matmul(&bz);
+        for i in 0..8 {
+            assert!(mz.get(i, 3).is_nan(), "micro path dropped 0 * inf at row {i}");
+            assert_eq!(mz.get(i, 0), 0.0, "finite columns stay zero");
+        }
+        let mz_tn = az.transpose().matmul_tn(&bz);
+        for i in 0..8 {
+            assert!(mz_tn.get(i, 3).is_nan(), "tiled matmul_tn dropped 0 * inf at row {i}");
+        }
+        let mz_nt = az.matmul_nt(&bz.transpose());
+        for i in 0..8 {
+            assert!(mz_nt.get(i, 3).is_nan(), "tiled matmul_nt dropped 0 * inf at row {i}");
+        }
+    }
+
+    #[test]
+    fn matmul_with_zero_inner_dim_is_zero() {
+        let a = Tensor::zeros(3, 0);
+        let b = Tensor::zeros(0, 4);
+        let out = a.matmul(&b);
+        assert_eq!(out.shape(), (3, 4));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "fully masked row")]
+    fn log_softmax_panics_on_fully_masked_row_in_debug() {
+        Tensor::row_vector(&[f32::NEG_INFINITY, f32::NEG_INFINITY]).log_softmax_rows();
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn log_softmax_defines_fully_masked_row_in_release() {
+        let out = Tensor::row_vector(&[f32::NEG_INFINITY, f32::NEG_INFINITY]).log_softmax_rows();
+        // log of the all-zero distribution softmax_rows defines: all -inf,
+        // never NaN.
+        assert!(out.as_slice().iter().all(|&v| v == f32::NEG_INFINITY), "{out:?}");
+    }
+
+    #[test]
+    fn log_softmax_handles_partially_masked_rows() {
+        // A partial mask is legal: masked slots get -inf log-probability,
+        // live slots normalize over the unmasked set.
+        let out = Tensor::row_vector(&[2.0, f32::NEG_INFINITY, 2.0]).log_softmax_rows();
+        assert_eq!(out.get(0, 1), f32::NEG_INFINITY);
+        assert!((out.get(0, 0) - 0.5f32.ln()).abs() < 1e-6);
+        assert!(!out.get(0, 0).is_nan() && !out.get(0, 2).is_nan());
     }
 }

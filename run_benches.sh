@@ -15,7 +15,26 @@ echo "### interval audit report (hiergat audit --json)" >> bench_output.txt
 cargo run --release -q --bin hiergat -- audit \
   --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn --json \
   >> bench_output.txt 2>&1 || echo "### audit gate FAILED" >> bench_output.txt
-for b in kernels table4_magellan table7_collective table3_lm_sizes fig10_wdc fig9_attention table9_context_ablation table10_views table11_modules table8_collective_lms fig11_training_time micro; do
+# The kernels bench runs with the simd feature (the shipped configuration
+# of the matmul microkernel) and is held to the acceptance floor: the
+# 256^3 matmul must beat the pinned legacy scalar kernel by >= 4x with
+# every pooled kernel bitwise-equal to serial.
+echo "### running kernels (--features simd)" >> bench_output.txt
+cargo bench -p hiergat-bench --bench kernels --features simd >> bench_output.txt 2>&1 \
+  || { echo "### KERNELS BENCH FAILED" >> bench_output.txt; exit 1; }
+python3 - <<'EOF' >> bench_output.txt 2>&1 || { echo "### KERNELS SPEEDUP FLOOR FAILED" >> bench_output.txt; exit 1; }
+import json
+d = json.load(open("BENCH_kernels.json"))
+row = next(r for r in d["kernels"] if r["name"] == "matmul_256x256x256")
+micro = row["micro_speedup"] or 0.0
+print(f"kernels floor check: simd={d['simd']} all_bitwise_equal={d['all_bitwise_equal']} "
+      f"matmul_256x256x256 micro_speedup={micro:.2f}x")
+assert d["simd"], "kernels bench did not run with the simd feature"
+assert d["all_bitwise_equal"], "pooled kernels diverged from serial"
+assert micro >= 4.0, f"microkernel floor not met: {micro:.2f}x < 4x"
+EOF
+echo "### done kernels" >> bench_output.txt
+for b in table4_magellan table7_collective table3_lm_sizes fig10_wdc fig9_attention table9_context_ablation table10_views table11_modules table8_collective_lms fig11_training_time micro; do
   echo "### running $b" >> bench_output.txt
   cargo bench -p hiergat-bench --bench "$b" >> bench_output.txt 2>&1
   echo "### done $b" >> bench_output.txt
