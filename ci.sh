@@ -73,6 +73,22 @@ echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --tes
 HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd \
   --test arena_differential --test arena_zero_alloc --test runtime_conformance
 
+# Optimiser differential gate: for every builtin model, the certified
+# tape optimiser must produce graphs whose session scores are bitwise
+# identical to the unoptimised eager path, with every rewrite certificate
+# valid and the optimised graphs lint-clean — under a real 1-wide and a
+# real 8-wide pool, and again under the simd microkernel tile (whose FMA
+# values differ from the portable build, so equality must hold *within*
+# each build).
+echo "==> HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test optimize_differential"
+HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test optimize_differential
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test optimize_differential"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test optimize_differential
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --test optimize_differential"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --test optimize_differential
+
 # Interval-audit differential gate: for every builtin model, the abstract
 # interpreter's proven per-node intervals must contain every concrete
 # value an eager scoring run records, under observed and symbolic
@@ -102,5 +118,12 @@ HIERGAT_THREADS=8 ./target/release/hiergat lint \
 echo "==> hiergat audit --deny warn"
 ./target/release/hiergat audit \
   --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn
+
+# Translation-validation gate: every builtin model graph must optimise
+# with valid shape + interval certificates, and the optimised session must
+# reproduce eager predictions bitwise (`--verify` runs the differential).
+echo "==> hiergat optimize --verify"
+./target/release/hiergat optimize \
+  --dataset fodors-zagats --scale 0.2 --tier dbert --verify
 
 echo "==> ci gate passed"

@@ -426,17 +426,34 @@ fn main() {
     let (infer_s, infer_scores) = time_best(|| {
         pairs.iter().map(|p| session.score(Example::Pair(p))[0]).collect::<Vec<f32>>()
     });
-    let scores_bitwise = bits_f32(&eager_scores) == bits_f32(&infer_scores);
+    // As-recorded replay (optimiser off): the certified rewrites must not
+    // cost throughput, and — being bitwise-exact — must not move a score.
+    session.set_optimize(false);
+    for p in &pairs {
+        session.score(Example::Pair(p));
+    }
+    let (plain_s, plain_scores) = time_best(|| {
+        pairs.iter().map(|p| session.score(Example::Pair(p))[0]).collect::<Vec<f32>>()
+    });
+    session.set_optimize(true);
+    let scores_bitwise = bits_f32(&eager_scores) == bits_f32(&infer_scores)
+        && bits_f32(&plain_scores) == bits_f32(&infer_scores);
     let n_pairs = pairs.len() as f64;
-    let (eager_pps, infer_pps) = (n_pairs / eager_s, n_pairs / infer_s);
+    let (eager_pps, infer_pps, plain_pps) =
+        (n_pairs / eager_s, n_pairs / infer_s, n_pairs / plain_s);
     let scoring_speedup = eager_s / infer_s;
+    let optimize_speedup = plain_s / infer_s;
     let first = Example::Pair(pairs[0]);
     let train_arena = session.model().plan_training(first).arena_bytes;
     let infer_arena = session.model().plan_inference(first).arena_bytes;
 
     println!("pair scoring (HierGAT pairwise, {} pairs, eager vs inference session):", pairs.len());
-    println!("  eager   {eager_pps:>8.1} pairs/s");
-    println!("  session {infer_pps:>8.1} pairs/s  speedup {scoring_speedup:>5.2}x");
+    println!("  eager              {eager_pps:>8.1} pairs/s");
+    println!("  session (as-rec.)  {plain_pps:>8.1} pairs/s");
+    println!(
+        "  session (optimised) {infer_pps:>7.1} pairs/s  speedup {scoring_speedup:>5.2}x eager, \
+         {optimize_speedup:.2}x as-recorded"
+    );
     println!("  peak arena: training plan {train_arena} B, inference plan {infer_arena} B");
     println!("  scores bitwise {}", if scores_bitwise { "ok" } else { "MISMATCH" });
     assert!(scores_bitwise, "session scoring must match eager predictions bitwise");
@@ -448,6 +465,41 @@ fn main() {
         scoring_speedup >= 1.3,
         "inference session must score at least 1.3x faster than eager, got {scoring_speedup:.2}x"
     );
+    assert!(
+        optimize_speedup >= 0.95,
+        "optimised replay must not regress pairs/s vs as-recorded, got {optimize_speedup:.2}x"
+    );
+
+    // Certified optimiser deltas on the inference scoring graphs: node and
+    // FLOP counts must shrink for the paper model and for a baseline.
+    let mut opt_rows = Vec::new();
+    for name in ["hiergat", "deepmatcher"] {
+        let spec = registry.get(name).expect("registered model");
+        let model = spec.build(&cx);
+        let report = model.optimize_report(first, false);
+        assert!(report.all_valid(), "{name}: optimiser certificates must validate");
+        assert!(
+            report.nodes_after < report.nodes_before,
+            "{name}: optimiser must reduce node count ({} -> {})",
+            report.nodes_before,
+            report.nodes_after
+        );
+        assert!(
+            report.flops_after < report.flops_before,
+            "{name}: optimiser must reduce FLOPs ({} -> {})",
+            report.flops_before,
+            report.flops_after
+        );
+        println!(
+            "optimiser ({name}): nodes {} -> {}, flops {} -> {}, {} certified rewrites",
+            report.nodes_before,
+            report.nodes_after,
+            report.flops_before,
+            report.flops_after,
+            report.rewrites(),
+        );
+        opt_rows.push((name, report));
+    }
 
     let body: Vec<String> = rows.iter().map(KernelRow::json).collect();
     let train_json = format!(
@@ -466,15 +518,34 @@ fn main() {
     let scoring_json = format!(
         "  \"scoring\": {{\"model\": \"hiergat-pairwise\", \"pairs\": {}, \
          \"eager_pairs_per_s\": {eager_pps:.1}, \"session_pairs_per_s\": {infer_pps:.1}, \
-         \"speedup\": {scoring_speedup:.3}, \"bitwise_equal\": {scores_bitwise}, \
+         \"unoptimized_session_pairs_per_s\": {plain_pps:.1}, \
+         \"speedup\": {scoring_speedup:.3}, \"optimize_speedup\": {optimize_speedup:.3}, \
+         \"bitwise_equal\": {scores_bitwise}, \
          \"train_peak_arena_bytes\": {train_arena}, \
          \"infer_peak_arena_bytes\": {infer_arena}}},",
         pairs.len(),
     );
+    let opt_body: Vec<String> = opt_rows
+        .iter()
+        .map(|(name, r)| {
+            format!(
+                "    {{\"model\": \"{name}\", \"nodes_before\": {}, \"nodes_after\": {}, \
+                 \"flops_before\": {}, \"flops_after\": {}, \"rewrites\": {}, \
+                 \"certificates_valid\": {}}}",
+                r.nodes_before,
+                r.nodes_after,
+                r.flops_before,
+                r.flops_after,
+                r.rewrites(),
+                r.all_valid(),
+            )
+        })
+        .collect();
+    let optimize_json = format!("  \"optimize\": [\n{}\n  ],", opt_body.join(",\n"));
     let json = format!(
         "{{\n  \"threads\": {threads},\n  \"simd\": {simd},\n  \
          \"all_bitwise_equal\": {all_bitwise},\n  \
-         \"max_flop_rel_err\": {max_rel_err:.4},\n{train_json}\n{scoring_json}\n  \
+         \"max_flop_rel_err\": {max_rel_err:.4},\n{train_json}\n{scoring_json}\n{optimize_json}\n  \
          \"kernels\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     );

@@ -41,6 +41,13 @@
 //!   Symbolic by default (inputs in `[-B, B]`, parameters in `[-W, W]`);
 //!   `--weights DIR` audits a saved HierGAT checkpoint with concrete
 //!   per-parameter ranges instead (weight-aware seeding).
+//! * `optimize [--dataset amazon-google] [--scale 0.5] [--json] [--verify]`
+//!   runs the certified tape optimiser (DCE / CSE / constant folding /
+//!   fusion) over each model's inference scoring graph and prints the
+//!   node / FLOP / arena-byte deltas plus per-rewrite certificate tallies.
+//!   `--verify` additionally proves interval containment for every rewrite
+//!   and differentially checks the optimised session against eager
+//!   prediction (bitwise), failing if either check does.
 //!
 //! `train` and `demo` also accept `--analyze` to run the same static
 //! check on the model being trained before epoch 0.
@@ -95,7 +102,8 @@ usage:
   hiergat lint    [--dataset NAME] [--scale S] [--deny warn|deny] [--json]
   hiergat plan    [--dataset NAME] [--scale S]
   hiergat audit   [--dataset NAME] [--scale S] [--deny warn|deny] [--json]
-                  [--weights DIR] [--input-bound B] [--param-bound W]";
+                  [--weights DIR] [--input-bound B] [--param-bound W]
+  hiergat optimize [--dataset NAME] [--scale S] [--json] [--verify]";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
@@ -109,6 +117,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "lint" => cmd_lint(&args),
         "plan" => cmd_plan(&args),
         "audit" => cmd_audit(&args),
+        "optimize" => cmd_optimize(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -469,13 +478,132 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     }
 }
 
+/// One optimised model graph in the `optimize --json` document.
+#[derive(serde::Serialize)]
+struct ModelOptimize {
+    model: String,
+    arena_bytes_before: u64,
+    arena_bytes_after: u64,
+    certificates_valid: bool,
+    /// Eager predict vs optimised session, bitwise; always `true` when
+    /// `--verify` is off (the check is skipped).
+    differential_ok: bool,
+    report: hiergat_nn::OptimizeReport,
+}
+
+/// The full `optimize --json` document: per-model optimiser reports plus
+/// the arena deltas of the session plans they feed.
+#[derive(serde::Serialize)]
+struct OptimizeOutput {
+    verify: bool,
+    models: Vec<ModelOptimize>,
+    skipped: Vec<String>,
+    failed: bool,
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    let verify = args.has_flag("verify");
+    let (ds, ds_c, tier) = registry_inputs(args)?;
+    let pair = ds.train.first().ok_or("dataset has no training pairs")?;
+    let ex_c = ds_c.train.first().ok_or("collective dataset has no training examples")?;
+    let pair_cx = BuildContext { tier, arity: ds.arity().max(1) };
+    let coll_cx = BuildContext { tier, arity: ex_c.query.attrs.len().max(1) };
+
+    // Builds boxed models directly (rather than via `for_each_model`)
+    // because the `--verify` differential consumes each model into a
+    // scoring `Session`.
+    let mut models = Vec::new();
+    for spec in ModelRegistry::builtin().specs() {
+        let (cx, example) = match spec.kind() {
+            ModelKind::Pairwise => (&pair_cx, Example::Pair(pair)),
+            ModelKind::Collective => (&coll_cx, Example::Collective(ex_c)),
+        };
+        let model = spec.build(cx);
+        let report = model.optimize_report(example, verify);
+        // Arena budget of the as-recorded inference plan vs the optimised
+        // one the session actually replays.
+        let mut t = hiergat_nn::Tape::inference();
+        let probs = model.record_scores(&mut t, example);
+        let arena_bytes_before =
+            hiergat_nn::ExecutionPlan::build_inference(&t, probs).report().arena_bytes;
+        let arena_bytes_after = model.plan_inference(example).arena_bytes;
+        let differential_ok = if verify {
+            let eager = model.predict(example);
+            let mut session = Session::new(model);
+            let scored = session.score(example);
+            eager.len() == scored.len()
+                && eager.iter().zip(&scored).all(|(e, s)| e.to_bits() == s.to_bits())
+        } else {
+            true
+        };
+        models.push(ModelOptimize {
+            model: spec.display().to_string(),
+            arena_bytes_before,
+            arena_bytes_after,
+            certificates_valid: report.all_valid(),
+            differential_ok,
+            report,
+        });
+    }
+
+    let out = OptimizeOutput {
+        verify,
+        skipped: ModelRegistry::builtin().tapeless_notes(),
+        failed: models.iter().any(|m| !m.certificates_valid || !m.differential_ok),
+        models,
+    };
+
+    if args.has_flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| format!("serializing report: {e}"))?
+        );
+    } else {
+        for m in &out.models {
+            println!("== {} ==", m.model);
+            println!("{}", m.report);
+            println!(
+                "arena {} -> {} bytes{}",
+                m.arena_bytes_before,
+                m.arena_bytes_after,
+                if out.verify {
+                    if m.differential_ok {
+                        "  [differential: bitwise ok]"
+                    } else {
+                        "  [differential: MISMATCH]"
+                    }
+                } else {
+                    ""
+                }
+            );
+        }
+        for note in &out.skipped {
+            println!("note: {note}");
+        }
+    }
+    if out.failed {
+        let bad = out.models.iter().filter(|m| !m.certificates_valid || !m.differential_ok).count();
+        Err(format!("optimize gate failed: {bad} model graph(s) with invalid certificates or differential mismatches"))
+    } else {
+        if !args.has_flag("json") {
+            println!(
+                "all model graphs optimize with valid certificates{}",
+                if out.verify { " and bitwise differentials" } else { "" }
+            );
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn usage_lists_all_subcommands() {
-        for cmd in ["train", "predict", "block", "demo", "analyze", "lint", "plan", "audit"] {
+        let cmds =
+            ["train", "predict", "block", "demo", "analyze", "lint", "plan", "audit", "optimize"];
+        for cmd in cmds {
             assert!(USAGE.contains(cmd));
         }
     }
@@ -589,6 +717,24 @@ mod tests {
         .map(ToString::to_string)
         .collect();
         run(&argv).expect("audit");
+    }
+
+    #[test]
+    fn optimize_verifies_certificates_and_differentials_for_all_models() {
+        let argv: Vec<String> = [
+            "optimize",
+            "--dataset",
+            "fodors-zagats",
+            "--scale",
+            "0.2",
+            "--tier",
+            "dbert",
+            "--verify",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        run(&argv).expect("optimize --verify");
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod gradcheck;
 mod layers;
 pub mod lint;
 mod optim;
+pub mod optimize;
 mod params;
 pub mod plan;
 mod tape;
@@ -38,6 +39,10 @@ pub use layers::{
 };
 pub use lint::{lint_graph, Diagnostic, LintConfig, LintReport, Severity};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use optimize::{
+    optimize, optimize_owned, optimize_with_cache, CachedOptimized, Certificate, OptimizeConfig,
+    OptimizeReport, Optimized, OptimizerCache,
+};
 pub use params::{ParamId, ParamStore};
 pub use plan::{ArenaExecutor, ExecutionPlan, PlanReport, PlannedSlot};
 pub use tape::{Tape, Var};

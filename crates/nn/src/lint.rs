@@ -351,7 +351,9 @@ pub fn lint_graph(tape: &Tape, loss: Var, ps: &ParamStore, cfg: &LintConfig) -> 
                         "ln(softmax(x)) underflows to -inf whenever one logit dominates \
                          a row; the fused form never materializes the probabilities"
                             .to_string(),
-                        "replace softmax followed by ln with the single log_softmax op".to_string(),
+                        "replace softmax followed by ln with the single log_softmax op \
+                         (`hiergat optimize` applies this rewrite with a certificate)"
+                            .to_string(),
                     );
                 } else if !iv[a.index()].proven_positive() {
                     emit(
@@ -398,9 +400,13 @@ pub fn lint_graph(tape: &Tape, loss: Var, ps: &ParamStore, cfg: &LintConfig) -> 
                     // decides the fused replacement.
                     let fix = match tape.op_at(cons[0]) {
                         Op::Matmul(x, _) if x.index() == i => {
-                            "replace matmul(transpose(a), b) with the fused matmul_tn(a, b)"
+                            "replace matmul(transpose(a), b) with the fused matmul_tn(a, b) \
+                             (`hiergat optimize` applies this rewrite with a certificate)"
                         }
-                        _ => "replace matmul(a, transpose(b)) with the fused matmul_nt(a, b)",
+                        _ => {
+                            "replace matmul(a, transpose(b)) with the fused matmul_nt(a, b) \
+                             (`hiergat optimize` applies this rewrite with a certificate)"
+                        }
                     };
                     let (r, c) = shape(a.index());
                     emit(

@@ -77,55 +77,6 @@ fn backward_reads_output(op: &Op) -> bool {
     )
 }
 
-/// Stable numeric code per op kind. Deliberately explicit (not
-/// `mem::discriminant` hashing): the code feeds the plan-cache signature,
-/// and op identity changes liveness even when shapes match.
-fn op_code(op: &Op) -> u64 {
-    match op {
-        Op::Input => 0,
-        Op::Param(_) => 1,
-        Op::Add(..) => 2,
-        Op::Sub(..) => 3,
-        Op::Mul(..) => 4,
-        Op::Scale(..) => 5,
-        Op::AddScalar(..) => 6,
-        Op::Div(..) => 7,
-        Op::AddRow(..) => 8,
-        Op::AddCol(..) => 9,
-        Op::MulCol(..) => 10,
-        Op::Matmul(..) => 11,
-        Op::MatmulNt(..) => 12,
-        Op::MatmulTn(..) => 13,
-        Op::Transpose(..) => 14,
-        Op::SumAll(..) => 15,
-        Op::MeanAll(..) => 16,
-        Op::SumRows(..) => 17,
-        Op::SumCols(..) => 18,
-        Op::MaxCols(..) => 19,
-        Op::Softmax(..) => 20,
-        Op::LogSoftmax(..) => 21,
-        Op::Exp(..) => 22,
-        Op::Ln(..) => 23,
-        Op::Sqrt(..) => 24,
-        Op::Relu(..) => 25,
-        Op::LeakyRelu(..) => 26,
-        Op::Tanh(..) => 27,
-        Op::Sigmoid(..) => 28,
-        Op::Gelu(..) => 29,
-        Op::LayerNorm { .. } => 30,
-        Op::ConcatCols(..) => 31,
-        Op::ConcatRows(..) => 32,
-        Op::SliceCols { .. } => 33,
-        Op::SliceRows { .. } => 34,
-        Op::GatherRows { .. } => 35,
-        Op::Dropout { .. } => 36,
-        Op::CrossEntropyLogits { .. } => 37,
-        Op::WeightedCrossEntropyLogits { .. } => 38,
-        Op::BceWithLogits { .. } => 39,
-        Op::MseLoss { .. } => 40,
-    }
-}
-
 /// Shape/topology fingerprint of `tape[0..=loss]`. Two tapes with equal
 /// signatures produce identical plans (payloads like scale factors, slice
 /// starts, dropout masks, and loss targets are read from the *current* tape
@@ -133,19 +84,75 @@ fn op_code(op: &Op) -> u64 {
 /// training and inference plans for the same graph distinct in the plan
 /// cache — their liveness (and therefore their spans) differ.
 fn signature(tape: &Tape, loss: Var, inference: bool) -> Vec<u64> {
-    let mut sig = vec![loss.index() as u64, u64::from(inference)];
+    let mut sig = Vec::new();
+    signature_into(tape, loss, inference, &mut sig);
+    sig
+}
+
+/// [`signature`] written into a caller-owned buffer, so per-call code (the
+/// optimiser's decisions cache) can fingerprint a tape without allocating.
+pub(crate) fn signature_into(tape: &Tape, loss: Var, inference: bool, sig: &mut Vec<u64>) {
+    // The optimiser bit keeps an optimised graph's plan distinct from the
+    // as-recorded graph's even when their shapes coincide.
+    sig.extend([loss.index() as u64, u64::from(inference), u64::from(tape.is_optimized())]);
     for i in 0..=loss.index() {
         let v = Var::from_index(i);
         let op = tape.op_at(i);
         let (rows, cols) = tape.value(v).shape();
-        let inputs = op.inputs();
-        sig.push(op_code(op));
+        // `Op::tag` is deliberately explicit (not `mem::discriminant`
+        // hashing): the code feeds the plan-cache signature, and op
+        // identity changes liveness even when shapes match.
+        sig.push(op.tag());
         sig.push(rows as u64);
         sig.push(cols as u64);
-        sig.push(inputs.len() as u64);
-        sig.extend(inputs.iter().map(|x| x.index() as u64));
+        let arity_at = sig.len();
+        sig.push(0);
+        op.for_each_input(|x| sig.push(x.index() as u64));
+        sig[arity_at] = (sig.len() - arity_at - 1) as u64;
     }
-    sig
+}
+
+/// Allocation-free check that `tape[0..=loss]`'s fingerprint equals a
+/// previously captured [`signature_into`] buffer. The optimiser's replay
+/// cache confirms structural identity with this walk — mirroring
+/// `signature_into` word for word, aborting on the first mismatch —
+/// instead of materialising a fresh signature vector per call.
+pub(crate) fn sig_matches(tape: &Tape, loss: Var, inference: bool, sig: &[u64]) -> bool {
+    if sig.len() < 3
+        || sig[0] != loss.index() as u64
+        || sig[1] != u64::from(inference)
+        || sig[2] != u64::from(tape.is_optimized())
+    {
+        return false;
+    }
+    let mut pos = 3;
+    for i in 0..=loss.index() {
+        let op = tape.op_at(i);
+        let (rows, cols) = tape.value(Var::from_index(i)).shape();
+        if pos + 4 > sig.len()
+            || sig[pos] != op.tag()
+            || sig[pos + 1] != rows as u64
+            || sig[pos + 2] != cols as u64
+        {
+            return false;
+        }
+        let declared_arity = sig[pos + 3];
+        pos += 4;
+        let mut arity = 0u64;
+        let mut inputs_ok = true;
+        op.for_each_input(|x| {
+            if pos < sig.len() && sig[pos] == x.index() as u64 {
+                pos += 1;
+            } else {
+                inputs_ok = false;
+            }
+            arity += 1;
+        });
+        if !inputs_ok || arity != declared_arity {
+            return false;
+        }
+    }
+    pos == sig.len()
 }
 
 fn hash_signature(sig: &[u64]) -> u64 {

@@ -213,35 +213,39 @@ fn apply_abs_step(
 }
 
 /// Terminal step: reductions and the loss kernels (which demand specific
-/// shapes, so they close the chain rather than extend it).
-fn apply_abs_terminal(t: &mut Tape, rng: &mut StdRng, terminal: usize, x: Var, r: usize, c: usize) {
+/// shapes, so they close the chain rather than extend it). Returns the
+/// loss node so callers can treat it as the chain's root.
+fn apply_abs_terminal(
+    t: &mut Tape,
+    rng: &mut StdRng,
+    terminal: usize,
+    x: Var,
+    r: usize,
+    c: usize,
+) -> Var {
     match terminal {
-        0 => {
-            t.mean_all(x);
-        }
-        1 => {
-            t.sum_all(x);
-        }
+        0 => t.mean_all(x),
+        1 => t.sum_all(x),
         2 => {
             let targets: Vec<usize> = (0..r).map(|i| i % c).collect();
-            t.cross_entropy_logits(x, &targets);
+            t.cross_entropy_logits(x, &targets)
         }
         3 => {
             let targets: Vec<usize> = (0..r).map(|i| i % c).collect();
             let weights = vec![0.5f32; r];
-            t.weighted_cross_entropy_logits(x, &targets, &weights);
+            t.weighted_cross_entropy_logits(x, &targets, &weights)
         }
         4 => {
             let col = t.slice_cols(x, 0, 1);
             let targets: Vec<f32> = Tensor::rand_uniform(r, 1, 0.0, 1.0, rng).as_slice().to_vec();
-            t.bce_with_logits(col, &targets);
+            t.bce_with_logits(col, &targets)
         }
         _ => {
             // MSE squares the difference, so squash first to keep the
             // eager pass finite on huge chains.
             let h = t.tanh(x);
             let target = Tensor::rand_uniform(r, c, -1.0, 1.0, rng);
-            t.mse_loss(h, &target);
+            t.mse_loss(h, &target)
         }
     }
 }
@@ -510,6 +514,75 @@ proptest! {
                         v,
                         node_iv,
                         cfg.describe(),
+                        steps
+                    );
+                }
+            }
+        }
+    }
+
+    /// The certified tape optimiser preserves random-chain semantics at
+    /// widths 1 and 8: every applied rewrite carries a valid certificate,
+    /// the optimised root agrees with the original element-wise (bitwise
+    /// unless the reassociating ln∘softmax fusion fired, in which case
+    /// allclose), and observed-seeding interval propagation over the
+    /// REWRITTEN graph still contains every value it computes.
+    #[test]
+    fn optimiser_preserves_random_chain_semantics(
+        seed in 0u64..2000,
+        steps in proptest::collection::vec(0usize..ABS_STEPS, 1..9),
+        terminal in 0usize..6,
+        bound in 0.5f64..4.0,
+    ) {
+        let b = bound as f32;
+        for rows in [1usize, 8] {
+            let cols = 3;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Tape::new();
+            let mut x = fresh_input(&mut t, &mut rng, rows, cols, b);
+            let (mut r, mut c) = (rows, cols);
+            for &s in &steps {
+                (x, r, c) = apply_abs_step(&mut t, &mut rng, s, x, r, c, b);
+            }
+            let root = apply_abs_terminal(&mut t, &mut rng, terminal, x, r, c);
+            let ps = ParamStore::new();
+            let opt = crate::optimize::optimize(
+                &t,
+                root,
+                &ps,
+                &crate::optimize::OptimizeConfig::verified(),
+            );
+            prop_assert!(opt.report.all_valid(), "invalid certificates: {}", opt.report);
+            let orig = t.value(root);
+            let new = opt.tape.value(opt.root);
+            prop_assert_eq!(orig.shape(), new.shape(), "root shape changed");
+            let reassociated =
+                opt.report.certificates.iter().any(|ce| ce.rule == "fuse-log-softmax");
+            for (&a, &g) in orig.as_slice().iter().zip(new.as_slice()) {
+                if reassociated {
+                    prop_assert!(
+                        (a - g).abs() <= 1e-4 * (1.0 + a.abs()),
+                        "allclose violated after reassociating fusion: {a} vs {g}"
+                    );
+                } else {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        g.to_bits(),
+                        "bitwise equality violated (steps {:?}, rows {}): {} vs {}",
+                        steps, rows, a, g
+                    );
+                }
+            }
+            let iv = propagate(&opt.tape, &ps, &AbsintConfig::observed());
+            for (i, node_iv) in iv.iter().enumerate() {
+                for &v in opt.tape.node_value(i).as_slice() {
+                    prop_assert!(
+                        node_iv.contains(v),
+                        "rewritten op #{} ({}) value {} escapes {:?} (steps {:?})",
+                        i,
+                        opt.tape.op_name(i),
+                        v,
+                        node_iv,
                         steps
                     );
                 }

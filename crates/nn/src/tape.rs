@@ -176,6 +176,112 @@ impl Op {
     }
 
     /// The upstream tape nodes this op reads (graph edges for reachability).
+    /// Dense numeric variant tag for structural keys (CSE buckets, plan
+    /// signatures) — variant identity without hashing the diagnostic name
+    /// on hot paths.
+    pub(crate) fn tag(&self) -> u64 {
+        match self {
+            Self::Input => 0,
+            Self::Param(_) => 1,
+            Self::Add(..) => 2,
+            Self::Sub(..) => 3,
+            Self::Mul(..) => 4,
+            Self::Scale(..) => 5,
+            Self::AddScalar(..) => 6,
+            Self::Div(..) => 7,
+            Self::AddRow(..) => 8,
+            Self::AddCol(..) => 9,
+            Self::MulCol(..) => 10,
+            Self::Matmul(..) => 11,
+            Self::MatmulNt(..) => 12,
+            Self::MatmulTn(..) => 13,
+            Self::Transpose(_) => 14,
+            Self::SumAll(_) => 15,
+            Self::MeanAll(_) => 16,
+            Self::SumRows(_) => 17,
+            Self::SumCols(_) => 18,
+            Self::MaxCols(_) => 19,
+            Self::Softmax(_) => 20,
+            Self::LogSoftmax(_) => 21,
+            Self::Exp(_) => 22,
+            Self::Ln(_) => 23,
+            Self::Sqrt(_) => 24,
+            Self::Relu(_) => 25,
+            Self::LeakyRelu(..) => 26,
+            Self::Tanh(_) => 27,
+            Self::Sigmoid(_) => 28,
+            Self::Gelu(_) => 29,
+            Self::LayerNorm { .. } => 30,
+            Self::ConcatCols(_) => 31,
+            Self::ConcatRows(_) => 32,
+            Self::SliceCols { .. } => 33,
+            Self::SliceRows { .. } => 34,
+            Self::GatherRows { .. } => 35,
+            Self::Dropout { .. } => 36,
+            Self::CrossEntropyLogits { .. } => 37,
+            Self::WeightedCrossEntropyLogits { .. } => 38,
+            Self::BceWithLogits { .. } => 39,
+            Self::MseLoss { .. } => 40,
+        }
+    }
+
+    /// Calls `f` with each input operand in order — the allocation-free
+    /// sibling of [`Self::inputs`] for per-node hot loops.
+    pub(crate) fn for_each_input(&self, mut f: impl FnMut(Var)) {
+        match self {
+            Self::Input | Self::Param(_) => {}
+            Self::Scale(a, _)
+            | Self::AddScalar(a, _)
+            | Self::Transpose(a)
+            | Self::SumAll(a)
+            | Self::MeanAll(a)
+            | Self::SumRows(a)
+            | Self::SumCols(a)
+            | Self::MaxCols(a)
+            | Self::Softmax(a)
+            | Self::LogSoftmax(a)
+            | Self::Exp(a)
+            | Self::Ln(a)
+            | Self::Sqrt(a)
+            | Self::Relu(a)
+            | Self::LeakyRelu(a, _)
+            | Self::Tanh(a)
+            | Self::Sigmoid(a)
+            | Self::Gelu(a) => f(*a),
+            Self::Add(a, b)
+            | Self::Sub(a, b)
+            | Self::Mul(a, b)
+            | Self::Div(a, b)
+            | Self::AddRow(a, b)
+            | Self::AddCol(a, b)
+            | Self::MulCol(a, b)
+            | Self::Matmul(a, b)
+            | Self::MatmulNt(a, b)
+            | Self::MatmulTn(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Self::LayerNorm { x, gamma, beta, .. } => {
+                f(*x);
+                f(*gamma);
+                f(*beta);
+            }
+            Self::ConcatCols(parts) | Self::ConcatRows(parts) => {
+                for &p in parts {
+                    f(p);
+                }
+            }
+            Self::SliceCols { x, .. } | Self::SliceRows { x, .. } | Self::Dropout { x, .. } => {
+                f(*x);
+            }
+            Self::GatherRows { table, .. } => f(*table),
+            Self::CrossEntropyLogits { logits, .. }
+            | Self::WeightedCrossEntropyLogits { logits, .. }
+            | Self::BceWithLogits { logits, .. } => f(*logits),
+            Self::MseLoss { pred, .. } => f(*pred),
+        }
+    }
+
     pub(crate) fn inputs(&self) -> Vec<Var> {
         match self {
             Self::Input | Self::Param(_) => Vec::new(),
@@ -233,6 +339,7 @@ pub struct Tape {
     shape_only: bool,
     deferred: bool,
     inference: bool,
+    optimized: bool,
     violations: Vec<ShapeViolation>,
 }
 
@@ -299,6 +406,29 @@ impl Tape {
         self.inference
     }
 
+    /// `true` if this tape was produced by the rewrite engine
+    /// (`hiergat_nn::optimize`). The bit is folded into plan-cache
+    /// signatures so optimised and as-recorded graphs never share a
+    /// cached arena plan.
+    pub fn is_optimized(&self) -> bool {
+        self.optimized
+    }
+
+    pub(crate) fn mark_optimized(&mut self) {
+        self.optimized = true;
+    }
+
+    /// An empty tape in the same recording mode as `self` (the rewrite
+    /// engine re-emits surviving ops into one of these).
+    pub(crate) fn mode_like(&self) -> Self {
+        Self {
+            shape_only: self.shape_only,
+            deferred: self.deferred,
+            inference: self.inference,
+            ..Self::default()
+        }
+    }
+
     /// Shape-constraint failures collected during shape-only recording.
     pub fn shape_violations(&self) -> &[ShapeViolation] {
         &self.violations
@@ -322,23 +452,122 @@ impl Tape {
     /// The forward value at tape index `i` — the by-index sibling of
     /// [`Self::value`] for analyses that walk the whole tape (the absint
     /// containment tests compare every recorded value against its proven
-    /// interval).
+    /// interval), or `None` if `i` is past the end of the tape.
+    pub fn try_node_value(&self, i: usize) -> Option<&Tensor> {
+        self.nodes.get(i).map(|n| &n.value)
+    }
+
+    /// Panicking sibling of [`Self::try_node_value`] for callers holding an
+    /// index they already know is on the tape.
+    ///
+    /// # Panics
+    /// Panics with the tape length if `i` is out of range.
     pub fn node_value(&self, i: usize) -> &Tensor {
-        &self.nodes[i].value
+        debug_assert!(
+            i < self.nodes.len(),
+            "node_value: index {i} out of range for tape of {} nodes",
+            self.len()
+        );
+        match self.try_node_value(i) {
+            Some(v) => v,
+            None => panic!("node_value: index {i} out of range for tape of {} nodes", self.len()),
+        }
     }
 
     pub(crate) fn op_at(&self, i: usize) -> &Op {
         &self.nodes[i].op
     }
 
-    /// Diagnostic name of the op at tape index `i` (e.g. `"matmul"`).
-    pub fn op_name(&self, i: usize) -> &'static str {
-        self.nodes[i].op.name()
+    /// Moves node `i`'s value out of the tape, leaving a storage-free
+    /// placeholder of the same shape behind. The rewrite engine's owned
+    /// fast path (`optimize_owned`) uses this to re-home `Input` leaves
+    /// onto the optimised tape without deep-copying them; shape queries
+    /// against the vacated node keep answering the original geometry.
+    ///
+    /// # Panics
+    /// Panics with the tape length if `i` is out of range.
+    pub(crate) fn take_node_value(&mut self, i: usize) -> Tensor {
+        assert!(
+            i < self.nodes.len(),
+            "take_node_value: index {i} out of range for tape of {} nodes",
+            self.len()
+        );
+        let (rows, cols) = self.nodes[i].value.shape();
+        std::mem::replace(&mut self.nodes[i].value, Tensor::placeholder(rows, cols))
     }
 
-    /// Tape indices of the inputs of the op at index `i`.
+    /// Moves a fresh value into node `i`'s slot, replacing whatever was
+    /// there. The optimiser's patch-in-place replay uses this to re-home
+    /// each new example's `Input` leaves (and re-evaluated fold constants)
+    /// onto a cached optimised tape whose structure already matched; the
+    /// incoming value's shape must equal the slot's, so shape queries and
+    /// the executor's plan signature stay stable across patches.
+    ///
+    /// # Panics
+    /// Panics with the tape length if `i` is out of range.
+    pub(crate) fn put_node_value(&mut self, i: usize, value: Tensor) {
+        assert!(
+            i < self.nodes.len(),
+            "put_node_value: index {i} out of range for tape of {} nodes",
+            self.len()
+        );
+        debug_assert_eq!(
+            self.nodes[i].value.shape(),
+            value.shape(),
+            "put_node_value: patched value must keep the slot's shape"
+        );
+        self.nodes[i].value = value;
+    }
+
+    /// Mutable access to the op at tape index `i`, for the optimiser's
+    /// patch-in-place replay (payload refresh only — wiring must never
+    /// change, or the cached plan signature would lie).
+    pub(crate) fn op_at_mut(&mut self, i: usize) -> &mut Op {
+        &mut self.nodes[i].op
+    }
+
+    /// Diagnostic name of the op at tape index `i` (e.g. `"matmul"`), or
+    /// `None` if `i` is past the end of the tape.
+    pub fn try_op_name(&self, i: usize) -> Option<&'static str> {
+        self.nodes.get(i).map(|n| n.op.name())
+    }
+
+    /// Panicking sibling of [`Self::try_op_name`].
+    ///
+    /// # Panics
+    /// Panics with the tape length if `i` is out of range.
+    pub fn op_name(&self, i: usize) -> &'static str {
+        debug_assert!(
+            i < self.nodes.len(),
+            "op_name: index {i} out of range for tape of {} nodes",
+            self.len()
+        );
+        match self.try_op_name(i) {
+            Some(name) => name,
+            None => panic!("op_name: index {i} out of range for tape of {} nodes", self.len()),
+        }
+    }
+
+    /// Tape indices of the inputs of the op at index `i`, or `None` if `i`
+    /// is past the end of the tape.
+    pub fn try_op_inputs(&self, i: usize) -> Option<Vec<usize>> {
+        self.nodes.get(i).map(|n| n.op.inputs().into_iter().map(Var::index).collect())
+    }
+
+    /// Panicking sibling of [`Self::try_op_inputs`].
+    ///
+    /// # Panics
+    /// Panics with the tape length if `i` is out of range.
     pub fn op_inputs(&self, i: usize) -> Vec<usize> {
-        self.nodes[i].op.inputs().into_iter().map(Var::index).collect()
+        debug_assert!(
+            i < self.nodes.len(),
+            "op_inputs: index {i} out of range for tape of {} nodes",
+            self.len()
+        );
+        match self.try_op_inputs(i) {
+            Some(inputs) => inputs,
+            None => panic!("op_inputs: index {i} out of range for tape of {} nodes", self.len()),
+        }
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -673,6 +902,13 @@ impl Tape {
         }
         let v = xv.mul(&mask);
         self.push(v, Op::Dropout { x, mask })
+    }
+
+    /// Re-records a dropout node with an already-sampled `mask` (no RNG is
+    /// consumed). The rewrite engine uses this to carry a surviving dropout
+    /// node — mask and all — onto an optimised tape bitwise-unchanged.
+    pub(crate) fn dropout_with_mask(&mut self, x: Var, mask: Tensor) -> Var {
+        self.record(Op::Dropout { x, mask: mask.clone() }, |t| t.value(x).mul(&mask))
     }
 
     /// Mean cross-entropy of row-wise logits against class indices.
@@ -1272,6 +1508,65 @@ mod tests {
         let x = t.input(Tensor::zeros(1, 1));
         let loss = t.sum_all(x);
         t.backward(loss, &mut ps);
+    }
+
+    #[test]
+    fn try_accessors_return_none_past_the_end() {
+        let mut t = Tape::new();
+        let x = t.input(Tensor::ones(2, 3));
+        t.sum_all(x);
+        assert_eq!(t.try_node_value(1).map(Tensor::shape), Some((1, 1)));
+        assert_eq!(t.try_op_name(1), Some("sum_all"));
+        assert_eq!(t.try_op_inputs(1), Some(vec![0]));
+        assert!(t.try_node_value(2).is_none());
+        assert!(t.try_op_name(2).is_none());
+        assert!(t.try_op_inputs(2).is_none());
+        assert!(Tape::new().try_op_name(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for tape of 1 nodes")]
+    fn node_value_reports_tape_length_on_bad_index() {
+        let mut t = Tape::new();
+        t.input(Tensor::ones(1, 1));
+        t.node_value(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for tape of 0 nodes")]
+    fn op_inputs_reports_tape_length_on_bad_index() {
+        Tape::new().op_inputs(0);
+    }
+
+    #[test]
+    fn dropout_with_mask_replays_the_given_mask() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Tape::new();
+        let x = t.input(Tensor::ones(3, 4));
+        let y = t.dropout(x, 0.5, true, &mut rng);
+        let Op::Dropout { mask, .. } = t.op_at(y.index()) else {
+            panic!("expected dropout node");
+        };
+        let mask = mask.clone();
+
+        let mut t2 = Tape::new();
+        let x2 = t2.input(Tensor::ones(3, 4));
+        let y2 = t2.dropout_with_mask(x2, mask);
+        for (a, b) in t.value(y).as_slice().iter().zip(t2.value(y2).as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mode_like_copies_recording_mode_not_contents() {
+        let mut t = Tape::inference();
+        t.input(Tensor::ones(1, 1));
+        let fresh = t.mode_like();
+        assert!(fresh.is_deferred());
+        assert!(fresh.is_inference());
+        assert!(!fresh.is_shape_only());
+        assert!(fresh.is_empty());
+        assert!(!fresh.is_optimized());
     }
 
     #[test]

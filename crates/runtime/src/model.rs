@@ -13,8 +13,8 @@ use hiergat_baselines::traits::{CollectiveErModel, PairModel};
 use hiergat_baselines::{DeepMatcher, Ditto, DmPlus, GnnCollective};
 use hiergat_data::{CollectiveExample, EntityPair};
 use hiergat_nn::{
-    audit_graph, lint_graph, AbsintConfig, AuditReport, ExecutionPlan, GraphReport, LintConfig,
-    LintReport, ParamStore, PlanReport, Tape, Var,
+    audit_graph, lint_graph, optimize, AbsintConfig, AuditReport, ExecutionPlan, GraphReport,
+    LintConfig, LintReport, OptimizeConfig, OptimizeReport, ParamStore, PlanReport, Tape, Var,
 };
 
 /// Whether a model scores independent pairs or whole candidate sets.
@@ -131,11 +131,26 @@ pub trait ErModel: Send + Sync {
 
     /// Arena memory plan of the inference scoring graph (forward-only
     /// liveness: no gradient slots, no backward keep-alives), as the
-    /// session executes it.
+    /// session executes it — i.e. after the certified tape optimiser has
+    /// rewritten the recorded graph (sessions optimise by default).
     fn plan_inference(&self, ex: Example<'_>) -> PlanReport {
         let mut t = Tape::inference();
         let probs = self.record_scores(&mut t, ex);
-        ExecutionPlan::build_inference(&t, probs).report().clone()
+        let opt = optimize(&t, probs, self.params(), &OptimizeConfig::default());
+        ExecutionPlan::build_inference(&opt.tape, opt.root).report().clone()
+    }
+
+    /// Runs the certified tape optimiser over the inference scoring graph
+    /// and returns its report: node/FLOP counts before and after, per-pass
+    /// rewrite tallies, and one certificate per applied rewrite. With
+    /// `verify`, every certificate additionally carries an interval
+    /// containment proof (observed seeding) and the run falls back to an
+    /// identity copy if any certificate fails to validate.
+    fn optimize_report(&self, ex: Example<'_>, verify: bool) -> OptimizeReport {
+        let cfg = if verify { OptimizeConfig::verified() } else { OptimizeConfig::default() };
+        let mut t = Tape::inference();
+        let probs = self.record_scores(&mut t, ex);
+        optimize(&t, probs, self.params(), &cfg).report
     }
 }
 

@@ -2,13 +2,16 @@
 //! plans, behind a batched scoring API.
 //!
 //! A session records each example's eval-mode scoring graph on a
-//! forward-only tape ([`Tape::inference`]) and replays it through the arena
-//! executor's cached inference plans: parameters enter as placeholders
-//! (no per-call weight cloning, unlike eager tapes) and node values live in
-//! one planned arena (no per-node heap allocation). Scores are bitwise
-//! identical to the model's eager `predict` path — same graph, same
-//! kernels, same evaluation order — so a session is a drop-in, faster
-//! scorer.
+//! forward-only tape ([`Tape::inference`]), runs the certified tape
+//! optimiser over it (DCE / CSE / constant folding / fusion, every default
+//! rewrite bitwise-exact — see `hiergat_nn::optimize`), and replays the
+//! result through the arena executor's cached inference plans: parameters
+//! enter as placeholders (no per-call weight cloning, unlike eager tapes)
+//! and node values live in one planned arena (no per-node heap allocation).
+//! Scores are bitwise identical to the model's eager `predict` path — same
+//! kernels, same evaluation order on the surviving nodes — so a session is
+//! a drop-in, faster scorer. [`Session::set_optimize`] restores the
+//! as-recorded replay.
 //!
 //! [`Session::score_batch`] fans examples out over the `parallel` pool
 //! (`HIERGAT_THREADS` governs the width). Each worker slot keeps its own
@@ -17,7 +20,7 @@
 //! and a 1-thread and an 8-thread run are bitwise identical.
 
 use crate::model::{ErModel, Example};
-use hiergat_nn::{ArenaExecutor, Tape};
+use hiergat_nn::{optimize_with_cache, ArenaExecutor, OptimizeConfig, OptimizerCache, Tape};
 use std::sync::Mutex;
 
 /// An inference session over one model.
@@ -25,26 +28,55 @@ pub struct Session {
     model: Box<dyn ErModel>,
     threshold: f32,
     exec: ArenaExecutor,
-    workers: Vec<ArenaExecutor>,
+    cache: OptimizerCache,
+    workers: Vec<(ArenaExecutor, OptimizerCache)>,
+    optimize: bool,
 }
 
-/// Records `ex`'s scoring graph on an inference tape and replays it through
-/// `exec`, returning the match probability per output.
-fn score_one(model: &dyn ErModel, exec: &mut ArenaExecutor, ex: Example<'_>) -> Vec<f32> {
+/// Records `ex`'s scoring graph on an inference tape, optionally runs the
+/// certified tape optimiser over it, and replays the result through `exec`,
+/// returning the match probability per output. Every default-config rewrite
+/// is bitwise-exact, so the optimised replay still matches eager `predict`.
+fn score_one(
+    model: &dyn ErModel,
+    exec: &mut ArenaExecutor,
+    cache: &mut OptimizerCache,
+    ex: Example<'_>,
+    optimized: bool,
+) -> Vec<f32> {
     let n = ex.n_outputs();
     let mut t = Tape::inference();
     let probs = model.record_scores(&mut t, ex);
     // The probability node is row-major `n x 2`; column 1 is P(match).
     let mut buf = vec![0.0f32; n * 2];
-    exec.infer_into(&t, probs, model.params(), &mut buf);
+    if optimized {
+        // The cached-tape fast path: after the first example of a given
+        // record geometry, the optimiser skips planning and emission
+        // entirely — it revalidates its cached decisions against the fresh
+        // tape, patches the fresh inputs/payloads into the cached optimised
+        // tape, and hands that back (no certificate records; shape checks
+        // still run). The recorded tape is discarded here either way.
+        let opt = optimize_with_cache(cache, t, probs, model.params(), &OptimizeConfig::hot());
+        exec.infer_into(opt.tape, opt.root, model.params(), &mut buf);
+    } else {
+        exec.infer_into(&t, probs, model.params(), &mut buf);
+    }
     (0..n).map(|i| buf[i * 2 + 1]).collect()
 }
 
 impl Session {
-    /// Wraps a model, adopting its persisted decision threshold.
+    /// Wraps a model, adopting its persisted decision threshold. The
+    /// certified tape optimiser is on by default; see [`Self::set_optimize`].
     pub fn new(model: Box<dyn ErModel>) -> Self {
         let threshold = model.decision_threshold();
-        Self { model, threshold, exec: ArenaExecutor::new(), workers: Vec::new() }
+        Self {
+            model,
+            threshold,
+            exec: ArenaExecutor::new(),
+            cache: OptimizerCache::default(),
+            workers: Vec::new(),
+            optimize: true,
+        }
     }
 
     /// The wrapped model.
@@ -62,6 +94,18 @@ impl Session {
         self.threshold = threshold;
     }
 
+    /// Whether scoring replays the optimised tape (default `true`).
+    pub fn optimizes(&self) -> bool {
+        self.optimize
+    }
+
+    /// Toggles the certified tape optimiser for this session. Optimised and
+    /// as-recorded graphs carry distinct plan-cache signatures, so flipping
+    /// this mid-session never replays a stale plan.
+    pub fn set_optimize(&mut self, optimize: bool) {
+        self.optimize = optimize;
+    }
+
     /// Capacity of the serial scoring arena, in bytes (grows to the largest
     /// inference plan seen; 0 before the first call).
     pub fn arena_capacity_bytes(&self) -> u64 {
@@ -71,7 +115,7 @@ impl Session {
     /// Scores one example: match probability per output, bitwise identical
     /// to the model's eager `predict`.
     pub fn score(&mut self, ex: Example<'_>) -> Vec<f32> {
-        score_one(&*self.model, &mut self.exec, ex)
+        score_one(&*self.model, &mut self.exec, &mut self.cache, ex, self.optimize)
     }
 
     /// Interval abstract-interpretation audit of the scoring graph this
@@ -99,30 +143,38 @@ impl Session {
         // own executor, keeping its plan cache warm.
         if workers == 1 || examples.len() < 2 * workers {
             let model = &*self.model;
-            return examples.iter().map(|ex| score_one(model, &mut self.exec, *ex)).collect();
+            let optimized = self.optimize;
+            let (exec, cache) = (&mut self.exec, &mut self.cache);
+            return examples
+                .iter()
+                .map(|ex| score_one(model, exec, cache, *ex, optimized))
+                .collect();
         }
         while self.workers.len() < workers {
-            self.workers.push(ArenaExecutor::new());
+            self.workers.push((ArenaExecutor::new(), OptimizerCache::default()));
         }
         let mut out: Vec<Vec<f32>> = vec![Vec::new(); examples.len()];
         let chunk = examples.len().div_ceil(workers);
         let model = &*self.model;
-        // One job per worker slot: its persistent executor plus the slice
-        // of outputs/examples it owns. The Mutex hands each spawned task
-        // exclusive access to exactly its own job.
-        type Job<'j, 'e> = Mutex<(&'j mut ArenaExecutor, &'j mut [Vec<f32>], &'j [Example<'e>])>;
+        let optimized = self.optimize;
+        // One job per worker slot: its persistent executor and optimiser
+        // decisions cache plus the slice of outputs/examples it owns. The
+        // Mutex hands each spawned task exclusive access to its own job.
+        type Worker = (ArenaExecutor, OptimizerCache);
+        type Job<'j, 'e> = Mutex<(&'j mut Worker, &'j mut [Vec<f32>], &'j [Example<'e>])>;
         let jobs: Vec<Job<'_, '_>> = self
             .workers
             .iter_mut()
             .zip(out.chunks_mut(chunk))
             .zip(examples.chunks(chunk))
-            .map(|((exec, slots), exs)| Mutex::new((exec, slots, exs)))
+            .map(|((worker, slots), exs)| Mutex::new((worker, slots, exs)))
             .collect();
         parallel::run(jobs.len(), |i| {
             let mut job = jobs[i].lock().expect("session job lock");
-            let (exec, slots, exs) = &mut *job;
+            let (worker, slots, exs) = &mut *job;
+            let (exec, cache) = &mut **worker;
             for (slot, ex) in slots.iter_mut().zip(exs.iter()) {
-                *slot = score_one(model, exec, *ex);
+                *slot = score_one(model, exec, cache, *ex, optimized);
             }
         });
         out
@@ -198,6 +250,22 @@ mod tests {
         assert!(root.finite && root.nan_free, "softmax output must be proven safe");
         assert!(root.lo >= 0.0 && root.hi <= 1.0 + 1e-3, "probabilities in [0,1]: {root:?}");
         assert!(report.is_clean_at(hiergat_nn::Severity::Warn), "{report}");
+    }
+
+    #[test]
+    fn optimised_and_as_recorded_sessions_agree_bitwise() {
+        let ds = MagellanDataset::FodorsZagats.load(0.15);
+        let pairs = &ds.train[..ds.train.len().min(6)];
+        let reg = ModelRegistry::builtin();
+        let cx = BuildContext { tier: LmTier::MiniDistil, arity: ds.arity().max(1) };
+        let mut session = Session::new(reg.get("ditto").expect("spec").build(&cx));
+        assert!(session.optimizes(), "optimiser is on by default");
+        let optimised = session.score_pairs(pairs);
+        session.set_optimize(false);
+        let plain = session.score_pairs(pairs);
+        for (o, p) in optimised.iter().zip(&plain) {
+            assert_eq!(o.to_bits(), p.to_bits(), "optimised replay must be bitwise-exact");
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@ echo "### interval audit report (hiergat audit --json)" >> bench_output.txt
 cargo run --release -q --bin hiergat -- audit \
   --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn --json \
   >> bench_output.txt 2>&1 || echo "### audit gate FAILED" >> bench_output.txt
+echo "### optimiser report (hiergat optimize --json)" >> bench_output.txt
+cargo run --release -q --bin hiergat -- optimize \
+  --dataset fodors-zagats --scale 0.2 --tier dbert --json \
+  >> bench_output.txt 2>&1 || echo "### optimize gate FAILED" >> bench_output.txt
 # The kernels bench runs with the simd feature (the shipped configuration
 # of the matmul microkernel) and is held to the acceptance floor: the
 # 256^3 matmul must beat the pinned legacy scalar kernel by >= 4x with
