@@ -89,6 +89,22 @@ HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test optimize_differential
 echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --test optimize_differential"
 HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --test optimize_differential
 
+# Quantisation acceptance gate: every builtin model quantised off the
+# absint feasibility table must hold Magellan F1 within the configured
+# delta of its f32 session, never grow the activation arena, strictly
+# shrink the total footprint, and score deterministically across pool
+# widths and optimiser settings — under a real 1-wide and a real 8-wide
+# pool, and again under the simd build (whose F16C encode path must
+# produce the same bits as the scalar converters).
+echo "==> HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test quantise_acceptance"
+HIERGAT_THREADS=1 cargo test -q -p hiergat-bench --test quantise_acceptance
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test quantise_acceptance"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test quantise_acceptance
+
+echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --test quantise_acceptance"
+HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --test quantise_acceptance
+
 # Interval-audit differential gate: for every builtin model, the abstract
 # interpreter's proven per-node intervals must contain every concrete
 # value an eager scoring run records, under observed and symbolic
@@ -118,6 +134,13 @@ HIERGAT_THREADS=8 ./target/release/hiergat lint \
 echo "==> hiergat audit --deny warn"
 ./target/release/hiergat audit \
   --dataset fodors-zagats --scale 0.2 --tier dbert --deny warn
+
+# Quantisation CLI gate: every builtin model must pass the F1-delta and
+# storage gates of `hiergat quantise` on the bundled dataset (the command
+# exits non-zero when any model's gate fails).
+echo "==> hiergat quantise"
+./target/release/hiergat quantise \
+  --dataset fodors-zagats --scale 0.2 --tier dbert
 
 # Translation-validation gate: every builtin model graph must optimise
 # with valid shape + interval certificates, and the optimised session must

@@ -501,6 +501,46 @@ fn main() {
         opt_rows.push((name, report));
     }
 
+    // Quantised session: the same model and pairs, with the weights
+    // quantised off the absint feasibility table. Measured side by side
+    // with the f32 session rows above so run_benches.sh can gate the
+    // floor: throughput must hold and the storage footprint must shrink.
+    let qreport = session
+        .quantise(first, &hiergat_nn::QuantConfig::default())
+        .expect("hiergat session must quantise");
+    for p in &pairs {
+        session.score(Example::Pair(p));
+    }
+    let (quant_s, quant_scores) = time_best(|| {
+        pairs.iter().map(|p| session.score(Example::Pair(p))[0]).collect::<Vec<f32>>()
+    });
+    let quant_pps = n_pairs / quant_s;
+    let quant_speedup = infer_s / quant_s;
+    let quant_drift =
+        quant_scores.iter().zip(&infer_scores).map(|(q, f)| (q - f).abs()).fold(0.0f32, f32::max);
+    println!("quantised scoring (same session, absint-driven int8/f16 storage):");
+    println!(
+        "  session (quantised) {quant_pps:>7.1} pairs/s  {quant_speedup:.2}x optimised f32 session"
+    );
+    println!(
+        "  weights {} -> {} B  arena {} -> {} B  max score drift {quant_drift:.4}",
+        qreport.weights.bytes_f32,
+        qreport.weights.bytes_quantised,
+        qreport.f32_arena_bytes,
+        qreport.arena_bytes,
+    );
+    assert!(
+        qreport.arena_bytes < qreport.f32_arena_bytes,
+        "quantised arena ({} B) must undercut the f32 inference arena ({} B)",
+        qreport.arena_bytes,
+        qreport.f32_arena_bytes
+    );
+    assert!(
+        qreport.weights.bytes_quantised < qreport.weights.bytes_f32,
+        "quantised weights must shrink"
+    );
+    assert!(quant_drift < 0.05, "quantised scores drifted {quant_drift} from the f32 session");
+
     let body: Vec<String> = rows.iter().map(KernelRow::json).collect();
     let train_json = format!(
         "  \"train_step\": {{\"graph\": \"mlp_64x128x256x10\", \"steps\": {TRAIN_STEPS}, \
@@ -525,6 +565,19 @@ fn main() {
          \"infer_peak_arena_bytes\": {infer_arena}}},",
         pairs.len(),
     );
+    let quantised_json = format!(
+        "  \"quantised\": {{\"model\": \"hiergat-pairwise\", \"pairs\": {}, \
+         \"quantised_pairs_per_s\": {quant_pps:.1}, \"f32_session_pairs_per_s\": {infer_pps:.1}, \
+         \"speedup_vs_f32_session\": {quant_speedup:.3}, \
+         \"weight_bytes_f32\": {}, \"weight_bytes_quantised\": {}, \
+         \"arena_bytes_f32\": {}, \"arena_bytes_quantised\": {}, \
+         \"max_score_drift\": {quant_drift:.6}}},",
+        pairs.len(),
+        qreport.weights.bytes_f32,
+        qreport.weights.bytes_quantised,
+        qreport.f32_arena_bytes,
+        qreport.arena_bytes,
+    );
     let opt_body: Vec<String> = opt_rows
         .iter()
         .map(|(name, r)| {
@@ -545,7 +598,7 @@ fn main() {
     let json = format!(
         "{{\n  \"threads\": {threads},\n  \"simd\": {simd},\n  \
          \"all_bitwise_equal\": {all_bitwise},\n  \
-         \"max_flop_rel_err\": {max_rel_err:.4},\n{train_json}\n{scoring_json}\n{optimize_json}\n  \
+         \"max_flop_rel_err\": {max_rel_err:.4},\n{train_json}\n{scoring_json}\n{quantised_json}\n{optimize_json}\n  \
          \"kernels\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     );

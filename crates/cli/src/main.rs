@@ -48,6 +48,14 @@
 //!   `--verify` additionally proves interval containment for every rewrite
 //!   and differentially checks the optimised session against eager
 //!   prediction (bitwise), failing if either check does.
+//! * `quantise [--dataset amazon-google] [--scale 0.5] [--delta 0.05]
+//!   [--input-bound B] [--report] [--json]`
+//!   quantises every registry model's scoring session post-training,
+//!   driven by the absint feasibility table (int8 / f16 / f32 per tensor),
+//!   and gates the result: evaluation F1 must stay within `--delta` of the
+//!   f32 session and both the weight bytes and the inference arena must
+//!   shrink. `--report` adds the per-class parameter / activation-node
+//!   breakdown.
 //!
 //! `train` and `demo` also accept `--analyze` to run the same static
 //! check on the model being trained before epoch 0.
@@ -103,7 +111,9 @@ usage:
   hiergat plan    [--dataset NAME] [--scale S]
   hiergat audit   [--dataset NAME] [--scale S] [--deny warn|deny] [--json]
                   [--weights DIR] [--input-bound B] [--param-bound W]
-  hiergat optimize [--dataset NAME] [--scale S] [--json] [--verify]";
+  hiergat optimize [--dataset NAME] [--scale S] [--json] [--verify]
+  hiergat quantise [--dataset NAME] [--scale S] [--delta D] [--input-bound B]
+                  [--report] [--json]";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
@@ -118,6 +128,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "plan" => cmd_plan(&args),
         "audit" => cmd_audit(&args),
         "optimize" => cmd_optimize(&args),
+        "quantise" => cmd_quantise(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -589,6 +600,184 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
             println!(
                 "all model graphs optimize with valid certificates{}",
                 if out.verify { " and bitwise differentials" } else { "" }
+            );
+        }
+        Ok(())
+    }
+}
+
+/// One quantised model in the `quantise --json` document.
+#[derive(serde::Serialize)]
+struct ModelQuantise {
+    model: String,
+    f1_f32: f64,
+    f1_quantised: f64,
+    f1_delta: f64,
+    weight_bytes_f32: u64,
+    weight_bytes_quantised: u64,
+    int8_params: usize,
+    f16_params: usize,
+    f32_params: usize,
+    arena_bytes_f32: u64,
+    arena_bytes_quantised: u64,
+    int8_nodes: usize,
+    f16_nodes: usize,
+    f32_nodes: usize,
+    ok: bool,
+}
+
+/// The full `quantise --json` document: per-model F1 deltas and storage
+/// footprints, f32 vs quantised.
+#[derive(serde::Serialize)]
+struct QuantiseOutput {
+    delta: f64,
+    input_bound: f64,
+    models: Vec<ModelQuantise>,
+    skipped: Vec<String>,
+    failed: bool,
+}
+
+fn cmd_quantise(args: &Args) -> Result<(), String> {
+    // The default F1 delta absorbs a single flipped decision at the
+    // bundled gate datasets' positive counts (one flip on ~10 positive
+    // pairs moves F1 by ~0.1); larger eval sets should tighten it.
+    let delta: f64 = args.get_parsed("delta").unwrap_or(Ok(0.10))?;
+    let input_bound: f64 = args.get_parsed("input-bound").unwrap_or(Ok(8.0))?;
+    if delta <= 0.0 || input_bound <= 0.0 {
+        return Err("--delta and --input-bound must be positive".into());
+    }
+    let (ds, ds_c, tier) = registry_inputs(args)?;
+    let pair_cx = BuildContext { tier, arity: ds.arity().max(1) };
+    let cfg = hiergat_nn::QuantConfig { input_bound };
+
+    let mut models = Vec::new();
+    for spec in ModelRegistry::builtin().specs() {
+        // Evaluation set: every split pooled (the gate checks the storage
+        // contract, not generalisation, and small Magellan test splits
+        // make F1 far too coarse on their own), with the flattened
+        // ground-truth labels in matching output order.
+        let (cx, examples, labels): (_, Vec<Example<'_>>, Vec<bool>) = match spec.kind() {
+            ModelKind::Pairwise => {
+                let pool: Vec<&hiergat_data::EntityPair> =
+                    [&ds.train, &ds.valid, &ds.test].into_iter().flatten().collect();
+                let pairs = &pool[..pool.len().min(128)];
+                (
+                    pair_cx,
+                    pairs.iter().map(|p| Example::Pair(p)).collect(),
+                    pairs.iter().map(|p| p.label).collect(),
+                )
+            }
+            ModelKind::Collective => {
+                let pool = if ds_c.test.is_empty() { &ds_c.train } else { &ds_c.test };
+                let exs = &pool[..pool.len().min(8)];
+                let arity = exs.first().map_or(1, |e| e.query.attrs.len()).max(1);
+                (
+                    BuildContext { tier, arity },
+                    exs.iter().map(Example::Collective).collect(),
+                    exs.iter().flat_map(|e| e.labels.iter().copied()).collect(),
+                )
+            }
+        };
+        if examples.is_empty() {
+            return Err(format!("{}: no evaluation examples in the split", spec.display()));
+        }
+        let mut session = Session::new(spec.build(&cx));
+        let threshold = session.threshold();
+        let f32_scores: Vec<f32> = session.score_batch(&examples).into_iter().flatten().collect();
+        let report = session
+            .quantise(examples[0], &cfg)
+            .map_err(|e| format!("{}: quantise failed: {e}", spec.display()))?;
+        let q_scores: Vec<f32> = session.score_batch(&examples).into_iter().flatten().collect();
+        let decide = |scores: &[f32]| scores.iter().map(|s| *s >= threshold).collect::<Vec<bool>>();
+        let f1_f32 =
+            hiergat_metrics::Confusion::from_predictions(&decide(&f32_scores), &labels).pr_f1().f1;
+        let f1_quantised =
+            hiergat_metrics::Confusion::from_predictions(&decide(&q_scores), &labels).pr_f1().f1;
+        let f1_delta = f1_quantised - f1_f32;
+        // Storage gate: the arena must never grow (graphs whose live peak
+        // is audit-opaque — e.g. GCN's division-normalised adjacency
+        // products — bottom out at exact equality), and the session's
+        // total footprint (arena + weights) must strictly shrink.
+        let ok = f1_delta.abs() <= delta
+            && report.arena_bytes <= report.f32_arena_bytes
+            && report.arena_bytes + report.weights.bytes_quantised
+                < report.f32_arena_bytes + report.weights.bytes_f32;
+        models.push(ModelQuantise {
+            model: spec.display().to_string(),
+            f1_f32,
+            f1_quantised,
+            f1_delta,
+            weight_bytes_f32: report.weights.bytes_f32,
+            weight_bytes_quantised: report.weights.bytes_quantised,
+            int8_params: report.weights.int8_params,
+            f16_params: report.weights.f16_params,
+            f32_params: report.weights.f32_params,
+            arena_bytes_f32: report.f32_arena_bytes,
+            arena_bytes_quantised: report.arena_bytes,
+            int8_nodes: report.class_nodes.0,
+            f16_nodes: report.class_nodes.1,
+            f32_nodes: report.class_nodes.2,
+            ok,
+        });
+    }
+
+    let out = QuantiseOutput {
+        delta,
+        input_bound,
+        skipped: ModelRegistry::builtin().tapeless_notes(),
+        failed: models.iter().any(|m| !m.ok),
+        models,
+    };
+
+    if args.has_flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| format!("serializing report: {e}"))?
+        );
+    } else {
+        for m in &out.models {
+            println!("== {} ==", m.model);
+            println!(
+                "F1 {:.3} -> {:.3} (delta {:+.3}, gate {:.3})  weights {} -> {} bytes  \
+                 arena {} -> {} bytes{}",
+                m.f1_f32,
+                m.f1_quantised,
+                m.f1_delta,
+                out.delta,
+                m.weight_bytes_f32,
+                m.weight_bytes_quantised,
+                m.arena_bytes_f32,
+                m.arena_bytes_quantised,
+                if m.ok { "" } else { "  [FAILED]" }
+            );
+            if args.has_flag("report") {
+                println!(
+                    "params int8/f16/f32: {}/{}/{}  activation nodes int8/f16/f32: {}/{}/{}",
+                    m.int8_params,
+                    m.f16_params,
+                    m.f32_params,
+                    m.int8_nodes,
+                    m.f16_nodes,
+                    m.f32_nodes
+                );
+            }
+        }
+        for note in &out.skipped {
+            println!("note: {note}");
+        }
+    }
+    if out.failed {
+        let bad = out.models.iter().filter(|m| !m.ok).count();
+        Err(format!(
+            "quantise gate failed: {bad} model(s) outside the F1 delta {:.3} or without \
+             storage savings",
+            out.delta
+        ))
+    } else {
+        if !args.has_flag("json") {
+            println!(
+                "all model sessions quantise within F1 delta {:.3} with smaller arenas",
+                out.delta
             );
         }
         Ok(())

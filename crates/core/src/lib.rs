@@ -45,7 +45,9 @@ pub mod train;
 pub use config::{HierGatConfig, ViewCombiner};
 pub use explain::{explain_pair, AttrExplanation, PairExplanation};
 pub use model::HierGat;
-pub use persist::{load_model, save_model, PersistError};
+pub use persist::{
+    load_model, load_model_with_mode, save_model, save_model_quantised, PersistError,
+};
 pub use schema_align::{align_pairs, align_schemas, project_entity, SchemaAlignment};
 pub use train::{
     preflight_collective, preflight_pairwise, score_collective, score_pairs, train_collective,

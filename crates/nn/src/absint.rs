@@ -825,7 +825,9 @@ pub struct QuantEntry {
     pub op_name: String,
     /// `int8`, `f16`, or `f32` (required).
     pub class: String,
-    /// Affine scale `(hi - lo) / 255` (0 unless int8).
+    /// Affine scale `(max(hi, 0) - min(lo, 0)) / 255` — the proven
+    /// interval extended to include zero so the `u8` zero point is always
+    /// representable (0 unless int8).
     pub scale: f64,
     /// Affine zero point in `[0, 255]` (0 unless int8).
     pub zero_point: u8,
@@ -1056,14 +1058,24 @@ pub fn audit_graph(tape: &Tape, root: Var, ps: &ParamStore, cfg: &AbsintConfig) 
 }
 
 /// int8 / f16 / f32 classification with the affine int8 parameters.
+///
+/// The int8 grid is derived from the proven interval *extended to include
+/// zero*: a `u8` zero point can only represent zero exactly when
+/// `lo <= 0 <= hi`, and without the extension an interval like `[2, 5]`
+/// would clamp its zero point to 0 and leave the grid covering `[0, 3]` —
+/// values near `hi` would saturate with error far beyond `scale / 2`. With
+/// the extension every in-interval value round-trips within half a grid
+/// step (the executor's quantiser relies on this bound).
 fn classify(iv: &Interval) -> (&'static str, f64, u8) {
     if !iv.finite || !iv.nan_free || !iv.is_bounded() {
         return ("f32", 0.0, 0);
     }
-    let width = iv.hi - iv.lo;
+    let lo = iv.lo.min(0.0);
+    let hi = iv.hi.max(0.0);
+    let width = hi - lo;
     let scale = width / 255.0;
     if scale <= INT8_MAX_SCALE {
-        let zp = if scale > 0.0 { (-iv.lo / scale).round().clamp(0.0, 255.0) as u8 } else { 0 };
+        let zp = if scale > 0.0 { (-lo / scale).round().clamp(0.0, 255.0) as u8 } else { 0 };
         return ("int8", scale, zp);
     }
     if iv.mag() <= F16_MAX {

@@ -21,6 +21,7 @@ mod optim;
 pub mod optimize;
 mod params;
 pub mod plan;
+pub mod quant;
 mod tape;
 
 #[cfg(test)]
@@ -45,4 +46,8 @@ pub use optimize::{
 };
 pub use params::{ParamId, ParamStore};
 pub use plan::{ArenaExecutor, ExecutionPlan, PlanReport, PlannedSlot};
+pub use quant::{
+    encode_checked, Codec, QuantClass, QuantConfig, QuantData, QuantError, QuantExecutor,
+    QuantPlan, QuantStore, QuantStoreReport,
+};
 pub use tape::{Tape, Var};

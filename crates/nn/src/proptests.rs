@@ -590,6 +590,69 @@ proptest! {
         }
     }
 
+    /// The audit-driven quantiser round-trips every value inside the
+    /// proven interval within the scale-derived bound (half an int8 grid
+    /// step, one f16 rounding ulp), and *rejects* values outside the
+    /// proven interval — never silently clamps them onto the grid.
+    #[test]
+    fn quantiser_roundtrip_is_bounded_and_out_of_interval_is_rejected(
+        seed in 0u64..2000,
+        lo in -100.0f64..100.0,
+        width in 0.001f64..50.0,
+        rows in 1usize..5,
+        cols in 1usize..5,
+    ) {
+        use crate::quant::{encode_checked, Codec, QuantClass, QuantError};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hi = lo + width;
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::rand_uniform(rows, cols, lo as f32, hi as f32, &mut rng));
+        let mut t = Tape::shape_only();
+        let wv = t.param(&ps, w);
+        let report = crate::absint::audit_graph(
+            &t,
+            wv,
+            &ps,
+            &AbsintConfig::weight_aware(8.0),
+        );
+        let entry = report
+            .quant
+            .iter()
+            .find(|e| e.op_index == wv.index())
+            .expect("param feasibility entry");
+        let range = &report.ranges[wv.index()];
+        let codec = Codec::from_entry(entry);
+        let vals = ps.value(w).as_slice();
+
+        // In-interval values encode, and every round-trip stays inside the
+        // codec's scale-derived bound.
+        let data = encode_checked(vals, range.lo, range.hi, &codec, "w")
+            .expect("in-interval values must encode");
+        let mut back = Vec::new();
+        data.decode_into(&codec, &mut back);
+        for (&v, &d) in vals.iter().zip(&back) {
+            let bound = codec.roundtrip_bound(v);
+            prop_assert!(
+                (d - v).abs() <= bound,
+                "{} round-trip {v} -> {d} exceeds bound {bound} (scale {})",
+                codec.class.name(),
+                codec.scale
+            );
+        }
+
+        // A value past the proven upper bound is rejected, not clamped.
+        if codec.class != QuantClass::F32 {
+            let outside = (range.hi + 1.0) as f32;
+            let mut poisoned = vals.to_vec();
+            poisoned[0] = outside;
+            let err = encode_checked(&poisoned, range.lo, range.hi, &codec, "w").expect_err("poisoned value rejected");
+            prop_assert!(
+                matches!(err, QuantError::OutOfInterval { .. }),
+                "expected rejection, got {err:?}"
+            );
+        }
+    }
+
     /// Weighted cross-entropy equals plain cross-entropy at unit weights.
     #[test]
     fn weighted_ce_reduces_to_plain_ce(

@@ -27,4 +27,4 @@ pub mod session;
 
 pub use model::{ErModel, Example, HierGatCollective, HierGatPairwise, ModelKind};
 pub use registry::{BuildContext, ModelRegistry, ModelSpec};
-pub use session::Session;
+pub use session::{QuantReport, Session};

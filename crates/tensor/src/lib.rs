@@ -44,6 +44,7 @@ mod dense;
 mod init;
 pub mod microkernel;
 mod ops;
+pub mod quant;
 mod reduce;
 mod slice;
 mod stats;
