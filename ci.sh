@@ -105,6 +105,22 @@ HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --test quantise_acceptance
 echo "==> HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --test quantise_acceptance"
 HIERGAT_THREADS=8 cargo test -q -p hiergat-bench --features simd --test quantise_acceptance
 
+# Streaming resolve gate: the corpus-scale pipeline (sharded blocking →
+# cosine cascade → union-find clustering) must clear its cluster-F1 floor
+# and produce bitwise-identical cluster assignments at pool widths 1 and
+# 8 — first in-process, then across the CLI (`hiergat resolve`) where the
+# emitted CSVs for a 3k-record synthetic corpus must compare equal.
+echo "==> cargo test -q -p hiergat-bench --test resolve_pipeline"
+cargo test -q -p hiergat-bench --test resolve_pipeline
+
+echo "==> hiergat resolve width determinism (HIERGAT_THREADS=1 vs 8)"
+HIERGAT_THREADS=1 ./target/release/hiergat resolve \
+  --entities 3000 --seed 11 --accept 0.55 --out /tmp/hiergat_resolve_w1.csv
+HIERGAT_THREADS=8 ./target/release/hiergat resolve \
+  --entities 3000 --seed 11 --accept 0.55 --out /tmp/hiergat_resolve_w8.csv
+cmp /tmp/hiergat_resolve_w1.csv /tmp/hiergat_resolve_w8.csv
+rm -f /tmp/hiergat_resolve_w1.csv /tmp/hiergat_resolve_w8.csv
+
 # Interval-audit differential gate: for every builtin model, the abstract
 # interpreter's proven per-node intervals must contain every concrete
 # value an eager scoring run records, under observed and symbolic

@@ -2,7 +2,7 @@
 
 use hiergat_data::{Entity, EntityPair};
 use hiergat_text::tokenize;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Word-overlap filter: a pair survives blocking if the two entities share
 /// at least `min_shared` tokens (ignoring very short tokens).
@@ -26,7 +26,7 @@ impl KeywordBlocker {
         Self { min_shared, ..Self::default() }
     }
 
-    fn token_set(&self, e: &Entity) -> HashSet<String> {
+    pub(crate) fn token_set(&self, e: &Entity) -> HashSet<String> {
         tokenize(&e.full_text()).into_iter().filter(|t| t.len() >= self.min_token_len).collect()
     }
 
@@ -42,9 +42,20 @@ impl KeywordBlocker {
         self.shared_tokens(a, b) >= self.min_shared
     }
 
-    /// Filters a pair list, keeping survivors.
+    /// Filters a pair list, keeping survivors. Token sets are cached per
+    /// entity for the duration of the pass (keyed by rendered text), so an
+    /// entity appearing in many pairs is tokenized once — the same trick
+    /// `block_cross` plays for its right table.
     pub fn filter_pairs(&self, pairs: Vec<EntityPair>) -> Vec<EntityPair> {
-        pairs.into_iter().filter(|p| self.keep(&p.left, &p.right)).collect()
+        let mut cache = TokenCache::default();
+        pairs.into_iter().filter(|p| self.keep_cached(&mut cache, &p.left, &p.right)).collect()
+    }
+
+    /// `keep` with a pass-scoped token-set cache.
+    fn keep_cached(&self, cache: &mut TokenCache, a: &Entity, b: &Entity) -> bool {
+        let ka = cache.ensure(self, a);
+        let kb = cache.ensure(self, b);
+        cache.get(&ka).intersection(cache.get(&kb)).count() >= self.min_shared
     }
 
     /// Blocks the full cross product of two collections, returning index
@@ -65,12 +76,80 @@ impl KeywordBlocker {
     }
 }
 
+/// Pass-scoped token-set cache keyed by an entity's rendered full text
+/// (text-keyed so colliding entity ids with different attributes cannot
+/// alias; identical texts trivially share one set).
+#[derive(Debug, Default)]
+struct TokenCache {
+    sets: HashMap<String, HashSet<String>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl TokenCache {
+    /// Tokenizes `e` unless its text is already cached; returns the key.
+    fn ensure(&mut self, blocker: &KeywordBlocker, e: &Entity) -> String {
+        let key = e.full_text();
+        if self.sets.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.sets.insert(key.clone(), blocker.token_set(e));
+        }
+        key
+    }
+
+    fn get(&self, key: &str) -> &HashSet<String> {
+        &self.sets[key]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn entity(id: &str, text: &str) -> Entity {
         Entity::new(id, vec![("title".into(), text.into())])
+    }
+
+    #[test]
+    fn filter_pairs_tokenizes_each_entity_once() {
+        let b = KeywordBlocker::new(1);
+        let hub = entity("hub", "canon eos camera");
+        let pairs: Vec<EntityPair> = (0..4)
+            .map(|i| {
+                EntityPair::new(
+                    hub.clone(),
+                    entity(&format!("s{i}"), &format!("canon kit lens mark{i}")),
+                    true,
+                )
+            })
+            .collect();
+        let mut cache = TokenCache::default();
+        for p in &pairs {
+            assert!(b.keep_cached(&mut cache, &p.left, &p.right));
+        }
+        // 4 pairs x 2 sides = 8 lookups; 5 distinct texts tokenized once
+        // each, the hub's 3 repeats served from cache.
+        assert_eq!(cache.misses, 5);
+        assert_eq!(cache.hits, 3);
+    }
+
+    #[test]
+    fn cached_filter_matches_uncached_keep() {
+        let b = KeywordBlocker::new(2);
+        let pairs = vec![
+            EntityPair::new(entity("a", "canon eos camera"), entity("b", "canon eos body"), true),
+            EntityPair::new(entity("a", "canon eos camera"), entity("c", "nikon lens"), false),
+            EntityPair::new(entity("d", "dell monitor"), entity("e", "dell monitor arm"), true),
+        ];
+        let want: Vec<bool> = pairs.iter().map(|p| b.keep(&p.left, &p.right)).collect();
+        let kept = b.filter_pairs(pairs.clone());
+        let got: Vec<bool> = pairs
+            .iter()
+            .map(|p| kept.iter().any(|k| k.left.id == p.left.id && k.right.id == p.right.id))
+            .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

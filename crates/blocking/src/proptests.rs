@@ -1,0 +1,80 @@
+//! Property tests for the blocking layer's two determinism pillars:
+//! shard-layout invariance of top-N retrieval, and edge-order invariance
+//! of union-find clustering.
+
+use crate::UnionFind;
+use hiergat_text::{ShardedCosineIndex, SparseVec, TfIdf};
+use proptest::prelude::*;
+
+/// Random small corpus: each doc is a token list over a tiny alphabet so
+/// vocabulary overlap (and score ties) are common.
+fn docs_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(proptest::collection::vec(0usize..ALPHABET.len(), 1..6), 1..14)
+        .prop_map(|docs| {
+            docs.into_iter()
+                .map(|d| d.into_iter().map(|i| ALPHABET[i].to_string()).collect())
+                .collect()
+        })
+}
+
+const ALPHABET: &[&str] =
+    &["canon", "eos", "r5", "nikon", "z6", "camera", "lens", "dell", "monitor", "4k"];
+
+proptest! {
+    /// Sharded top-N must equal single-shard top-N (ids *and* bitwise
+    /// scores) for any shard count, cutoff, and query — the invariant the
+    /// resolve pipeline's cross-width determinism rests on.
+    #[test]
+    fn sharded_top_n_matches_single_shard(
+        docs in docs_strategy(),
+        query_idx in 0usize..14,
+        n_shards in 1usize..9,
+        n in 1usize..6,
+    ) {
+        let tfidf = TfIdf::fit(&docs);
+        let vecs: Vec<SparseVec> = docs.iter().map(|d| tfidf.transform(d)).collect();
+        let query = &vecs[query_idx % vecs.len()];
+        let single = ShardedCosineIndex::build(&vecs, 1);
+        let sharded = ShardedCosineIndex::build(&vecs, n_shards);
+        let want = single.top_n(query, n);
+        prop_assert_eq!(&sharded.top_n(query, n), &want);
+        prop_assert_eq!(&sharded.top_n_par(query, n), &want);
+        let batch = sharded.top_n_batch(std::slice::from_ref(query), n);
+        prop_assert_eq!(&batch[0], &want);
+    }
+
+    /// Union-find canonical labels (and component count) must not depend
+    /// on the order edges are applied, nor on edge orientation.
+    #[test]
+    fn union_find_invariant_under_edge_order(
+        n in 1usize..40,
+        raw_edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+        seed in 0u64..u64::MAX,
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let mut forward = UnionFind::new(n);
+        for &(a, b) in &edges {
+            forward.union(a, b);
+        }
+        // Deterministic pseudo-shuffle driven by the seed, with random
+        // orientation flips.
+        let mut shuffled = edges.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut permuted = UnionFind::new(n);
+        for (k, &(a, b)) in shuffled.iter().enumerate() {
+            if k % 2 == 0 {
+                permuted.union(b, a);
+            } else {
+                permuted.union(a, b);
+            }
+        }
+        prop_assert_eq!(forward.labels(), permuted.labels());
+        prop_assert_eq!(forward.n_components(), permuted.n_components());
+    }
+}

@@ -1,0 +1,391 @@
+//! Streaming candidate generation.
+//!
+//! The old blockers materialised candidate lists (or whole pair
+//! matrices) up front — fine for Magellan tables, fatal at 10^6 records
+//! where the candidate set alone is ~10^7 pairs. [`CandidateSource`]
+//! inverts that: a fitted source *streams* `(query, candidates)` batches
+//! of a fixed size, so downstream consumers (scoring, clustering) hold at
+//! most one batch of candidates at a time. Query batches are fanned over
+//! the vendored `parallel` pool one query per output slot, which keeps
+//! every batch bitwise-identical to a serial scan at any pool width.
+
+use crate::KeywordBlocker;
+use hiergat_data::Entity;
+use hiergat_text::{
+    stop_terms_of, tokenize, ShardedCosineIndex, ShardedIndexBuilder, SparseVec, TfIdf,
+    TfIdfBuilder,
+};
+use std::collections::HashMap;
+
+/// Random access to a (possibly virtual) entity table. Implementations
+/// may materialise rows on demand — the million-record synthetic corpus
+/// re-renders entities from seeds instead of storing them.
+pub trait EntityStore: Sync {
+    fn len(&self) -> usize;
+    /// Renders record `i`. May allocate; callers should not assume two
+    /// calls are free.
+    fn entity(&self, i: usize) -> Entity;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EntityStore for [Entity] {
+    fn len(&self) -> usize {
+        <[Entity]>::len(self)
+    }
+    fn entity(&self, i: usize) -> Entity {
+        self[i].clone()
+    }
+}
+
+impl EntityStore for Vec<Entity> {
+    fn len(&self) -> usize {
+        <[Entity]>::len(self)
+    }
+    fn entity(&self, i: usize) -> Entity {
+        self[i].clone()
+    }
+}
+
+/// The million-record synthetic corpus re-renders records from seeds.
+impl EntityStore for hiergat_data::SynthCorpus {
+    fn len(&self) -> usize {
+        hiergat_data::SynthCorpus::len(self)
+    }
+    fn entity(&self, i: usize) -> Entity {
+        hiergat_data::SynthCorpus::entity(self, i)
+    }
+}
+
+/// One retrieved candidate: a record index in the fitted table and the
+/// blocker's similarity score for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    pub id: usize,
+    pub score: f32,
+}
+
+/// A query record together with its retrieved candidates, best first.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCandidates {
+    pub query: usize,
+    pub candidates: Vec<Candidate>,
+}
+
+/// A fitted blocker that streams candidates per query instead of
+/// materialising the pair matrix.
+pub trait CandidateSource: Sync {
+    /// Number of query records.
+    fn n_queries(&self) -> usize;
+
+    /// Retrieves candidates for query `i` into `out` (cleared first),
+    /// best first. Dedup-mode sources exclude the query itself.
+    fn fill_candidates(&self, query: usize, out: &mut Vec<Candidate>);
+
+    /// Streams `(query, candidates)` batches of at most `batch_size`
+    /// queries in ascending query order. Candidate retrieval inside a
+    /// batch is fanned over the `parallel` pool (one query per output
+    /// slot — deterministic at any width); `f` observes each batch on the
+    /// calling thread, and no more than one batch is alive at a time.
+    fn for_each_batch<F: FnMut(&[QueryCandidates])>(&self, batch_size: usize, mut f: F)
+    where
+        Self: Sized,
+    {
+        assert!(batch_size > 0, "batch size must be positive");
+        let n = self.n_queries();
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch_size).min(n);
+            let ids: Vec<usize> = (start..end).collect();
+            let batch: Vec<QueryCandidates> = parallel::par_map(&ids, |&q| {
+                let mut candidates = Vec::new();
+                self.fill_candidates(q, &mut candidates);
+                QueryCandidates { query: q, candidates }
+            });
+            f(&batch);
+            start = end;
+        }
+    }
+}
+
+/// Configuration for [`TfIdfCandidates`].
+#[derive(Debug, Clone)]
+pub struct TfIdfSourceConfig {
+    /// Candidates retrieved per query (after self-exclusion).
+    pub top_n: usize,
+    /// Candidates scoring below this cosine are dropped.
+    pub min_score: f32,
+    /// Inverted-index shards.
+    pub n_shards: usize,
+    /// Prune terms whose document frequency exceeds this fraction of the
+    /// corpus (`None` disables). DF is global, so pruning does not affect
+    /// shard-count invariance.
+    pub max_df: Option<f64>,
+    /// Records tokenized/transformed per parallel chunk during fitting.
+    pub fit_chunk: usize,
+}
+
+impl Default for TfIdfSourceConfig {
+    fn default() -> Self {
+        Self { top_n: 8, min_score: 0.15, n_shards: 8, max_df: Some(0.01), fit_chunk: 4096 }
+    }
+}
+
+/// TF-IDF cosine top-N retrieval over a sharded inverted index, in
+/// dedup mode (every record queries the table it lives in; self-matches
+/// are excluded).
+pub struct TfIdfCandidates {
+    tfidf: TfIdf,
+    index: ShardedCosineIndex,
+    queries: Vec<SparseVec>,
+    top_n: usize,
+    min_score: f32,
+    exclude_self: bool,
+}
+
+impl TfIdfCandidates {
+    /// Two streaming passes over `store`: fit the vectorizer, then build
+    /// the sharded index and query vectors. Peak transient memory is one
+    /// `fit_chunk` of token lists; the retained state is the index
+    /// postings plus one sparse vector per record.
+    pub fn fit_dedup(store: &dyn EntityStore, cfg: &TfIdfSourceConfig) -> Self {
+        let n = store.len();
+        let ids: Vec<usize> = (0..n).collect();
+
+        // Pass 1: stream document frequencies.
+        let mut fit = TfIdfBuilder::new();
+        for chunk in ids.chunks(cfg.fit_chunk.max(1)) {
+            let toks: Vec<Vec<String>> =
+                parallel::par_map(chunk, |&i| tokenize(&store.entity(i).full_text()));
+            for t in &toks {
+                fit.add_doc(t);
+            }
+        }
+        let tfidf = fit.finish();
+
+        // Pass 2: transform and index. Stop-term pruning drops postings
+        // for ubiquitous terms; query vectors keep them (their dot
+        // contribution vanishes against the pruned index either way).
+        let stop = cfg.max_df.map(|r| stop_terms_of(&tfidf, r)).unwrap_or_default();
+        let mut builder = ShardedIndexBuilder::new(cfg.n_shards).with_stop_terms(stop);
+        let mut queries: Vec<SparseVec> = Vec::with_capacity(n);
+        for chunk in ids.chunks(cfg.fit_chunk.max(1)) {
+            let vecs: Vec<SparseVec> = parallel::par_map(chunk, |&i| {
+                tfidf.transform(&tokenize(&store.entity(i).full_text()))
+            });
+            for v in vecs {
+                builder.push(&v);
+                queries.push(v);
+            }
+        }
+        Self {
+            tfidf,
+            index: builder.finish(),
+            queries,
+            top_n: cfg.top_n,
+            min_score: cfg.min_score,
+            exclude_self: true,
+        }
+    }
+
+    /// Cross mode: fit on `table`, query with separate records (no
+    /// self-exclusion).
+    pub fn fit_cross(queries: &[Entity], table: &dyn EntityStore, cfg: &TfIdfSourceConfig) -> Self {
+        let mut source = Self::fit_dedup(table, cfg);
+        source.queries =
+            queries.iter().map(|e| source.tfidf.transform(&tokenize(&e.full_text()))).collect();
+        source.exclude_self = false;
+        source
+    }
+
+    pub fn tfidf(&self) -> &TfIdf {
+        &self.tfidf
+    }
+
+    pub fn index(&self) -> &ShardedCosineIndex {
+        &self.index
+    }
+
+    /// Bytes retained by the fitted source: index postings plus stored
+    /// query vectors (the peak-RSS proxy contribution of blocking).
+    pub fn memory_bytes(&self) -> u64 {
+        const HDR: u64 = size_of::<SparseVec>() as u64;
+        const ENTRY: u64 = size_of::<(usize, f32)>() as u64;
+        let query_bytes: u64 = self.queries.iter().map(|q| HDR + q.nnz() as u64 * ENTRY).sum();
+        self.index.memory_bytes() + query_bytes
+    }
+}
+
+impl CandidateSource for TfIdfCandidates {
+    fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn fill_candidates(&self, query: usize, out: &mut Vec<Candidate>) {
+        out.clear();
+        let fetch = self.top_n + usize::from(self.exclude_self);
+        for (doc, score) in self.index.top_n(&self.queries[query], fetch) {
+            if self.exclude_self && doc == query {
+                continue;
+            }
+            if score < self.min_score || out.len() == self.top_n {
+                break;
+            }
+            out.push(Candidate { id: doc, score });
+        }
+    }
+}
+
+/// Keyword-overlap retrieval re-hosted on token postings, in dedup mode.
+/// The score of a candidate is its shared-token count; candidates are
+/// ranked (count descending, id ascending) and capped at `top_n`.
+pub struct KeywordCandidates {
+    postings: Vec<Vec<u32>>,
+    doc_tokens: Vec<Vec<u32>>,
+    min_shared: usize,
+    top_n: usize,
+}
+
+impl KeywordCandidates {
+    pub fn fit_dedup(store: &dyn EntityStore, blocker: &KeywordBlocker, top_n: usize) -> Self {
+        let mut vocab: HashMap<String, u32> = HashMap::new();
+        let mut postings: Vec<Vec<u32>> = Vec::new();
+        let mut doc_tokens: Vec<Vec<u32>> = Vec::with_capacity(store.len());
+        for i in 0..store.len() {
+            let doc = u32::try_from(i).expect("keyword source holds at most u32::MAX docs");
+            let mut ids: Vec<u32> = blocker
+                .token_set(&store.entity(i))
+                .into_iter()
+                .map(|tok| {
+                    let next = vocab.len() as u32;
+                    let id = *vocab.entry(tok).or_insert(next);
+                    if id as usize == postings.len() {
+                        postings.push(Vec::new());
+                    }
+                    postings[id as usize].push(doc);
+                    id
+                })
+                .collect();
+            ids.sort_unstable();
+            doc_tokens.push(ids);
+        }
+        Self { postings, doc_tokens, min_shared: blocker.min_shared, top_n }
+    }
+}
+
+impl CandidateSource for KeywordCandidates {
+    fn n_queries(&self) -> usize {
+        self.doc_tokens.len()
+    }
+
+    fn fill_candidates(&self, query: usize, out: &mut Vec<Candidate>) {
+        out.clear();
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for &tok in &self.doc_tokens[query] {
+            for &doc in &self.postings[tok as usize] {
+                if doc as usize != query {
+                    *counts.entry(doc).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, u32)> =
+            counts.into_iter().filter(|&(_, shared)| shared as usize >= self.min_shared).collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(self.top_n);
+        out.extend(
+            ranked
+                .into_iter()
+                .map(|(doc, shared)| Candidate { id: doc as usize, score: shared as f32 }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(id: &str, text: &str) -> Entity {
+        Entity::new(id, vec![("title".into(), text.into())])
+    }
+
+    fn table() -> Vec<Entity> {
+        vec![
+            entity("0", "canon eos r5 mirrorless camera"),
+            entity("1", "canon eos r5 mirrorless camera"),
+            entity("2", "nikon z6 mirrorless camera"),
+            entity("3", "dell ultrasharp monitor panel"),
+            entity("4", "lg ultrawide monitor panel"),
+        ]
+    }
+
+    fn cfg() -> TfIdfSourceConfig {
+        TfIdfSourceConfig { top_n: 3, min_score: 0.05, n_shards: 2, max_df: None, fit_chunk: 2 }
+    }
+
+    #[test]
+    fn dedup_mode_excludes_self() {
+        let source = TfIdfCandidates::fit_dedup(&table(), &cfg());
+        for q in 0..source.n_queries() {
+            let mut out = Vec::new();
+            source.fill_candidates(q, &mut out);
+            assert!(out.iter().all(|c| c.id != q), "query {q} retrieved itself: {out:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_records_retrieve_each_other_first() {
+        let source = TfIdfCandidates::fit_dedup(&table(), &cfg());
+        let mut out = Vec::new();
+        source.fill_candidates(0, &mut out);
+        assert_eq!(out[0].id, 1);
+        assert!(out[0].score > 0.99);
+        source.fill_candidates(1, &mut out);
+        assert_eq!(out[0].id, 0);
+    }
+
+    #[test]
+    fn batches_stream_every_query_once_in_order() {
+        let source = TfIdfCandidates::fit_dedup(&table(), &cfg());
+        let mut seen: Vec<usize> = Vec::new();
+        let mut max_batch = 0;
+        source.for_each_batch(2, |batch| {
+            max_batch = max_batch.max(batch.len());
+            seen.extend(batch.iter().map(|qc| qc.query));
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert!(max_batch <= 2);
+    }
+
+    #[test]
+    fn cross_mode_keeps_self_ids() {
+        let right = table();
+        let queries = vec![entity("q", "canon eos r5 camera")];
+        let source = TfIdfCandidates::fit_cross(&queries, &right, &cfg());
+        assert_eq!(source.n_queries(), 1);
+        let mut out = Vec::new();
+        source.fill_candidates(0, &mut out);
+        assert_eq!(out[0].id, 0, "best candidate should be the first r5 record");
+    }
+
+    #[test]
+    fn keyword_source_ranks_by_shared_count() {
+        let blocker = KeywordBlocker::new(1);
+        let source = KeywordCandidates::fit_dedup(&table(), &blocker, 4);
+        let mut out = Vec::new();
+        source.fill_candidates(0, &mut out);
+        // Doc 1 shares all 4 qualifying tokens ("r5" is below the length
+        // floor), doc 2 shares {mirrorless, camera}.
+        assert_eq!(out[0].id, 1);
+        assert_eq!(out[0].score, 4.0);
+        assert_eq!(out[1].id, 2);
+        assert!(out.iter().all(|c| c.id != 0));
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_corpus() {
+        let small = TfIdfCandidates::fit_dedup(&table()[..2].to_vec(), &cfg());
+        let full = TfIdfCandidates::fit_dedup(&table(), &cfg());
+        assert!(full.memory_bytes() > small.memory_bytes());
+    }
+}

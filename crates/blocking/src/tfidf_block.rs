@@ -1,22 +1,45 @@
 //! TF-IDF cosine top-N blocking (collective candidate generation, §6.3).
 
 use hiergat_data::Entity;
-use hiergat_text::{tokenize, CosineIndex, SparseVec, TfIdf};
+use hiergat_text::{tokenize, ShardedCosineIndex, SparseVec, TfIdf};
 
-/// A fitted TF-IDF blocker over one candidate table.
+/// A fitted TF-IDF blocker over one candidate table, hosted on the
+/// sharded inverted index (single shard by default — the Magellan-scale
+/// tables this type serves don't need fan-out; corpus-scale callers use
+/// [`TfIdfCandidates`](crate::TfIdfCandidates)).
 pub struct TfIdfBlocker {
     tfidf: TfIdf,
-    index: CosineIndex,
+    index: ShardedCosineIndex,
     n_entities: usize,
+}
+
+/// Pruning achieved by a top-`n` query: the *nominal* rate assumes the
+/// full `n` candidates come back; the *actual* rate uses the retrieved
+/// count, which is smaller whenever the query shares too little
+/// vocabulary with the table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruningReport {
+    /// `1 - min(n, N) / N` — what the cutoff alone guarantees.
+    pub nominal: f64,
+    /// `1 - retrieved / N` — what this query actually achieved.
+    pub actual: f64,
+    /// Candidates the query retrieved (`<= min(n, N)`).
+    pub retrieved: usize,
 }
 
 impl TfIdfBlocker {
     /// Fits the vectorizer and inverted index over the candidate table.
     pub fn fit(table: &[Entity]) -> Self {
+        Self::fit_sharded(table, 1)
+    }
+
+    /// Fit with an explicit shard count (results are identical for any
+    /// count; shards only change how queries parallelise).
+    pub fn fit_sharded(table: &[Entity], n_shards: usize) -> Self {
         let docs: Vec<Vec<String>> = table.iter().map(|e| tokenize(&e.full_text())).collect();
         let tfidf = TfIdf::fit(&docs);
         let vectors: Vec<SparseVec> = docs.iter().map(|d| tfidf.transform(d)).collect();
-        let index = CosineIndex::build(&vectors);
+        let index = ShardedCosineIndex::build(&vectors, n_shards);
         Self { tfidf, index, n_entities: table.len() }
     }
 
@@ -32,13 +55,27 @@ impl TfIdfBlocker {
         self.n_entities
     }
 
-    /// Fraction of the table pruned for a query at the given `n` — the
-    /// paper reports that top-16 filters out ~40% of negatives.
+    /// Nominal fraction of the table pruned at cutoff `n` — the paper
+    /// reports that top-16 filters out ~40% of negatives. The real rate
+    /// can only be higher: see [`pruning_report`](Self::pruning_report).
     pub fn pruning_rate(&self, n: usize) -> f64 {
         if self.n_entities == 0 {
             return 0.0;
         }
         1.0 - (n.min(self.n_entities) as f64 / self.n_entities as f64)
+    }
+
+    /// Nominal and actual pruning for a concrete query at cutoff `n`. A
+    /// vocabulary-disjoint query retrieves nothing, so its actual rate is
+    /// 1.0 while the nominal rate still charges for `n` candidates.
+    pub fn pruning_report(&self, query: &Entity, n: usize) -> PruningReport {
+        let retrieved = self.top_n(query, n).len();
+        let actual = if self.n_entities == 0 {
+            0.0
+        } else {
+            1.0 - retrieved as f64 / self.n_entities as f64
+        };
+        PruningReport { nominal: self.pruning_rate(n), actual, retrieved }
     }
 }
 
@@ -77,10 +114,37 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_does_not_change_results() {
+        let flat = TfIdfBlocker::fit(&table());
+        let query = entity("q", "mirrorless camera");
+        for shards in [2, 3, 5] {
+            let sharded = TfIdfBlocker::fit_sharded(&table(), shards);
+            assert_eq!(sharded.top_n(&query, 4), flat.top_n(&query, 4));
+        }
+    }
+
+    #[test]
     fn pruning_rate_math() {
         let blocker = TfIdfBlocker::fit(&table());
         assert!((blocker.pruning_rate(2) - 0.6).abs() < 1e-12);
         assert_eq!(blocker.pruning_rate(100), 0.0);
         assert_eq!(blocker.n_entities(), 5);
+    }
+
+    #[test]
+    fn disjoint_query_actual_pruning_beats_nominal() {
+        let blocker = TfIdfBlocker::fit(&table());
+        // Shares no vocabulary with the table: retrieves nothing, so the
+        // actual pruning is total while the nominal rate still assumes 2
+        // candidates came back.
+        let report = blocker.pruning_report(&entity("q", "leather strap watch"), 2);
+        assert_eq!(report.retrieved, 0);
+        assert_eq!(report.actual, 1.0);
+        assert!((report.nominal - 0.6).abs() < 1e-12);
+        assert!(report.actual > report.nominal);
+        // An in-vocabulary query that fills its cutoff matches nominal.
+        let full = blocker.pruning_report(&entity("q", "mirrorless camera"), 2);
+        assert_eq!(full.retrieved, 2);
+        assert!((full.actual - full.nominal).abs() < 1e-12);
     }
 }

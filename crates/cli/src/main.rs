@@ -56,6 +56,15 @@
 //!   f32 session and both the weight bytes and the inference arena must
 //!   shrink. `--report` adds the per-class parameter / activation-node
 //!   breakdown.
+//! * `resolve (--entities N | --table FILE) [--top 8] [--accept 0.85]
+//!   [--band LO:HI --model DIR] [--shards 8] [--out FILE] [--json]`
+//!   end-to-end streaming entity resolution: sharded TF-IDF top-N
+//!   blocking → cosine cascade (auto-accept above `--accept`; the
+//!   ambiguous `--band` adjudicated by a saved HierGAT session) →
+//!   union-find clustering with canonical labels. Synthetic mode
+//!   (`--entities`) scores pairwise cluster P/R/F1 against the corpus's
+//!   gold ids. Cluster output is bitwise-identical at any
+//!   `HIERGAT_THREADS` width.
 //!
 //! `train` and `demo` also accept `--analyze` to run the same static
 //! check on the model being trained before epoch 0.
@@ -113,7 +122,11 @@ usage:
                   [--weights DIR] [--input-bound B] [--param-bound W]
   hiergat optimize [--dataset NAME] [--scale S] [--json] [--verify]
   hiergat quantise [--dataset NAME] [--scale S] [--delta D] [--input-bound B]
-                  [--report] [--json]";
+                  [--report] [--json]
+  hiergat resolve (--entities N | --table FILE) [--copies K] [--family-size F]
+                  [--seed S] [--top N] [--min-cosine C] [--accept A]
+                  [--band LO:HI --model DIR] [--shards K] [--max-df R]
+                  [--batch B] [--chunk C] [--out FILE] [--json]";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
@@ -129,6 +142,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "audit" => cmd_audit(&args),
         "optimize" => cmd_optimize(&args),
         "quantise" => cmd_quantise(&args),
+        "resolve" => cmd_resolve(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -227,6 +241,186 @@ fn cmd_block(args: &Args) -> Result<(), String> {
         for (idx, score) in blocker.top_n(l, top) {
             println!("{},{},{score:.4}", l.id, right[idx].id);
         }
+    }
+    Ok(())
+}
+
+/// Machine-readable summary of a `hiergat resolve` run (`--json`).
+#[derive(serde::Serialize)]
+struct ResolveSummary {
+    records: usize,
+    clusters: usize,
+    candidates: u64,
+    cosine_accepted: u64,
+    model_scored: u64,
+    model_accepted: u64,
+    merges: u64,
+    index_bytes: u64,
+    batch_peak_bytes: u64,
+    pruned_terms: usize,
+    fit_secs: f64,
+    resolve_secs: f64,
+    scoring_secs: f64,
+    entities_per_s: f64,
+    candidates_per_s: f64,
+    cluster_precision: Option<f64>,
+    cluster_recall: Option<f64>,
+    cluster_f1: Option<f64>,
+}
+
+/// End-to-end streaming resolution: sharded TF-IDF blocking → cosine
+/// cascade (optional HierGAT session for the ambiguous band) → union-find
+/// clustering. Synthetic mode (`--entities N`) also scores the clustering
+/// against the corpus's gold cluster ids.
+fn cmd_resolve(args: &Args) -> Result<(), String> {
+    use hiergat_blocking::{EntityStore, TfIdfCandidates, TfIdfSourceConfig};
+    use hiergat_data::{CorpusConfig, SynthCorpus};
+    use hiergat_metrics::pairwise_cluster_metrics;
+    use hiergat_runtime::{resolve, ResolveConfig};
+    use std::time::Instant;
+
+    let top: usize = args.get_parsed("top").unwrap_or(Ok(8))?;
+    let min_cosine: f32 = args.get_parsed("min-cosine").unwrap_or(Ok(0.15))?;
+    let accept: f32 = args.get_parsed("accept").unwrap_or(Ok(0.85))?;
+    let shards: usize = args.get_parsed("shards").unwrap_or(Ok(8))?;
+    let max_df: f64 = args.get_parsed("max-df").unwrap_or(Ok(0.01))?;
+    let batch: usize = args.get_parsed("batch").unwrap_or(Ok(1024))?;
+    let chunk: usize = args.get_parsed("chunk").unwrap_or(Ok(128))?;
+
+    let band = match args.get("band") {
+        Some(spec) => {
+            let (lo, hi) = spec.split_once(':').ok_or("--band expects LO:HI (e.g. 0.5:0.85)")?;
+            let lo: f32 = lo.parse().map_err(|e| format!("--band low bound: {e}"))?;
+            let hi: f32 = hi.parse().map_err(|e| format!("--band high bound: {e}"))?;
+            Some((lo, hi))
+        }
+        None => None,
+    };
+    let mut session = match args.get("model") {
+        Some(dir) => {
+            let model = load_model(dir).map_err(|e| e.to_string())?;
+            Some(Session::new(Box::new(HierGatPairwise(model))))
+        }
+        None => None,
+    };
+    if band.is_some() && session.is_none() {
+        return Err("--band routes pairs through a model; pass --model DIR".into());
+    }
+    if let (Some(session), Some(t)) = (session.as_mut(), args.get_parsed::<f32>("threshold")) {
+        session.set_threshold(t?);
+    }
+
+    let (store, gold): (Box<dyn EntityStore>, Option<Vec<u32>>) = match args.get("entities") {
+        Some(_) => {
+            let n: usize = args.get_parsed("entities").unwrap_or(Ok(0))?;
+            let corpus = SynthCorpus::new(CorpusConfig {
+                n_records: n,
+                copies: args.get_parsed("copies").unwrap_or(Ok(3))?,
+                family_size: args.get_parsed("family-size").unwrap_or(Ok(4))?,
+                seed: args.get_parsed("seed").unwrap_or(Ok(0xC0FFEE))?,
+            });
+            let gold = corpus.gold_labels();
+            (Box::new(corpus), Some(gold))
+        }
+        None => {
+            let path = args
+                .get("table")
+                .ok_or("resolve needs a corpus: --entities N (synthetic) or --table FILE")?;
+            let table = read_entity_table(path).map_err(|e| e.to_string())?;
+            (Box::new(table), None)
+        }
+    };
+    if store.is_empty() {
+        return Err("corpus is empty".into());
+    }
+
+    let src_cfg = TfIdfSourceConfig {
+        top_n: top,
+        min_score: min_cosine,
+        n_shards: shards,
+        max_df: if max_df > 0.0 { Some(max_df) } else { None },
+        fit_chunk: 4096,
+    };
+    let fit_start = Instant::now();
+    let source = TfIdfCandidates::fit_dedup(store.as_ref(), &src_cfg);
+    let fit_secs = fit_start.elapsed().as_secs_f64();
+    eprintln!(
+        "fitted sharded index: {} records, {} shards, {} postings ({} terms pruned), {:.1} MB, {fit_secs:.1}s",
+        store.len(),
+        shards,
+        source.index().n_postings(),
+        source.index().pruned_terms(),
+        source.memory_bytes() as f64 / 1e6,
+    );
+
+    let cfg = ResolveConfig { batch_size: batch, score_chunk: chunk, accept, band };
+    let resolution = resolve(&source, store.as_ref(), session.as_mut(), &cfg);
+    let stats = &resolution.stats;
+
+    let cluster_scores =
+        gold.as_deref().map(|gold| pairwise_cluster_metrics(&resolution.labels, gold).pr_f1());
+    let summary = ResolveSummary {
+        records: stats.records,
+        clusters: stats.clusters,
+        candidates: stats.candidates,
+        cosine_accepted: stats.cosine_accepted,
+        model_scored: stats.model_scored,
+        model_accepted: stats.model_accepted,
+        merges: stats.merges,
+        index_bytes: source.memory_bytes(),
+        batch_peak_bytes: stats.batch_peak_bytes,
+        pruned_terms: source.index().pruned_terms(),
+        fit_secs,
+        resolve_secs: stats.total_secs,
+        scoring_secs: stats.scoring_secs,
+        entities_per_s: stats.records as f64 / (fit_secs + stats.total_secs).max(1e-9),
+        candidates_per_s: stats.candidates as f64 / stats.total_secs.max(1e-9),
+        cluster_precision: cluster_scores.map(|s| s.precision),
+        cluster_recall: cluster_scores.map(|s| s.recall),
+        cluster_f1: cluster_scores.map(|s| s.f1),
+    };
+
+    eprintln!(
+        "resolved {} records into {} clusters in {:.1}s ({:.0} entities/s): \
+         {} candidates, {} cosine-accepted, {} model-scored, {} model-accepted",
+        summary.records,
+        summary.clusters,
+        fit_secs + stats.total_secs,
+        summary.entities_per_s,
+        summary.candidates,
+        summary.cosine_accepted,
+        summary.model_scored,
+        summary.model_accepted,
+    );
+    if let Some(s) = cluster_scores {
+        eprintln!(
+            "cluster pairwise vs gold: precision {:.1} recall {:.1} F1 {:.1}",
+            s.precision * 100.0,
+            s.recall * 100.0,
+            s.f1 * 100.0
+        );
+    }
+
+    // Cluster assignment CSV: canonical labels, so the bytes are identical
+    // at any pool width.
+    let mut csv = String::with_capacity(16 * resolution.labels.len() + 16);
+    csv.push_str("record,cluster\n");
+    for (i, label) in resolution.labels.iter().enumerate() {
+        csv.push_str(&format!("{i},{label}\n"));
+    }
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} cluster assignments to {path}", resolution.labels.len());
+        }
+        None if !args.has_flag("json") => print!("{csv}"),
+        None => {}
+    }
+    if args.has_flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| format!("serializing: {e}"))?
+        );
     }
     Ok(())
 }
@@ -790,8 +984,10 @@ mod tests {
 
     #[test]
     fn usage_lists_all_subcommands() {
-        let cmds =
-            ["train", "predict", "block", "demo", "analyze", "lint", "plan", "audit", "optimize"];
+        let cmds = [
+            "train", "predict", "block", "demo", "analyze", "lint", "plan", "audit", "optimize",
+            "quantise", "resolve",
+        ];
         for cmd in cmds {
             assert!(USAGE.contains(cmd));
         }

@@ -1,0 +1,246 @@
+//! Corpus-scale synthetic entity store: DI2KG-style multi-source records
+//! with gold cluster ids, at 10^6+ records, in O(1) memory.
+//!
+//! The [`World`](crate::synth::World) generator materialises its catalog,
+//! which is fine for benchmark-sized tables but not for the resolve
+//! pipeline's million-record corpora. [`SynthCorpus`] instead *derives*
+//! every record on demand: a product's ground truth is a pure function of
+//! `(seed, uid)` (family-shared fields of `(seed, family)`), and each of
+//! its `copies` renderings re-seeds the noise RNG from
+//! `(seed, uid, copy)`. Any record can therefore be re-rendered at any
+//! time — the scoring stage fetches band-pair entities by index without
+//! the corpus ever being resident.
+//!
+//! Layout: record `i` is copy `i % copies` of product `i / copies`, so
+//! the gold cluster id of record `i` is simply `i / copies`. Products are
+//! grouped into families of `family_size` (shared brand + name words,
+//! distinct model codes) — the hard negatives that make blocking earn its
+//! keep.
+
+use crate::entity::Entity;
+use crate::lexicon::{self, model_code, pseudo_word, DomainLexicon};
+use crate::synth::{render_entity, AttrKind, NoiseConfig, Product, Schema};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// DI2KG-shaped schema for corpus records.
+const CORPUS_SCHEMA: Schema = Schema {
+    name: "corpus",
+    attrs: &[
+        ("page_title", AttrKind::TitleFull),
+        ("brand", AttrKind::Brand),
+        ("model", AttrKind::Model),
+        ("description", AttrKind::Description),
+    ],
+};
+
+/// Configuration for [`SynthCorpus`].
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Total records in the corpus (`n_products * copies` when divisible;
+    /// the last product simply has fewer renderings otherwise).
+    pub n_records: usize,
+    /// Renderings ("source pages") per product; gold clusters have this
+    /// size. Must be at least 1.
+    pub copies: usize,
+    /// Products per family (hard-negative groups sharing brand + name).
+    pub family_size: usize,
+    /// Master seed; every derived RNG mixes it.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self { n_records: 1000, copies: 3, family_size: 4, seed: 0xC0FFEE }
+    }
+}
+
+/// A virtual multi-source corpus with gold cluster ids. `Sync`, cheap to
+/// share, and O(1) memory regardless of `n_records`.
+#[derive(Debug, Clone)]
+pub struct SynthCorpus {
+    cfg: CorpusConfig,
+    lexicon: &'static DomainLexicon,
+}
+
+/// splitmix64 — the standard 64-bit seed scrambler.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn derive_seed(master: u64, stream: u64, index: u64) -> u64 {
+    splitmix64(master ^ splitmix64(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index))
+}
+
+impl SynthCorpus {
+    pub fn new(cfg: CorpusConfig) -> Self {
+        assert!(cfg.copies >= 1, "corpus needs at least one copy per product");
+        assert!(cfg.family_size >= 1, "corpus needs at least one product per family");
+        Self { cfg, lexicon: &lexicon::ELECTRONICS }
+    }
+
+    pub fn config(&self) -> &CorpusConfig {
+        &self.cfg
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.cfg.n_records
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cfg.n_records == 0
+    }
+
+    /// Number of distinct products (= gold clusters).
+    pub fn n_products(&self) -> usize {
+        self.cfg.n_records.div_ceil(self.cfg.copies)
+    }
+
+    /// Gold cluster id of record `i` (its product uid).
+    pub fn gold(&self, i: usize) -> u32 {
+        u32::try_from(i / self.cfg.copies).expect("corpus supports at most u32::MAX products")
+    }
+
+    /// Gold labels for the whole corpus, record order.
+    pub fn gold_labels(&self) -> Vec<u32> {
+        (0..self.len()).map(|i| self.gold(i)).collect()
+    }
+
+    /// Derives product `uid`'s ground truth. Family-shared fields (brand,
+    /// name, category) come from the family RNG so siblings agree on them.
+    fn product(&self, uid: usize) -> Product {
+        let family = uid / self.cfg.family_size;
+        let mut frng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0xFA, family as u64));
+        let category = frng.gen_range(0..self.lexicon.categories.len());
+        let brand_syllables = frng.gen_range(2..=3);
+        let brand = pseudo_word(&mut frng, brand_syllables);
+        let n_name = frng.gen_range(2..=3);
+        let name_words: Vec<String> = (0..n_name)
+            .map(|i| {
+                if i % 2 == 0 {
+                    self.lexicon.nouns.choose(&mut frng).expect("nonempty").to_string()
+                } else {
+                    self.lexicon.modifiers.choose(&mut frng).expect("nonempty").to_string()
+                }
+            })
+            .collect();
+        let mut prng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0x9D, uid as u64));
+        let n_desc = prng.gen_range(6..=14);
+        let desc_words: Vec<String> = (0..n_desc)
+            .map(|_| {
+                let pool =
+                    if prng.gen_bool(0.5) { self.lexicon.nouns } else { self.lexicon.modifiers };
+                pool.choose(&mut prng).expect("nonempty").to_string()
+            })
+            .collect();
+        Product {
+            uid,
+            family,
+            category,
+            brand,
+            model: model_code(&mut prng),
+            name_words,
+            desc_words,
+            person: format!("{} {}", pseudo_word(&mut prng, 2), pseudo_word(&mut prng, 3)),
+            price: (prng.gen_range(5.0..2000.0f64) * 100.0).round() / 100.0,
+            year: prng.gen_range(1995..2022),
+        }
+    }
+
+    /// Renders record `i`: copy `i % copies` of product `i / copies`,
+    /// through the copy's source-noise profile. Deterministic: the same
+    /// `i` always yields the identical entity.
+    pub fn entity(&self, i: usize) -> Entity {
+        assert!(i < self.cfg.n_records, "record {i} out of bounds");
+        let uid = i / self.cfg.copies;
+        let copy = i % self.cfg.copies;
+        let product = self.product(uid);
+        // Sources cycle the four formatting profiles, like the DI2KG
+        // generator's per-source noise.
+        let noise = match copy % 4 {
+            0 => NoiseConfig::clean(),
+            1 => NoiseConfig::light(),
+            2 => NoiseConfig::medium(),
+            _ => NoiseConfig::heavy(),
+        };
+        let mut rng = StdRng::seed_from_u64(derive_seed(
+            self.cfg.seed,
+            0xE27,
+            (uid as u64) << 8 | copy as u64,
+        ));
+        render_entity(&product, self.lexicon, &CORPUS_SCHEMA, &noise, &format!("s{copy}"), &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize) -> SynthCorpus {
+        SynthCorpus::new(CorpusConfig { n_records: n, ..CorpusConfig::default() })
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = corpus(60);
+        let b = corpus(60);
+        for i in [0, 1, 7, 59] {
+            assert_eq!(a.entity(i), b.entity(i));
+        }
+    }
+
+    #[test]
+    fn gold_groups_copies_of_one_product() {
+        let c = corpus(60);
+        assert_eq!(c.gold(0), 0);
+        assert_eq!(c.gold(2), 0);
+        assert_eq!(c.gold(3), 1);
+        assert_eq!(c.n_products(), 20);
+        let labels = c.gold_labels();
+        assert_eq!(labels.len(), 60);
+        assert!(labels.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn copies_share_ground_truth_but_render_differently() {
+        let c = corpus(60);
+        let (a, b) = (c.entity(0), c.entity(1));
+        // Same product: clean copy keeps the model code in the title.
+        assert_ne!(a.id, b.id, "copies get distinct source-prefixed ids");
+        // Family siblings share brand text.
+        let p0 = c.product(0);
+        let p1 = c.product(1);
+        assert_eq!(p0.brand, p1.brand, "products 0 and 1 are family siblings");
+        assert_ne!(p0.model, p1.model, "siblings differ in model code");
+        let p4 = c.product(4);
+        assert_ne!(p0.family, p4.family);
+    }
+
+    #[test]
+    fn random_access_is_cheap_at_scale() {
+        // A billion-record virtual corpus: rendering the last record must
+        // not depend on corpus size.
+        let c =
+            SynthCorpus::new(CorpusConfig { n_records: 1_000_000_000, ..CorpusConfig::default() });
+        let e = c.entity(999_999_999);
+        assert!(!e.full_text().is_empty());
+        assert_eq!(c.gold(999_999_999), 333_333_333);
+    }
+
+    #[test]
+    fn family_rng_is_isolated_from_product_rng() {
+        // Two products in the same family must agree on family fields even
+        // though their per-product draws differ.
+        let c = corpus(60);
+        let (p2, p3) = (c.product(2), c.product(3));
+        assert_eq!(p2.family, p3.family);
+        assert_eq!(p2.brand, p3.brand);
+        assert_eq!(p2.name_words, p3.name_words);
+        assert_ne!(p2.model, p3.model);
+    }
+}

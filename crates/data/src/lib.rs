@@ -6,6 +6,7 @@
 //! protocols, and deterministic synthetic stand-ins for the Magellan, WDC,
 //! and DI2KG benchmarks (see DESIGN.md for the substitution rationale).
 
+mod corpus;
 mod corrupt;
 mod dataset;
 mod di2kg;
@@ -20,6 +21,7 @@ pub mod synth;
 mod proptests;
 mod wdc;
 
+pub use corpus::{CorpusConfig, SynthCorpus};
 pub use corrupt::{corrupt_entity, make_dirty, DirtyConfig};
 pub use dataset::{CollectiveDataset, PairDataset};
 pub use di2kg::{load_di2kg, Di2kgCategory};

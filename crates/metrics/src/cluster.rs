@@ -1,0 +1,131 @@
+//! Pairwise clustering metrics: precision/recall/F1 of a predicted
+//! clustering against gold cluster ids, over the implied record *pairs*.
+//!
+//! Two records form a positive pair iff they share a cluster id. Counting
+//! uses the contingency table between predicted and gold clusters, so a
+//! million-record corpus with 10^11 candidate pairs is evaluated without
+//! enumerating any of them:
+//!
+//! * matched pairs   `TP = sum over cells C(n_ij, 2)`
+//! * predicted pairs `TP + FP = sum over predicted clusters C(n_i, 2)`
+//! * gold pairs      `TP + FN = sum over gold clusters C(n_j, 2)`
+
+use crate::PrF1;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Pair counts underlying pairwise cluster P/R/F1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// Pairs that share a cluster in both predicted and gold.
+    pub matched_pairs: u64,
+    /// Pairs sharing a predicted cluster.
+    pub predicted_pairs: u64,
+    /// Pairs sharing a gold cluster.
+    pub gold_pairs: u64,
+}
+
+impl ClusterMetrics {
+    /// Pairwise precision / recall / F1. Degenerate cases (no predicted or
+    /// no gold pairs) score the component as 0.
+    pub fn pr_f1(&self) -> PrF1 {
+        let precision = if self.predicted_pairs == 0 {
+            0.0
+        } else {
+            self.matched_pairs as f64 / self.predicted_pairs as f64
+        };
+        let recall = if self.gold_pairs == 0 {
+            0.0
+        } else {
+            self.matched_pairs as f64 / self.gold_pairs as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        PrF1 { precision, recall, f1 }
+    }
+}
+
+fn pairs_of(n: u64) -> u64 {
+    n * (n.saturating_sub(1)) / 2
+}
+
+/// Computes pairwise cluster metrics from parallel label slices: record
+/// `i` has predicted cluster `predicted[i]` and gold cluster `gold[i]`.
+/// Label values only matter up to equality.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pairwise_cluster_metrics(predicted: &[u32], gold: &[u32]) -> ClusterMetrics {
+    assert_eq!(predicted.len(), gold.len(), "predicted/gold label length mismatch");
+    let mut cell: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut pred_size: HashMap<u32, u64> = HashMap::new();
+    let mut gold_size: HashMap<u32, u64> = HashMap::new();
+    for (&p, &g) in predicted.iter().zip(gold) {
+        *cell.entry((p, g)).or_insert(0) += 1;
+        *pred_size.entry(p).or_insert(0) += 1;
+        *gold_size.entry(g).or_insert(0) += 1;
+    }
+    ClusterMetrics {
+        matched_pairs: cell.values().map(|&n| pairs_of(n)).sum(),
+        predicted_pairs: pred_size.values().map(|&n| pairs_of(n)).sum(),
+        gold_pairs: gold_size.values().map(|&n| pairs_of(n)).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let labels = [0, 0, 1, 1, 2];
+        let m = pairwise_cluster_metrics(&labels, &labels);
+        assert_eq!(m.matched_pairs, 2);
+        assert_eq!(m.predicted_pairs, 2);
+        assert_eq!(m.gold_pairs, 2);
+        let s = m.pr_f1();
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn relabeled_clusters_are_equivalent() {
+        let a = [0, 0, 1, 1, 2];
+        let b = [7, 7, 3, 3, 9];
+        assert_eq!(pairwise_cluster_metrics(&a, &b).pr_f1().f1, 1.0);
+    }
+
+    #[test]
+    fn over_merging_costs_precision_not_recall() {
+        // Predicted lumps both gold clusters into one.
+        let pred = [0, 0, 0, 0];
+        let gold = [0, 0, 1, 1];
+        let m = pairwise_cluster_metrics(&pred, &gold);
+        assert_eq!(m.predicted_pairs, 6);
+        assert_eq!(m.gold_pairs, 2);
+        assert_eq!(m.matched_pairs, 2);
+        let s = m.pr_f1();
+        assert!((s.precision - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn over_splitting_costs_recall_not_precision() {
+        let pred = [0, 1, 2, 3];
+        let gold = [0, 0, 1, 1];
+        let m = pairwise_cluster_metrics(&pred, &gold);
+        assert_eq!(m.predicted_pairs, 0);
+        let s = m.pr_f1();
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn all_singletons_vs_empty_are_degenerate_zero() {
+        let m = pairwise_cluster_metrics(&[], &[]);
+        assert_eq!(m.pr_f1().f1, 0.0);
+    }
+}

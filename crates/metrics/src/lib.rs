@@ -16,10 +16,12 @@
 //! assert!(threshold > 0.2);
 //! ```
 
+mod cluster;
 mod confusion;
 mod curve;
 mod threshold;
 
+pub use cluster::{pairwise_cluster_metrics, ClusterMetrics};
 pub use confusion::{Confusion, PrF1};
 pub use curve::{average_precision, pr_curve, PrPoint};
 pub use threshold::{best_threshold, evaluate_at_threshold};

@@ -23,8 +23,10 @@
 
 pub mod model;
 pub mod registry;
+pub mod resolve;
 pub mod session;
 
 pub use model::{ErModel, Example, HierGatCollective, HierGatPairwise, ModelKind};
 pub use registry::{BuildContext, ModelRegistry, ModelSpec};
+pub use resolve::{resolve, Resolution, ResolveConfig, ResolveStats};
 pub use session::{QuantReport, Session};

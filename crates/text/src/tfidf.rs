@@ -70,37 +70,77 @@ impl SparseVec {
     }
 }
 
+/// Streaming fit for [`TfIdf`]: feed documents one at a time so corpora
+/// of millions of records never need their token lists materialised at
+/// once. `TfIdf::fit` is a thin wrapper over this.
+#[derive(Debug, Default)]
+pub struct TfIdfBuilder {
+    term_ids: HashMap<String, usize>,
+    doc_freq: Vec<u32>,
+    // Per-term stamp of the last document that counted it, so each term is
+    // counted at most once per document in O(1) (no per-doc seen set).
+    seen_stamp: Vec<u32>,
+    n_docs: usize,
+}
+
+impl TfIdfBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one document's tokens into the vocabulary and document
+    /// frequencies.
+    pub fn add_doc<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        self.n_docs += 1;
+        let stamp = u32::try_from(self.n_docs).unwrap_or(u32::MAX);
+        for tok in tokens {
+            let next_id = self.term_ids.len();
+            let id = *self.term_ids.entry(tok.as_ref().to_string()).or_insert(next_id);
+            if id == self.doc_freq.len() {
+                self.doc_freq.push(0);
+                self.seen_stamp.push(0);
+            }
+            if self.seen_stamp[id] != stamp {
+                self.seen_stamp[id] = stamp;
+                self.doc_freq[id] += 1;
+            }
+        }
+    }
+
+    /// Number of documents added so far.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Finalizes smoothed IDF weights.
+    pub fn finish(self) -> TfIdf {
+        let n = self.n_docs.max(1);
+        let idf = self
+            .doc_freq
+            .iter()
+            .map(|&df| ((1.0 + n as f32) / (1.0 + df as f32)).ln() + 1.0)
+            .collect();
+        TfIdf { term_ids: self.term_ids, idf, doc_freq: self.doc_freq, n_docs: self.n_docs }
+    }
+}
+
 /// A fitted TF-IDF vectorizer.
 #[derive(Debug, Default)]
 pub struct TfIdf {
     term_ids: HashMap<String, usize>,
     idf: Vec<f32>,
+    doc_freq: Vec<u32>,
     n_docs: usize,
 }
 
 impl TfIdf {
     /// Fits term ids and smoothed IDF weights on a corpus of token lists.
     pub fn fit<S: AsRef<str>>(docs: &[Vec<S>]) -> Self {
-        let mut term_ids: HashMap<String, usize> = HashMap::new();
-        let mut doc_freq: Vec<usize> = Vec::new();
+        let mut b = TfIdfBuilder::new();
         for doc in docs {
-            let mut seen: Vec<usize> = Vec::new();
-            for tok in doc {
-                let next_id = term_ids.len();
-                let id = *term_ids.entry(tok.as_ref().to_string()).or_insert(next_id);
-                if id == doc_freq.len() {
-                    doc_freq.push(0);
-                }
-                if !seen.contains(&id) {
-                    seen.push(id);
-                    doc_freq[id] += 1;
-                }
-            }
+            b.add_doc(doc);
         }
-        let n = docs.len().max(1);
-        let idf =
-            doc_freq.iter().map(|&df| ((1.0 + n as f32) / (1.0 + df as f32)).ln() + 1.0).collect();
-        Self { term_ids, idf, n_docs: docs.len() }
+        b.finish()
     }
 
     /// Transforms a token list to an L2-normalized TF-IDF sparse vector.
@@ -137,6 +177,82 @@ impl TfIdf {
     pub fn idf_of(&self, term: &str) -> Option<f32> {
         self.term_ids.get(term).map(|&id| self.idf[id])
     }
+
+    /// Per-term document frequencies, indexed by term id.
+    pub fn doc_freqs(&self) -> &[u32] {
+        &self.doc_freq
+    }
+}
+
+/// Bounded top-N selection under the total order (score descending, then
+/// doc id ascending). Keeps at most `limit` candidates in a binary heap
+/// whose root is the current worst, so offering M candidates costs
+/// O(M log limit) instead of the O(M log M) of a full sort. Because the
+/// retained set is defined by a strict total order, the result is
+/// independent of offer order — the property the sharded index's
+/// deterministic merge rests on.
+pub(crate) struct TopSelect {
+    // Root = worst retained candidate (lowest score, then highest doc id).
+    heap: std::collections::BinaryHeap<Worst>,
+    limit: usize,
+}
+
+/// Heap entry ordered so that "greater" means "worse candidate".
+struct Worst {
+    score: f32,
+    doc: usize,
+}
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lower score is worse; on ties, the higher doc id is worse.
+        other.score.total_cmp(&self.score).then_with(|| self.doc.cmp(&other.doc))
+    }
+}
+
+impl TopSelect {
+    pub fn new(limit: usize) -> Self {
+        Self { heap: std::collections::BinaryHeap::with_capacity(limit.saturating_add(1)), limit }
+    }
+
+    /// Offers one candidate; keeps it only if it ranks among the best
+    /// `limit` seen so far.
+    pub fn offer(&mut self, doc: usize, score: f32) {
+        if self.limit == 0 {
+            return;
+        }
+        let cand = Worst { score, doc };
+        if self.heap.len() < self.limit {
+            self.heap.push(cand);
+            return;
+        }
+        if let Some(worst) = self.heap.peek() {
+            // `cand < worst` under the Worst order means `cand` ranks
+            // strictly better than the current worst retained candidate.
+            if cand < *worst {
+                self.heap.pop();
+                self.heap.push(cand);
+            }
+        }
+    }
+
+    /// Drains into a best-first list (score descending, doc id ascending).
+    pub fn into_ranked(self) -> Vec<(usize, f32)> {
+        let mut out: Vec<(usize, f32)> = self.heap.into_iter().map(|w| (w.doc, w.score)).collect();
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
 }
 
 /// Inverted index over normalized TF-IDF vectors for fast top-N cosine
@@ -160,7 +276,8 @@ impl CosineIndex {
 
     /// Returns up to `n` document ids with the highest cosine similarity to
     /// `query`, best first. Ties break toward the lower doc id so results
-    /// are deterministic.
+    /// are deterministic. Selection uses a bounded min-heap over the M
+    /// scored docs — O(M log n) instead of sorting all M.
     pub fn top_n(&self, query: &SparseVec, n: usize) -> Vec<(usize, f32)> {
         let mut scores: HashMap<usize, f32> = HashMap::new();
         for &(term, qw) in query.entries() {
@@ -170,12 +287,11 @@ impl CosineIndex {
                 }
             }
         }
-        let mut ranked: Vec<(usize, f32)> = scores.into_iter().collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
-        ranked.truncate(n);
-        ranked
+        let mut select = TopSelect::new(n);
+        for (doc, score) in scores {
+            select.offer(doc, score);
+        }
+        select.into_ranked()
     }
 
     /// Number of indexed documents.
@@ -250,6 +366,53 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].0, 0);
         assert!(hits[0].1 > hits[1].1);
+    }
+
+    /// Regression pin for the bounded-heap select: against a corpus full of
+    /// exact ties, the heap must keep the *lowest* doc ids (the same answer
+    /// the old full sort gave) in best-first order, for every cutoff.
+    #[test]
+    fn heap_select_matches_full_sort_on_ties() {
+        let docs: Vec<Vec<String>> =
+            (0..17).map(|i| toks(if i % 2 == 0 { "x y" } else { "x y z" })).collect();
+        let tfidf = TfIdf::fit(&docs);
+        let vecs: Vec<SparseVec> = docs.iter().map(|d| tfidf.transform(d)).collect();
+        let index = CosineIndex::build(&vecs);
+        let query = tfidf.transform(&toks("x y"));
+        // Reference: score everything, full sort with the documented order.
+        let mut reference: Vec<(usize, f32)> =
+            vecs.iter().map(|v| query.dot(v)).enumerate().collect();
+        reference.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for n in [1, 2, 5, 9, 17, 40] {
+            let hits = index.top_n(&query, n);
+            let want: Vec<(usize, f32)> = reference.iter().copied().take(n).collect();
+            assert_eq!(hits, want, "top_n({n}) diverged from full-sort reference");
+        }
+    }
+
+    #[test]
+    fn streaming_builder_matches_batch_fit() {
+        let docs = vec![toks("apple pie"), toks("apple tart"), toks("cherry pie pie")];
+        let batch = TfIdf::fit(&docs);
+        let mut b = TfIdfBuilder::new();
+        for d in &docs {
+            b.add_doc(d);
+        }
+        let streamed = b.finish();
+        assert_eq!(batch.vocab_size(), streamed.vocab_size());
+        assert_eq!(batch.n_docs(), streamed.n_docs());
+        assert_eq!(batch.doc_freqs(), streamed.doc_freqs());
+        for d in &docs {
+            assert_eq!(batch.transform(d), streamed.transform(d));
+        }
+    }
+
+    #[test]
+    fn doc_freqs_count_each_doc_once() {
+        let docs = vec![toks("a a a b"), toks("a c")];
+        let tfidf = TfIdf::fit(&docs);
+        // Term ids are assigned in first-seen order: a=0, b=1, c=2.
+        assert_eq!(tfidf.doc_freqs(), &[2, 1, 1]);
     }
 
     #[test]

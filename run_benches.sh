@@ -55,6 +55,29 @@ assert q["speedup_vs_f32_session"] >= 0.35, (
     f"quantised throughput floor not met: {q['speedup_vs_f32_session']:.2f}x < 0.35x f32 session")
 EOF
 echo "### done kernels" >> bench_output.txt
+# Corpus-scale streaming resolve floors: the full blocking → cascade →
+# clustering pipeline must hold throughput and cluster quality on the
+# synthetic corpus (10^6 records at scale 1.0), and routing the ambiguous
+# cosine band through the trained session must not lose cluster F1
+# against the cosine-only cascade (everything is seeded, so the
+# comparison is deterministic at a given scale).
+echo "### running resolve" >> bench_output.txt
+cargo bench -p hiergat-bench --bench resolve >> bench_output.txt 2>&1 \
+  || { echo "### RESOLVE BENCH FAILED" >> bench_output.txt; exit 1; }
+python3 - <<'EOF' >> bench_output.txt 2>&1 || { echo "### RESOLVE FLOOR FAILED" >> bench_output.txt; exit 1; }
+import json
+d = json.load(open("BENCH_resolve.json"))
+b = d["band"]
+print(f"resolve floor check: {d['entities']} entities, {d['entities_per_s']:.0f} entities/s, "
+      f"cluster F1 {d['cluster_f1']:.3f}, band F1 {b['band_f1']:.3f} "
+      f"vs cosine-only {b['cosine_f1']:.3f}")
+assert d["entities_per_s"] >= 5_000, (
+    f"resolve throughput floor not met: {d['entities_per_s']:.0f} < 5000 entities/s")
+assert d["cluster_f1"] >= 0.78, f"cluster F1 floor not met: {d['cluster_f1']:.3f} < 0.78"
+assert b["band_f1"] >= b["cosine_f1"] - 0.005, (
+    f"model band lost cluster F1: {b['band_f1']:.3f} vs cosine {b['cosine_f1']:.3f}")
+EOF
+echo "### done resolve" >> bench_output.txt
 for b in table4_magellan table7_collective table3_lm_sizes fig10_wdc fig9_attention table9_context_ablation table10_views table11_modules table8_collective_lms fig11_training_time micro; do
   echo "### running $b" >> bench_output.txt
   cargo bench -p hiergat-bench --bench "$b" >> bench_output.txt 2>&1

@@ -1,0 +1,106 @@
+//! Acceptance gates for the streaming resolve pipeline
+//! (`hiergat_runtime::resolve`): blocking → cascade scoring → clustering
+//! on the synthetic DI2KG-style corpus.
+//!
+//! Three contracts, mirroring DESIGN.md §18:
+//!
+//! * **Quality floor** — cosine-only resolve on a 1.2k-record corpus
+//!   clears a pairwise cluster F1 of 0.80 (measured 0.85 at the tuned
+//!   accept threshold; the floor absorbs lexicon drift, not regressions).
+//! * **Width invariance** — cluster labels are bitwise identical under
+//!   kernel-pool widths 1 and 8, fitting and resolving inside each width
+//!   so blocking's `par_map` fan-out is exercised too.
+//! * **Full trio determinism** — with a model session adjudicating the
+//!   ambiguous cosine band, two identical runs reproduce each other and
+//!   the width sweep still holds (`score_pairs` is width-invariant).
+//!
+//! `ci.sh` additionally runs the CLI `resolve` subcommand under
+//! `HIERGAT_THREADS=1` and `=8` and `cmp`s the emitted CSVs, covering the
+//! same invariant across process boundaries.
+
+use hiergat_blocking::{TfIdfCandidates, TfIdfSourceConfig};
+use hiergat_data::{CorpusConfig, SynthCorpus};
+use hiergat_lm::LmTier;
+use hiergat_metrics::pairwise_cluster_metrics;
+use hiergat_runtime::{resolve, BuildContext, ModelRegistry, ResolveConfig, Session};
+
+fn corpus() -> SynthCorpus {
+    SynthCorpus::new(CorpusConfig { n_records: 1200, copies: 3, family_size: 4, seed: 11 })
+}
+
+fn source_config() -> TfIdfSourceConfig {
+    TfIdfSourceConfig { top_n: 8, min_score: 0.15, n_shards: 4, max_df: Some(0.01), fit_chunk: 256 }
+}
+
+/// The cosine-only operating point picked from the threshold sweep in
+/// DESIGN.md §18 (accept 0.55 → P 0.95 / R 0.78 on this corpus).
+fn cosine_config() -> ResolveConfig {
+    ResolveConfig { batch_size: 256, accept: 0.55, ..ResolveConfig::default() }
+}
+
+#[test]
+fn small_corpus_cosine_resolve_clears_f1_floor() {
+    let corpus = corpus();
+    let src = TfIdfCandidates::fit_dedup(&corpus, &source_config());
+    let r = resolve(&src, &corpus, None, &cosine_config());
+
+    assert_eq!(r.labels.len(), corpus.len());
+    assert_eq!(r.stats.records, corpus.len());
+    assert!(r.stats.candidates > 0, "blocking must surface candidates");
+    assert_eq!(r.stats.model_scored, 0, "no session, no model calls");
+    assert!(
+        r.stats.clusters < corpus.len(),
+        "duplicates must merge: {} clusters from {} records",
+        r.stats.clusters,
+        corpus.len()
+    );
+
+    let m = pairwise_cluster_metrics(&r.labels, &corpus.gold_labels());
+    let pr = m.pr_f1();
+    assert!(
+        pr.f1 >= 0.80,
+        "cluster F1 floor: got P={:.3} R={:.3} F1={:.3}",
+        pr.precision,
+        pr.recall,
+        pr.f1
+    );
+}
+
+#[test]
+fn cluster_labels_bitwise_identical_across_widths() {
+    let corpus = corpus();
+    let run = || {
+        let src = TfIdfCandidates::fit_dedup(&corpus, &source_config());
+        resolve(&src, &corpus, None, &cosine_config()).labels
+    };
+    let serial = parallel::with_threads(1, run);
+    let wide = parallel::with_threads(8, run);
+    assert_eq!(serial, wide, "cluster labels must not depend on pool width");
+}
+
+#[test]
+fn full_trio_with_session_is_deterministic() {
+    let corpus =
+        SynthCorpus::new(CorpusConfig { n_records: 400, copies: 3, family_size: 4, seed: 11 });
+    let registry = ModelRegistry::builtin();
+    let spec = registry.get("hiergat").expect("hiergat is a builtin model");
+    // Corpus entities carry four attributes (page_title/brand/model/description).
+    let cx = BuildContext { tier: LmTier::MiniDistil, arity: 4 };
+    let cfg =
+        ResolveConfig { batch_size: 128, score_chunk: 32, accept: 0.65, band: Some((0.45, 0.65)) };
+    let run = || {
+        let src = TfIdfCandidates::fit_dedup(&corpus, &source_config());
+        let mut session = Session::new(spec.build(&cx));
+        resolve(&src, &corpus, Some(&mut session), &cfg)
+    };
+
+    let serial = parallel::with_threads(1, run);
+    assert!(serial.stats.model_scored > 0, "the band must route pairs through the session");
+    assert!(serial.stats.cosine_accepted > 0, "high-cosine edges must bypass the model");
+
+    let again = parallel::with_threads(1, run);
+    assert_eq!(serial.labels, again.labels, "identical runs must reproduce bitwise");
+
+    let wide = parallel::with_threads(8, run);
+    assert_eq!(serial.labels, wide.labels, "session-adjudicated labels must be width-invariant");
+}
